@@ -1,0 +1,29 @@
+.PHONY: install test bench bench-timing examples verify clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/
+
+bench-timing:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	python examples/quickstart.py
+	python examples/rce_use_case.py
+	python examples/intel_sharing.py
+	python examples/feed_monitoring.py
+	python examples/soc_operations.py
+
+verify: test bench examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

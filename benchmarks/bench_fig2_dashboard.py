@@ -1,0 +1,78 @@
+"""Figure 2: the platform dashboard (topology + alarm circles + rIoC stars).
+
+Regenerates the dashboard for the use-case topology with live alarms and
+rIoCs, checks the badge semantics the figure describes (alarm count +
+severity colour upper-left, rIoC star count lower-right), and times the
+render.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import ContextAwareOSINTPlatform, PlatformConfig
+from repro.core.ioc import ReducedIoc
+from repro.dashboard import DashboardState, render_html, render_topology
+from repro.infra import Alarm, Severity, paper_inventory
+
+from conftest import print_table
+
+
+def build_state():
+    state = DashboardState(paper_inventory())
+    state.ingest_alarm(Alarm(node="Node 1", severity=Severity.RED,
+                             description="ssh brute force",
+                             ip_src="203.0.113.8", ip_dst="10.0.0.11"))
+    state.ingest_alarm(Alarm(node="Node 1", severity=Severity.GREEN,
+                             description="nmap scan", ip_src="203.0.113.9",
+                             ip_dst="10.0.0.11"))
+    state.ingest_alarm(Alarm(node="Node 3", severity=Severity.YELLOW,
+                             description="php RFI attempt",
+                             ip_src="203.0.113.10", ip_dst="10.0.0.13"))
+    state.ingest_rioc(ReducedIoc(
+        eioc_uuid="e1", threat_score=2.7407, nodes=("Node 4",),
+        cve="CVE-2017-9805", description="Apache Struts RCE",
+        affected_application="apache", matched_term="apache"))
+    state.ingest_rioc(ReducedIoc(
+        eioc_uuid="e2", threat_score=1.4, nodes=("Node 1", "Node 2", "Node 3",
+                                                 "Node 4"),
+        cve="CVE-2016-5195", description="Dirty COW",
+        affected_application="linux", matched_term="linux",
+        via_common_keyword=True))
+    return state
+
+
+def test_fig2_badges():
+    state = build_state()
+    rendered = render_topology(state)
+    print("\n" + rendered)
+    badge1 = state.badge("Node 1")
+    assert badge1.alarm_count == 2
+    assert badge1.alarm_severity == Severity.RED
+    assert badge1.rioc_count == 1          # the common-keyword rIoC
+    badge4 = state.badge("Node 4")
+    assert badge4.alarm_count == 0
+    assert badge4.rioc_count == 2          # specific + common keyword
+    assert "Node 4" in rendered and "*2" in rendered
+
+
+def test_fig2_snapshot_and_html():
+    state = build_state()
+    snapshot = state.snapshot()
+    assert len(snapshot["riocs"]) == 2
+    html = render_html(state)
+    assert "CVE-2017-9805" in html and "&#9733;" in html
+
+
+def test_fig2_live_platform_dashboard_consistency():
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(seed=17, feed_entries=40))
+    report = platform.run_cycle()
+    badges = platform.dashboard.state.badges()
+    assert sum(b.rioc_count for b in badges) >= report.riocs_created
+    print("\n" + render_topology(platform.dashboard.state))
+
+
+def test_bench_fig2_render(benchmark):
+    state = build_state()
+    text = benchmark(render_topology, state)
+    assert "Infrastructure topology" in text

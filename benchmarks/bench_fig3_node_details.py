@@ -1,0 +1,53 @@
+"""Figure 3: node visualization data (graphical view + node-details tab).
+
+The tab shows "the type of node (e.g., Server, Workstation); the IP
+addresses (known, unknown, source, destination); the operating system ...;
+and the connected networks (e.g., LAN, WAN)" (§III-C1).
+"""
+
+import pytest
+
+from repro.dashboard import render_node_details
+from repro.workloads import rce_use_case
+
+from conftest import print_table
+
+
+def build_affected_node_view():
+    scenario = rce_use_case()
+    result = scenario.heuristics.process_pending()[0]
+    rioc = scenario.rioc_generator.generate(result.eioc)
+    scenario.dashboard.push_rioc(rioc)
+    return scenario, rioc
+
+
+def test_fig3_node_details_tab():
+    scenario, rioc = build_affected_node_view()
+    node = rioc.nodes[0]
+    details = scenario.dashboard.state.node_details(node)
+    assert details.node_type == "Server"
+    assert details.operating_system == "debian"
+    assert details.networks == ("LAN",)
+    assert details.ip_addresses == ("10.0.0.14",)
+    rendered = render_node_details(scenario.dashboard.state, node)
+    print("\n" + rendered)
+    assert "type:             Server" in rendered
+    assert "operating system: debian" in rendered
+    assert "networks:         LAN" in rendered
+    assert "rIoCs:            1" in rendered
+
+
+def test_fig3_badge_reflects_rioc():
+    scenario, rioc = build_affected_node_view()
+    badge = scenario.dashboard.state.badge(rioc.nodes[0])
+    assert badge.rioc_count == 1
+
+
+def test_bench_fig3_render(benchmark):
+    scenario, rioc = build_affected_node_view()
+
+    def render():
+        return render_node_details(scenario.dashboard.state, rioc.nodes[0])
+
+    text = benchmark(render)
+    assert "Node 4" in text

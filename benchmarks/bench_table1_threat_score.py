@@ -1,0 +1,39 @@
+"""Table I: the paper's worked threat-score example.
+
+Three heuristics with five features each, fixed weights
+P = (0.10, 0.25, 0.40, 0.15, 0.10); H2's fifth feature is empty (X5 = 0) so
+its completeness drops to 4/5.  The paper reports TS = 3.15, 1.92 and 1.90.
+"""
+
+import pytest
+
+from repro.core.heuristics import score_vector
+
+from conftest import print_table
+
+WEIGHTS = [0.10, 0.25, 0.40, 0.15, 0.10]
+
+TABLE_I = [
+    ("H1", (3, 4, 3, 1, 5), 3.15),
+    ("H2", (5, 2, 2, 4, 0), 1.92),
+    ("H3", (1, 1, 2, 3, 3), 1.90),
+]
+
+
+def compute_table():
+    return [(name, values, score_vector(values, WEIGHTS).score)
+            for name, values, _expected in TABLE_I]
+
+
+def test_table1_values_match_paper():
+    rows = []
+    for (name, values, computed), (_, _, expected) in zip(compute_table(), TABLE_I):
+        rows.append(f"{name}  X={values}  TS={computed:.2f}  (paper: {expected})")
+        assert computed == pytest.approx(expected)
+    print_table("Table I: Example of a Threat Score Computation",
+                "heuristic  features  threat score", rows)
+
+
+def test_bench_table1(benchmark):
+    results = benchmark(compute_table)
+    assert [round(score, 2) for _n, _v, score in results] == [3.15, 1.92, 1.90]

@@ -1,0 +1,48 @@
+"""Table II: the feature sets of the six STIX 2.0 heuristics.
+
+Regenerates the heuristic -> features mapping from the live registry and
+checks it against the paper's table.
+"""
+
+from repro.core.heuristics import default_registry
+
+from conftest import print_table
+
+#: Table II, transcribed (modified/created collapse into modified_created;
+#: external_reference appears as external_references).
+TABLE_II = {
+    "attack_pattern": ["attack_type", "detection_tool", "modified_created",
+                       "valid_from", "external_references",
+                       "kill_chain_phases", "osint_source", "source_type"],
+    "identity": ["identity_class", "name", "sectors", "modified_created",
+                 "valid_from", "location", "osint_source", "source_type"],
+    "indicator": ["indicator_type", "modified_created", "valid_from",
+                  "external_references", "kill_chain_phases", "pattern",
+                  "osint_source", "source_type"],
+    "malware": ["category", "status", "operating_system", "modified_created",
+                "valid_from", "external_references", "kill_chain_phases",
+                "osint_source", "source_type"],
+    "tool": ["tool_type", "name", "modified_created", "valid_from",
+             "kill_chain_phases", "osint_source", "source_type"],
+    "vulnerability": ["operating_system", "source_diversity", "application",
+                      "vuln_app_in_alarm", "modified_created", "valid_from",
+                      "valid_until", "external_references", "cve"],
+}
+
+
+def dump_registry():
+    registry = default_registry()
+    return {h.name: h.feature_names for h in registry.heuristics()}
+
+
+def test_table2_features_match_paper():
+    live = dump_registry()
+    rows = [f"{name:<16} {', '.join(features)}"
+            for name, features in sorted(live.items())]
+    print_table("Table II: Heuristic's Features", "heuristic        features", rows)
+    assert live == TABLE_II
+
+
+def test_bench_table2_registry_build(benchmark):
+    registry = benchmark(default_registry)
+    assert len(registry) == 6

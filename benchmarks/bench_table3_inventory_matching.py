@@ -1,0 +1,57 @@
+"""Table III: the use-case infrastructure inventory and the match rule.
+
+Regenerates the inventory and exercises the §IV matching semantics:
+specific application -> its node, common keyword ('linux') -> all nodes,
+no match -> no rIoC.
+"""
+
+from repro.infra import paper_inventory
+
+from conftest import print_table
+
+TABLE_III = {
+    "Node 1": ("ubuntu", {"owncloud", "ossec", "snort", "suricata",
+                          "nids", "hids"}),
+    "Node 2": ("ubuntu", {"gitlab", "ossec", "snort", "suricata",
+                          "nids", "hids"}),
+    "Node 3": ("ubuntu", {"snort", "suricata", "nids", "php"}),
+    "Node 4": ("debian", {"apache", "apache storm", "apache zookeeper",
+                          "server"}),
+}
+
+
+def test_table3_inventory_matches_paper():
+    inventory = paper_inventory()
+    rows = []
+    for node in inventory.nodes:
+        rows.append(f"{node.name:<8} {node.operating_system:<8} "
+                    f"{', '.join(node.applications)}")
+        expected_os, expected_apps = TABLE_III[node.name]
+        assert node.operating_system == expected_os
+        assert set(node.applications) == expected_apps
+    rows.append(f"{'All':<8} {'':<8} linux (common keyword)")
+    print_table("Table III: Infrastructure Inventory",
+                "node     OS       applications", rows)
+    assert inventory.common_keywords == {"linux"}
+
+
+def test_matching_semantics():
+    inventory = paper_inventory()
+    assert inventory.match("apache").nodes == ("Node 4",)
+    assert inventory.match("owncloud").nodes == ("Node 1",)
+    assert inventory.match("gitlab").nodes == ("Node 2",)
+    linux = inventory.match("linux")
+    assert linux.via_common_keyword and len(linux.nodes) == 4
+    assert not inventory.match("windows")
+
+
+def test_bench_table3_matching(benchmark):
+    inventory = paper_inventory()
+    terms = ["apache", "owncloud", "gitlab", "linux", "windows", "php",
+             "snort", "debian", "ubuntu", "apache storm"]
+
+    def match_all():
+        return [inventory.match(term) for term in terms]
+
+    results = benchmark(match_all)
+    assert sum(1 for m in results if m) == 9  # all but windows

@@ -1,0 +1,112 @@
+"""Table IV: features, attributes and scores of the vulnerability heuristic.
+
+Regenerates every attribute->score row from the live heuristic definition
+and exercises each extractor against IoCs crafted to hit every band.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.core.heuristics import EvaluationContext, build_vulnerability_heuristic
+from repro.cvss import CveDatabase, CveRecord
+from repro.infra import AlarmManager, paper_inventory
+from repro.stix import ExternalReference, Vulnerability
+
+from conftest import print_table
+
+#: Table IV rows: feature -> {attribute label: score}.
+TABLE_IV = {
+    "operating_system": {"windows": 5, "linux_family": 3, "others": 1,
+                         "unknown": 0},
+    "source_diversity": {"osint_source": 1, "infrastructure_source": 2,
+                         "osint_and_infrastructure": 3},
+    "application": {"present": 2, "not_present": 1},
+    "vuln_app_in_alarm": {"present": 2, "not_present": 1},
+    "modified_created": {"last_24h": 5, "last_week": 4, "last_month": 3,
+                         "last_year": 2, "other": 1},
+    "valid_from": {"last_week": 3, "last_month": 2, "last_year": 1,
+                   "other": 0},
+    "valid_until": {"greater_than_current_date": 5,
+                    "less_or_equal_to_current_date": 1},
+    "external_references": {"multi_known_ref": 5, "single_known_ref": 3,
+                            "unknown_ref": 1, "no_ref": 0},
+    "cve": {"no_cve": 0, "cve_no_cvss": 1, "cve_low_cvss": 2,
+            "cve_medium_cvss": 3, "cve_high_cvss": 4, "cve_critical_cvss": 5},
+}
+
+
+def test_table4_score_tables_match():
+    heuristic = build_vulnerability_heuristic()
+    rows = []
+    live = {}
+    for definition in heuristic.features:
+        live[definition.name] = dict(definition.score_table)
+        scores = ", ".join(f"{k} ({v})" for k, v in definition.score_table.items())
+        rows.append(f"{definition.name:<22} {scores}")
+    print_table("Table IV: Features, attributes and scores (vulnerability)",
+                "feature                attributes and scores", rows)
+    assert live == TABLE_IV
+
+
+def make_context(description, created=None, cve_db=None):
+    created = created or "2017-09-13T00:00:00Z"
+    vuln = Vulnerability(
+        name="CVE-2017-9805", description=description,
+        external_references=[
+            ExternalReference(source_name="cve", external_id="CVE-2017-9805")],
+        created=created, modified=created)
+    return EvaluationContext(
+        stix_object=vuln, inventory=paper_inventory(),
+        alarm_manager=AlarmManager(clock=SimulatedClock()),
+        cve_db=cve_db or CveDatabase(), clock=SimulatedClock(),
+        source_types=frozenset({"osint"}), osint_feeds=frozenset({"f"}))
+
+
+@pytest.mark.parametrize("description,expected_band", [
+    ("flaw in microsoft windows kernel", "windows"),
+    ("flaw affecting debian servers", "linux_family"),
+    ("flaw in android media stack", "others"),
+    ("flaw in unspecified appliance", "unknown"),
+])
+def test_operating_system_bands(description, expected_band):
+    heuristic = build_vulnerability_heuristic()
+    result = heuristic.evaluate(make_context(description))
+    assert result.feature("operating_system").attribute_label == expected_band
+
+
+@pytest.mark.parametrize("created,expected_band", [
+    (PAPER_NOW - dt.timedelta(hours=3), "last_24h"),
+    (PAPER_NOW - dt.timedelta(days=3), "last_week"),
+    (PAPER_NOW - dt.timedelta(days=20), "last_month"),
+    (PAPER_NOW - dt.timedelta(days=200), "last_year"),
+    (PAPER_NOW - dt.timedelta(days=900), "other"),
+])
+def test_modified_created_bands(created, expected_band):
+    heuristic = build_vulnerability_heuristic()
+    result = heuristic.evaluate(make_context("debian flaw", created=created))
+    assert result.feature("modified_created").attribute_label == expected_band
+
+
+@pytest.mark.parametrize("vector,expected_band", [
+    (None, "cve_no_cvss"),
+    ("CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", "cve_low_cvss"),
+    ("CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:N", "cve_medium_cvss"),
+    ("CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", "cve_high_cvss"),
+    ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", "cve_critical_cvss"),
+])
+def test_cve_bands(vector, expected_band):
+    db = CveDatabase(records=[CveRecord(
+        cve_id="CVE-2017-9805", summary="synthetic", cvss_vector=vector,
+        published="2017-09-13T00:00:00Z")])
+    heuristic = build_vulnerability_heuristic()
+    result = heuristic.evaluate(make_context("debian flaw", cve_db=db))
+    assert result.feature("cve").attribute_label == expected_band
+
+
+def test_bench_table4_full_evaluation(benchmark):
+    heuristic = build_vulnerability_heuristic()
+    context = make_context("critical rce in apache struts on debian")
+    result = benchmark(heuristic.evaluate, context)
+    assert 0.0 <= result.score <= 5.0

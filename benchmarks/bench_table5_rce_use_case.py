@@ -1,0 +1,70 @@
+"""Table V: the RCE use-case threat score, end to end.
+
+The paper evaluates the CVE-2017-9805 IoC against the Table III
+infrastructure: Xi = (3, 1, 2, 1, 2, 1, -, 5, 4),
+Pi = (.0952, .0952, .1429, .0952, .0476, .0476, 0, .2738, .2024),
+Cp = 8/9, TS = 2.7406.
+
+This bench runs the whole operational module (MISP ingestion -> zeroMQ ->
+STIX 2.0 export -> heuristic analysis) rather than the scoring function in
+isolation, so it regenerates Table V from the same code path production
+would use.
+"""
+
+import pytest
+
+from repro.workloads import RCE_EXPECTED_SCORE, RCE_PAPER_SCORE, rce_use_case
+
+from conftest import print_table
+
+#: (feature, Xi, Pi) — Table V with exact-fraction weights.
+TABLE_V = [
+    ("operating_system", 3, 8 / 84),
+    ("source_diversity", 1, 8 / 84),
+    ("application", 2, 12 / 84),
+    ("vuln_app_in_alarm", 1, 8 / 84),
+    ("modified_created", 2, 4 / 84),
+    ("valid_from", 1, 4 / 84),
+    ("valid_until", None, 0.0),
+    ("external_references", 5, 23 / 84),
+    ("cve", 4, 17 / 84),
+]
+
+
+def run_use_case():
+    scenario = rce_use_case()
+    results = scenario.heuristics.process_pending()
+    return results[0].score
+
+
+def test_table5_feature_vector_and_weights():
+    score = run_use_case()
+    rows = []
+    for feature, (name, xi, pi) in zip(score.features, TABLE_V):
+        assert feature.feature == name
+        assert feature.value == xi
+        assert feature.weight == pytest.approx(pi, abs=1e-9)
+        rows.append(f"{name:<22} Xi={'-' if xi is None else xi}  "
+                    f"Pi={feature.weight:.4f}  ({feature.attribute_label})")
+    rows.append(f"{'Cp':<22} {score.completeness:.4f} (8/9)")
+    rows.append(f"{'THREAT SCORE':<22} {score.score:.4f} "
+                f"(paper: {RCE_PAPER_SCORE})")
+    print_table("Table V: Threat Score Results (RCE use case)",
+                "feature                Xi / Pi", rows)
+
+
+def test_table5_score_matches_paper():
+    score = run_use_case()
+    assert score.completeness == pytest.approx(8 / 9)
+    assert score.weighted_sum == pytest.approx(259 / 84)
+    assert score.score == pytest.approx(RCE_EXPECTED_SCORE)
+    # The paper prints 2.7406 because it rounds Pi to four decimals first.
+    assert score.score == pytest.approx(RCE_PAPER_SCORE, abs=2e-4)
+
+
+def test_bench_table5_operational_module(benchmark):
+    def full_path():
+        return run_use_case().score
+
+    score = benchmark(full_path)
+    assert score == pytest.approx(RCE_EXPECTED_SCORE)

@@ -1,0 +1,111 @@
+"""X11: feed-cadence scheduling — fetches saved vs fetch-everything polling.
+
+Feeds declare refresh intervals (a blocklist updates every few minutes, an
+advisory feed daily).  The scheduler only touches due feeds; this bench
+quantifies the transport traffic it saves over a simulated day against the
+naive poll-everything-each-cycle collector.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import OsintDataCollector
+from repro.feeds import (
+    FeedDescriptor,
+    FeedFetcher,
+    FeedFormat,
+    FeedScheduler,
+    GeneratorConfig,
+    IndicatorPool,
+    MalwareDomainFeed,
+    SimulatedTransport,
+)
+
+from conftest import print_table
+
+#: (name, refresh_seconds) — a realistic cadence mix.
+CADENCES = [
+    ("blocklist-fast", 600),       # 10 min
+    ("domains-hourly", 3600),
+    ("advisories-daily", 86_400),
+    ("news-6h", 21_600),
+]
+
+CYCLE = dt.timedelta(minutes=30)
+CYCLES_PER_DAY = 48
+
+
+def build(clock, scheduled):
+    pool = IndicatorPool(seed=5, size=200)
+    transport = SimulatedTransport(clock=clock, seed=5)
+    descriptors = []
+    for index, (name, refresh) in enumerate(CADENCES):
+        descriptor = FeedDescriptor(
+            name=name, url=f"https://feeds.example/{name}",
+            format=FeedFormat.PLAINTEXT, category="malware-domains",
+            refresh_seconds=refresh)
+        generator = MalwareDomainFeed(
+            pool, GeneratorConfig(entries=20, seed=index))
+        transport.register_generator(descriptor, generator)
+        descriptors.append(descriptor)
+    scheduler = FeedScheduler(descriptors, clock=clock) if scheduled else None
+    collector = OsintDataCollector(
+        FeedFetcher(transport, clock=clock), descriptors,
+        clock=clock, scheduler=scheduler)
+    return collector, transport
+
+
+def run_day(scheduled):
+    clock = SimulatedClock()
+    collector, transport = build(clock, scheduled)
+    for _ in range(CYCLES_PER_DAY):
+        collector.collect()
+        clock.advance(CYCLE)
+    return transport.stats.requests
+
+
+def test_x11_scheduler_saves_fetches():
+    naive = run_day(scheduled=False)
+    scheduled = run_day(scheduled=True)
+    saved = 1.0 - scheduled / naive
+    rows = [
+        f"cycles simulated:        {CYCLES_PER_DAY} (one day, 30-min cycles)",
+        f"naive fetches:           {naive}",
+        f"scheduled fetches:       {scheduled}",
+        f"transport traffic saved: {saved:.0%}",
+    ]
+    print_table("X11: feed scheduling vs naive polling", "metric / value", rows)
+    assert naive == CYCLES_PER_DAY * len(CADENCES)
+    assert scheduled < naive
+    # The daily feed must be fetched exactly once; the 10-min feed every cycle.
+    assert saved > 0.3
+
+
+def test_x11_expected_per_feed_counts():
+    clock = SimulatedClock()
+    collector, transport = build(clock, scheduled=True)
+    fetch_counts = {name: 0 for name, _ in CADENCES}
+    for _ in range(CYCLES_PER_DAY):
+        scheduler = collector._scheduler
+        for descriptor in scheduler.due_feeds():
+            fetch_counts[descriptor.name] += 1
+        collector.collect()
+        clock.advance(CYCLE)
+    assert fetch_counts["advisories-daily"] == 1
+    assert fetch_counts["blocklist-fast"] == CYCLES_PER_DAY  # due every cycle
+    assert fetch_counts["domains-hourly"] == CYCLES_PER_DAY // 2
+
+
+def test_bench_x11_scheduled_cycle(benchmark):
+    clock = SimulatedClock()
+    collector, _transport = build(clock, scheduled=True)
+
+    def cycle():
+        result = collector.collect()
+        clock.advance(CYCLE)
+        return result
+
+    _ciocs, report = benchmark.pedantic(cycle, rounds=5, iterations=1)
+    assert report is not None

@@ -1,0 +1,69 @@
+"""X1: deduplication volume reduction vs feed overlap.
+
+The paper's core pitch: the platform "decreas[es] the amount of information
+and the time required to analyze and act upon".  This bench sweeps the
+cross-feed overlap knob and reports how much of the raw OSINT volume the
+deduplicator removes — the reduction should grow monotonically with
+overlap.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import OsintDataCollector
+from repro.feeds import FeedFetcher, IndicatorPool, SimulatedTransport, standard_feed_set
+
+from conftest import print_table
+
+
+def run_with_overlap(overlap: float, entries: int = 80, cycles: int = 2):
+    clock = SimulatedClock()
+    pool = IndicatorPool(seed=3, size=400)
+    transport = SimulatedTransport(clock=clock, seed=3)
+    descriptors = []
+    for generator, name in standard_feed_set(pool, entries=entries, seed=3,
+                                             overlap=overlap):
+        descriptor = generator.descriptor(name)
+        transport.register_generator(descriptor, generator)
+        descriptors.append(descriptor)
+    collector = OsintDataCollector(FeedFetcher(transport, clock=clock),
+                                   descriptors, clock=clock)
+    for _ in range(cycles):
+        collector.collect()
+    return collector.deduplicator.stats
+
+
+def test_x1_reduction_grows_with_overlap():
+    rows = []
+    reductions = []
+    for overlap in (0.1, 0.5, 0.9):
+        stats = run_with_overlap(overlap)
+        reductions.append(stats.reduction_ratio)
+        rows.append(f"overlap={overlap:.1f}  received={stats.received:>5}  "
+                    f"unique={stats.unique:>5}  removed={stats.duplicates:>5}  "
+                    f"reduction={stats.reduction_ratio:.1%}")
+    print_table("X1: dedup volume reduction vs feed overlap",
+                "overlap / received / unique / removed", rows)
+    assert reductions[0] < reductions[1] < reductions[2]
+    assert reductions[2] > 0.4  # high-overlap feeds are mostly duplicates
+
+
+def test_x1_cross_feed_sightings_tracked():
+    stats = run_with_overlap(0.9)
+    assert stats.cross_feed_duplicates > 0
+
+
+def test_bench_x1_dedup_throughput(benchmark):
+    from repro.core import Deduplicator, Normalizer
+    from repro.feeds import parse_document, MalwareDomainFeed, GeneratorConfig
+    pool = IndicatorPool(seed=3, size=400)
+    generator = MalwareDomainFeed(pool, GeneratorConfig(entries=500, seed=1,
+                                                        overlap=0.8))
+    events = Normalizer().normalize_all(
+        parse_document(generator.document("bulk")))
+
+    def dedup_batch():
+        return Deduplicator().filter(events)
+
+    fresh, duplicates = benchmark(dedup_batch)
+    assert len(fresh) + len(duplicates) == len(events)

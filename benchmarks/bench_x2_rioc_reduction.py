@@ -1,0 +1,65 @@
+"""X2: eIoC -> rIoC payload reduction.
+
+"Enriched IoCs can contain a great number of information that can reduce
+efficacy of the visualization process" (§III-C) — so only the reduced IoC
+travels to the dashboard.  This bench measures the byte-size ratio between
+stored eIoCs and the rIoCs actually pushed over the socket.
+"""
+
+import json
+
+import pytest
+
+from repro.core import ContextAwareOSINTPlatform, PlatformConfig, is_eioc
+
+from conftest import print_table
+
+
+def collect_pairs():
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(seed=41, feed_entries=60))
+    platform.run_cycle()
+    pairs = []
+    for event in platform.misp.store.list_events():
+        if not is_eioc(event):
+            continue
+        rioc = platform.rioc_generator.generate(event)
+        if rioc is None:
+            continue
+        eioc_bytes = len(json.dumps(event.to_dict()))
+        rioc_bytes = len(rioc.to_json())
+        pairs.append((eioc_bytes, rioc_bytes))
+    return pairs
+
+
+def test_x2_reduction_factor():
+    pairs = collect_pairs()
+    assert pairs, "platform must produce matched rIoCs"
+    total_eioc = sum(e for e, _r in pairs)
+    total_rioc = sum(r for _e, r in pairs)
+    factor = total_eioc / total_rioc
+    rows = [
+        f"matched eIoCs:        {len(pairs)}",
+        f"eIoC payload total:   {total_eioc / 1024:.1f} KiB",
+        f"rIoC payload total:   {total_rioc / 1024:.1f} KiB",
+        f"reduction factor:     {factor:.1f}x",
+    ]
+    print_table("X2: visualization payload reduction (eIoC -> rIoC)",
+                "metric / value", rows)
+    # The dashboard payload must be at least 2x smaller overall.
+    assert factor > 2.0
+    # And every individual rIoC is smaller than its eIoC.
+    assert all(r < e for e, r in pairs)
+
+
+def test_bench_x2_reduction(benchmark):
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(seed=41, feed_entries=40))
+    platform.run_cycle()
+    eiocs = [e for e in platform.misp.store.list_events() if is_eioc(e)]
+
+    def reduce_all():
+        return platform.rioc_generator.generate_all(eiocs)
+
+    riocs = benchmark(reduce_all)
+    assert riocs

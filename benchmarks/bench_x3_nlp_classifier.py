@@ -1,0 +1,98 @@
+"""X3: relevance-classifier quality on the news workload (§II-A).
+
+"The prediction confidence of the classifier can be included in the data
+sent to SIEMs, which will help to avoid the issue of false alarms."  This
+bench scores the classifier against the threat-news generator's ground
+truth and sweeps the confidence threshold to show the precision/recall
+trade-off.
+"""
+
+import json
+
+import pytest
+
+from repro.feeds import GeneratorConfig, IndicatorPool, ThreatNewsFeed, parse_document
+from repro.nlp import RelevanceClassifier
+
+from conftest import print_table
+
+
+def labelled_corpus(entries=300, seed=9, benign_fraction=0.45):
+    pool = IndicatorPool(seed=seed, size=300)
+    generator = ThreatNewsFeed(pool, GeneratorConfig(entries=entries, seed=seed),
+                               benign_fraction=benign_fraction)
+    records = parse_document(generator.document("news"))
+    corpus = []
+    for record in records:
+        text = f"{record.value}. {record.fields.get('text', '')}"
+        corpus.append((text, bool(record.fields["x_ground_truth_relevant"])))
+    return corpus
+
+
+def evaluate(threshold=0.5):
+    classifier = RelevanceClassifier()
+    tp = fp = fn = tn = 0
+    for text, truth in labelled_corpus():
+        prediction = classifier.predict(text)
+        flagged = (prediction.label == RelevanceClassifier.RELEVANT
+                   and prediction.confidence >= threshold)
+        if flagged and truth:
+            tp += 1
+        elif flagged:
+            fp += 1
+        elif truth:
+            fn += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    return tp, fp, fn, tn, precision, recall
+
+
+def test_x3_classifier_quality():
+    tp, fp, fn, tn, precision, recall = evaluate()
+    rows = [
+        f"TP={tp} FP={fp} FN={fn} TN={tn}",
+        f"precision={precision:.1%} recall={recall:.1%}",
+    ]
+    print_table("X3: relevance classifier on the news workload",
+                "confusion / rates", rows)
+    assert precision > 0.9
+    assert recall > 0.9
+
+
+def test_x3_threshold_tradeoff():
+    rows = []
+    precisions = []
+    for threshold in (0.5, 0.9, 0.99):
+        _tp, _fp, _fn, _tn, precision, recall = evaluate(threshold)
+        precisions.append(precision)
+        rows.append(f"threshold={threshold:.2f}  precision={precision:.1%}  "
+                    f"recall={recall:.1%}")
+    print_table("X3: confidence-threshold sweep", "threshold / P / R", rows)
+    # Raising the threshold must never hurt precision.
+    assert precisions[0] <= precisions[-1] + 1e-9
+
+
+def test_x3_confidence_is_carried_into_ciocs():
+    from repro.workloads import single_feed_collector
+    from repro.feeds import FeedFormat
+    body = json.dumps({"entries": [
+        {"title": "Ransomware campaign hits retailers",
+         "text": "ransomware encrypts point of sale systems"}]})
+    collector = single_feed_collector(body, feed_format=FeedFormat.JSON,
+                                      category="threat-news")
+    ciocs, _ = collector.collect()
+    text_attr = next(a for a in ciocs[0].attributes if a.type == "text")
+    assert "confidence=" in text_attr.comment
+
+
+def test_bench_x3_classification_throughput(benchmark):
+    classifier = RelevanceClassifier()
+    corpus = [text for text, _t in labelled_corpus(entries=100)]
+
+    def classify_all():
+        return [classifier.predict(text).label for text in corpus]
+
+    labels = benchmark(classify_all)
+    assert len(labels) == len(corpus)

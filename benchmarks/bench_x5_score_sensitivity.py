@@ -1,0 +1,84 @@
+"""X5: threat-score weighting sensitivity (ablation; §VI future work).
+
+The paper's weights come from expert R/A/T/V points.  This bench compares
+the expert scheme against uniform weights on the RCE use case and reports
+each feature's score contribution — the per-criterion detail the paper's
+future work wants surfaced to the analyst.
+"""
+
+import pytest
+
+from repro.core.heuristics import CriteriaWeights, FixedWeights, score_features
+from repro.workloads import RCE_EXPECTED_SCORE, rce_use_case
+
+from conftest import print_table
+
+
+def rce_feature_scores():
+    scenario = rce_use_case()
+    result = scenario.heuristics.process_pending()[0]
+    return list(result.score.features)
+
+
+def test_x5_contribution_breakdown():
+    features = rce_feature_scores()
+    total = sum(f.contribution for f in features)
+    rows = []
+    for feature in sorted(features, key=lambda f: -f.contribution):
+        share = feature.contribution / total if total else 0.0
+        rows.append(f"{feature.feature:<22} Xi*Pi={feature.contribution:.4f}  "
+                    f"({share:.0%} of the score)")
+    print_table("X5: per-feature contribution to the RCE threat score",
+                "feature / contribution", rows)
+    # external_references and cve dominate under the expert weighting.
+    top_two = {f.feature for f in
+               sorted(features, key=lambda f: -f.contribution)[:2]}
+    assert top_two == {"external_references", "cve"}
+
+
+def test_x5_expert_vs_uniform_weights():
+    features = rce_feature_scores()
+    expert = score_features("vulnerability", features, CriteriaWeights())
+    uniform = score_features(
+        "vulnerability", features,
+        FixedWeights([1.0 / len(features)] * len(features)))
+    rows = [
+        f"expert R/A/T/V weights: TS={expert.score:.4f}",
+        f"uniform weights:        TS={uniform.score:.4f}",
+        f"delta:                  {expert.score - uniform.score:+.4f}",
+    ]
+    print_table("X5: expert vs uniform weighting (RCE use case)",
+                "scheme / score", rows)
+    assert expert.score == pytest.approx(RCE_EXPECTED_SCORE)
+    # The expert scheme rewards this well-referenced IoC more than uniform.
+    assert expert.score > uniform.score
+    assert 0.0 <= uniform.score <= 5.0
+
+
+def test_x5_single_feature_perturbation():
+    """Dropping each feature must never raise the completeness-scaled score
+    by more than its own weighted contribution."""
+    features = rce_feature_scores()
+    base = score_features("vulnerability", features, CriteriaWeights())
+    for index in range(len(features)):
+        perturbed = list(features)
+        f = perturbed[index]
+        if f.value is None:
+            continue
+        perturbed[index] = type(f)(
+            feature=f.feature, value=None, attribute_label="ablated",
+            relevance=f.relevance, accuracy=f.accuracy,
+            timeliness=f.timeliness, variety=f.variety)
+        result = score_features("vulnerability", perturbed, CriteriaWeights())
+        assert result.completeness < base.completeness
+
+
+def test_bench_x5_scoring_throughput(benchmark):
+    features = rce_feature_scores()
+    weighting = CriteriaWeights()
+
+    def score_once():
+        return score_features("vulnerability", features, weighting)
+
+    result = benchmark(score_once)
+    assert result.score == pytest.approx(RCE_EXPECTED_SCORE)

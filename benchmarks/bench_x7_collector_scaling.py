@@ -1,0 +1,61 @@
+"""X7: collector pipeline scaling with feed volume.
+
+Times the full collect -> normalize -> dedup -> aggregate -> correlate ->
+compose path at increasing feed sizes and checks the throughput stays
+super-linear-free (no accidental quadratic blow-up in correlation).
+"""
+
+import time
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import OsintDataCollector
+from repro.feeds import FeedFetcher, IndicatorPool, SimulatedTransport, standard_feed_set
+
+from conftest import print_table
+
+
+def build_collector(entries, seed=71):
+    clock = SimulatedClock()
+    pool = IndicatorPool(seed=seed, size=max(500, entries * 2))
+    transport = SimulatedTransport(clock=clock, seed=seed)
+    descriptors = []
+    for generator, name in standard_feed_set(pool, entries=entries, seed=seed):
+        descriptor = generator.descriptor(name)
+        transport.register_generator(descriptor, generator)
+        descriptors.append(descriptor)
+    return OsintDataCollector(FeedFetcher(transport, clock=clock),
+                              descriptors, clock=clock)
+
+
+def test_x7_scaling_profile():
+    rows = []
+    timings = []
+    sizes = (25, 100, 400)
+    for entries in sizes:
+        collector = build_collector(entries)
+        start = time.perf_counter()
+        _ciocs, report = collector.collect()
+        elapsed = time.perf_counter() - start
+        timings.append(elapsed)
+        throughput = report.records_parsed / elapsed
+        rows.append(f"entries/feed={entries:>4}  records={report.records_parsed:>5}  "
+                    f"ciocs={report.ciocs_created:>4}  "
+                    f"time={elapsed * 1000:7.1f} ms  "
+                    f"throughput={throughput:8.0f} rec/s")
+    print_table("X7: collector scaling with feed volume",
+                "volume / records / time / throughput", rows)
+    # 16x more input must cost far less than 256x the time (i.e. no
+    # quadratic blow-up dominates at these sizes).
+    assert timings[2] < timings[0] * 120
+
+
+@pytest.mark.parametrize("entries", [50, 200])
+def test_bench_x7_collect(benchmark, entries):
+    def collect():
+        collector = build_collector(entries)
+        return collector.collect()
+
+    _ciocs, report = benchmark.pedantic(collect, rounds=3, iterations=1)
+    assert report.ciocs_created > 0

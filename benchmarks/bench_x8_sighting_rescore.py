@@ -1,0 +1,52 @@
+"""X8: sighting feedback — infrastructure confirmation raises the score.
+
+The paper's context-aware assessment combines OSINT with "dynamic and
+real-time threat intelligence data reported from inside the own monitored
+infrastructure" (§II-A).  This bench quantifies that: the RCE eIoC is
+re-scored after the SIEM sights its indicator inside the infrastructure,
+and the source-diversity/variety features lift the score.
+"""
+
+import pytest
+
+from repro.core import SightingProcessor
+from repro.workloads import RCE_EXPECTED_SCORE, rce_use_case
+
+from conftest import print_table
+
+
+def run_feedback():
+    scenario = rce_use_case()
+    scenario.heuristics.process_pending()
+    processor = SightingProcessor(scenario.misp, scenario.heuristics,
+                                  clock=scenario.clock)
+    return processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+
+
+def test_x8_sighting_lifts_score():
+    outcome = run_feedback()
+    rows = [
+        f"score before sighting: {outcome.old_score:.4f} (OSINT only)",
+        f"score after sighting:  {outcome.new_score:.4f} "
+        f"(OSINT + infrastructure)",
+        f"delta:                 {outcome.delta:+.4f}",
+        f"sighted on:            {outcome.sighting.node}",
+    ]
+    print_table("X8: sighting-driven re-scoring (RCE use case)",
+                "stage / score", rows)
+    assert outcome.old_score == pytest.approx(RCE_EXPECTED_SCORE, abs=1e-4)
+    assert outcome.delta > 0.1
+    assert outcome.new_score <= 5.0
+
+
+def test_bench_x8_report_and_rescore(benchmark):
+    scenario = rce_use_case()
+    scenario.heuristics.process_pending()
+    processor = SightingProcessor(scenario.misp, scenario.heuristics,
+                                  clock=scenario.clock)
+
+    def report():
+        return processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+
+    outcome = benchmark(report)
+    assert outcome.new_score > RCE_EXPECTED_SCORE

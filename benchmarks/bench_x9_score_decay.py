@@ -1,0 +1,70 @@
+"""X9: threat-score decay over time (MISP decaying-models style).
+
+Complements the timeliness features with a continuous view: what is an
+eIoC's score worth *now*?  Prints the decay curve per category and sweeps a
+store aged in steps.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.core import CATEGORY_MODELS, ScoreDecayEngine
+from repro.workloads import rce_use_case
+
+from conftest import print_table
+
+
+def test_x9_category_curves():
+    rows = []
+    ages = (0, 7, 30, 90, 365, 1095)
+    header = "category                       " + "".join(f"{a:>7}d" for a in ages)
+    for category, model in sorted(CATEGORY_MODELS.items()):
+        values = [model.current_score(5.0, dt.timedelta(days=age))
+                  for age in ages]
+        rows.append(f"{category:<30} " +
+                    "".join(f"{value:8.2f}" for value in values))
+        # Monotone non-increasing along every curve.
+        assert values == sorted(values, reverse=True)
+    print_table("X9: score decay curves per category (base score 5.0)",
+                header, rows)
+    day30 = dt.timedelta(days=30)
+    vuln = CATEGORY_MODELS["vulnerability-exploitation"]
+    ips = CATEGORY_MODELS["ip-blocklist"]
+    # A 30-day-old vulnerability is still strong; a 30-day-old IP is dead.
+    assert vuln.current_score(5.0, day30) > 4.0
+    assert ips.current_score(5.0, day30) == 0.0
+
+
+def test_x9_store_sweep_over_time():
+    scenario = rce_use_case()
+    scenario.heuristics.process_pending()
+    clock = SimulatedClock(PAPER_NOW)
+    engine = ScoreDecayEngine(clock=clock)
+    rows = []
+    previous = None
+    for months in (0, 6, 12, 24, 40):
+        clock.set(PAPER_NOW + dt.timedelta(days=30 * months))
+        live, expired = engine.sweep(scenario.misp.store)
+        current = live[0].current_score if live else 0.0
+        rows.append(f"+{months:>2} months  live={len(live)}  "
+                    f"expired={len(expired)}  current score={current:.3f}")
+        if previous is not None:
+            assert current <= previous + 1e-9
+        previous = current
+    print_table("X9: RCE eIoC decayed score over time",
+                "age / live / expired / score", rows)
+    assert previous == 0.0  # fully expired after 40 months
+
+
+def test_bench_x9_sweep(benchmark):
+    scenario = rce_use_case()
+    scenario.heuristics.process_pending()
+    engine = ScoreDecayEngine(clock=scenario.clock)
+
+    def sweep():
+        return engine.sweep(scenario.misp.store)
+
+    live, _expired = benchmark(sweep)
+    assert live

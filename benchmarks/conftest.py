@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_table*``/``bench_fig*`` module regenerates one table or figure
+of the paper: it prints the reproduced rows (run with ``-s`` to see them),
+asserts the values the paper reports, and times the operation with
+pytest-benchmark.  The ``bench_x*`` modules are extension/ablation benches
+(DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: str, rows: list) -> None:
+    """Uniform rendering for reproduced paper tables."""
+    print(f"\n{title}")
+    print("=" * max(len(title), len(header)))
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Continuous OSINT monitoring with NLP relevance filtering.
+
+Shows the §II-A enhancements working as a monitoring loop:
+
+- threat-news articles are classified relevant/irrelevant (with the
+  confidence carried into the cIoC) and irrelevant chatter is dropped;
+- entities (IoCs, locations, organizations) are extracted from article
+  text and correlated with indicator feeds;
+- the dashboard updates live over its socket.io channel, and the final
+  HTML snapshot is written next to this script.
+
+Run with::
+
+    python examples/feed_monitoring.py
+"""
+
+import pathlib
+
+from repro import ContextAwareOSINTPlatform, PlatformConfig
+from repro.core import RELEVANT_TAG, IRRELEVANT_TAG, is_cioc
+from repro.dashboard import render_html, render_topology
+
+
+def main() -> None:
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(seed=5, feed_entries=50, sensor_alarm_rate=0.35,
+                       drop_irrelevant_text=True))
+
+    # Attach an extra analyst session to watch the live channel.
+    analyst = platform.dashboard.connect_client()
+    live_updates = []
+    analyst.on("rioc", live_updates.append)
+    analyst.on("alarm", live_updates.append)
+
+    print("monitoring 4 cycles with relevance filtering on")
+    print("=" * 60)
+    for cycle in range(1, 5):
+        report = platform.run_cycle()
+        events = platform.misp.store.list_events()
+        relevant = sum(1 for e in events if e.has_tag(RELEVANT_TAG))
+        irrelevant = sum(1 for e in events if e.has_tag(IRRELEVANT_TAG))
+        print(f"cycle {cycle}: {report.collection.ciocs_created:>3} cIoCs "
+              f"({relevant} relevant / {irrelevant} irrelevant news so far), "
+              f"{report.riocs_created} rIoCs, {report.new_alarms} alarms")
+
+    print(f"\nanalyst client received {len(live_updates)} live updates")
+
+    # News cIoCs carry the classifier confidence in the attribute comment.
+    news = [e for e in platform.misp.store.list_events()
+            if is_cioc(e) and e.has_tag(RELEVANT_TAG)]
+    if news:
+        sample = news[0]
+        text_attr = next(a for a in sample.attributes if a.type == "text")
+        print(f"sample relevant headline: {text_attr.value[:70]}")
+        print(f"  classifier note: {text_attr.comment}")
+
+    print("\n" + render_topology(platform.dashboard.state))
+
+    out = pathlib.Path(__file__).with_name("dashboard_snapshot.html")
+    out.write_text(render_html(platform.dashboard.state))
+    print(f"\nHTML dashboard written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs (offline env without the wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro: Context-Aware OSINT Platform (CAOP).
+
+A full reproduction of "Enhancing Information Sharing and Visualization
+Capabilities in Security Data Analytic Platforms" (DSN 2019): OSINT
+collection, normalization, deduplication, aggregation and correlation into
+composed IoCs; context-aware heuristic threat scoring (Equation 1) producing
+enriched IoCs; inventory-matched reduced IoCs pushed to a topology
+dashboard; and standards-based sharing (MISP JSON, STIX 2.0, TAXII).
+
+Quickstart::
+
+    from repro import ContextAwareOSINTPlatform
+    platform = ContextAwareOSINTPlatform.build_default()
+    report = platform.run_cycle()
+    print(report.riocs_created)
+"""
+
+from .clock import PAPER_NOW, Clock, SimulatedClock, SystemClock
+from .core import (
+    ContextAwareOSINTPlatform,
+    CycleReport,
+    HeuristicComponent,
+    OsintDataCollector,
+    PlatformConfig,
+    ReducedIoc,
+    RIocGenerator,
+    ThreatScoreResult,
+)
+from .errors import (
+    ConfigurationError,
+    FeedError,
+    ParseError,
+    PatternError,
+    ReproError,
+    SharingError,
+    StorageError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_NOW",
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+    "ContextAwareOSINTPlatform",
+    "CycleReport",
+    "HeuristicComponent",
+    "OsintDataCollector",
+    "PlatformConfig",
+    "ReducedIoc",
+    "RIocGenerator",
+    "ThreatScoreResult",
+    "ConfigurationError",
+    "FeedError",
+    "ParseError",
+    "PatternError",
+    "ReproError",
+    "SharingError",
+    "StorageError",
+    "ValidationError",
+    "__version__",
+]

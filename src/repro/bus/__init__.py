@@ -1,0 +1,16 @@
+"""Messaging substrate: broker, zeroMQ-style sockets, socket.io-style rooms."""
+
+from .broker import BrokerStats, Message, MessageBroker, Subscription
+from .socketio import SocketIOClient, SocketIOServer
+from .zmq import ZmqPublisher, ZmqSubscriber
+
+__all__ = [
+    "BrokerStats",
+    "Message",
+    "MessageBroker",
+    "Subscription",
+    "SocketIOClient",
+    "SocketIOServer",
+    "ZmqPublisher",
+    "ZmqSubscriber",
+]

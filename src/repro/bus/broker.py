@@ -1,0 +1,148 @@
+"""In-process message broker.
+
+This is the substrate that stands in for zeroMQ in the paper's architecture:
+the MISP instance publishes every incoming cIoC on a topic, and the heuristic
+component subscribes to that topic to start the scoring pipeline
+("a built-in automated, and real-time, sharing mechanism, based on the
+asynchronous messaging library zeroMQ", §IV-A).
+
+The broker is deliberately synchronous-with-queues: ``publish`` appends to
+every matching subscription's queue, and consumers drain their queue when
+they are ready.  That models zeroMQ's decoupling (a slow subscriber does not
+block the publisher) without threads, which keeps tests deterministic.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single broker message: a topic plus an arbitrary payload."""
+
+    topic: str
+    payload: Any
+    sequence: int
+
+
+@dataclass
+class BrokerStats:
+    """Counters the benchmarks read to report delivery volume."""
+
+    published: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    topics: Dict[str, int] = field(default_factory=dict)
+
+
+class Subscription:
+    """A consumer-side handle: a bounded FIFO of matching messages.
+
+    ``max_pending`` models zeroMQ's high-water mark: when the queue is full
+    the oldest message is dropped and counted, mirroring PUB/SUB loss
+    semantics under backpressure.
+    """
+
+    def __init__(self, pattern: str, max_pending: int = 100_000) -> None:
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.pattern = pattern
+        self._queue: Deque[Message] = deque()
+        self._max_pending = max_pending
+        self.dropped = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether this handle has been closed."""
+        return self._closed
+
+    def matches(self, topic: str) -> bool:
+        """Glob-style topic match (``osint.*`` matches ``osint.cioc``)."""
+        return fnmatch.fnmatchcase(topic, self.pattern)
+
+    def deliver(self, message: Message) -> bool:
+        """Enqueue a message; returns False if one was dropped to make room."""
+        if self._closed:
+            return False
+        dropped = False
+        if len(self._queue) >= self._max_pending:
+            self._queue.popleft()
+            self.dropped += 1
+            dropped = True
+        self._queue.append(message)
+        return not dropped
+
+    def pending(self) -> int:
+        """Number of messages waiting to be consumed."""
+        return len(self._queue)
+
+    def poll(self) -> Optional[Message]:
+        """Pop the next message, or None when the queue is empty."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def drain(self) -> Iterator[Message]:
+        """Yield and consume every currently queued message."""
+        while self._queue:
+            yield self._queue.popleft()
+
+    def close(self) -> None:
+        """Release the underlying resources."""
+        self._closed = True
+        self._queue.clear()
+
+
+class MessageBroker:
+    """Topic-based publish/subscribe hub.
+
+    Subscribers can either poll a :class:`Subscription` or register a
+    callback; callbacks fire synchronously inside ``publish`` which is the
+    behaviour the platform's single-process pipeline relies on.
+    """
+
+    def __init__(self) -> None:
+        self._subscriptions: List[Subscription] = []
+        self._callbacks: List[tuple[str, Callable[[Message], None]]] = []
+        self._sequence = 0
+        self.stats = BrokerStats()
+
+    def subscribe(self, pattern: str, max_pending: int = 100_000) -> Subscription:
+        """Create a queue-backed subscription for topics matching ``pattern``."""
+        subscription = Subscription(pattern, max_pending=max_pending)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def on(self, pattern: str, callback: Callable[[Message], None]) -> None:
+        """Register a callback invoked synchronously for matching topics."""
+        self._callbacks.append((pattern, callback))
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Close a subscription and stop delivering to it."""
+        subscription.close()
+        self._subscriptions = [s for s in self._subscriptions if s is not subscription]
+
+    def publish(self, topic: str, payload: Any) -> Message:
+        """Publish a payload on a topic, fanning out to all matchers."""
+        self._sequence += 1
+        message = Message(topic=topic, payload=payload, sequence=self._sequence)
+        self.stats.published += 1
+        self.stats.topics[topic] = self.stats.topics.get(topic, 0) + 1
+        for subscription in self._subscriptions:
+            if subscription.closed or not subscription.matches(topic):
+                continue
+            if subscription.deliver(message):
+                self.stats.delivered += 1
+            else:
+                self.stats.delivered += 1
+                self.stats.dropped += 1
+        for pattern, callback in list(self._callbacks):
+            if fnmatch.fnmatchcase(topic, pattern):
+                callback(message)
+                self.stats.delivered += 1
+        return message

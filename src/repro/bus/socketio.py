@@ -1,0 +1,92 @@
+"""socket.io-flavoured event channel layered on :class:`MessageBroker`.
+
+The platform pushes rIoCs to the dashboard "through specific web sockets,
+developed relying on the socket.io library" (§IV-A).  We reproduce the
+socket.io *rooms + named events* model: the server emits an event (optionally
+scoped to a room), and connected clients receive it through their registered
+event handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from .broker import MessageBroker, Message
+
+
+class SocketIOClient:
+    """A connected dashboard client: per-event handlers plus a received log."""
+
+    def __init__(self, sid: str) -> None:
+        self.sid = sid
+        self.rooms: Set[str] = set()
+        self._handlers: Dict[str, List[Callable[[Any], None]]] = {}
+        self.received: List[tuple[str, Any]] = []
+
+    def on(self, event: str, handler: Callable[[Any], None]) -> None:
+        """Register a handler for a named event."""
+        self._handlers.setdefault(event, []).append(handler)
+
+    def _dispatch(self, event: str, data: Any) -> None:
+        self.received.append((event, data))
+        for handler in self._handlers.get(event, []):
+            handler(data)
+
+
+class SocketIOServer:
+    """Server side: manages clients, rooms and event emission."""
+
+    def __init__(self, broker: Optional[MessageBroker] = None) -> None:
+        self._broker = broker or MessageBroker()
+        self._clients: Dict[str, SocketIOClient] = {}
+        self._next_sid = 0
+        self.emitted = 0
+        # Mirror every emit onto the broker so monitoring components can tap
+        # the same stream the dashboard receives.
+        self._mirror_topic = "socketio.{event}"
+
+    @property
+    def broker(self) -> MessageBroker:
+        """The underlying message broker."""
+        return self._broker
+
+    def connect(self) -> SocketIOClient:
+        """Accept a new client connection and return its handle."""
+        self._next_sid += 1
+        client = SocketIOClient(sid=f"sio-{self._next_sid}")
+        self._clients[client.sid] = client
+        return client
+
+    def disconnect(self, client: SocketIOClient) -> None:
+        """Drop a client connection."""
+        self._clients.pop(client.sid, None)
+        client.rooms.clear()
+
+    def enter_room(self, client: SocketIOClient, room: str) -> None:
+        """Add a client to a named room."""
+        if client.sid not in self._clients:
+            raise KeyError(f"client {client.sid} is not connected")
+        client.rooms.add(room)
+
+    def leave_room(self, client: SocketIOClient, room: str) -> None:
+        """Remove a client from a named room."""
+        client.rooms.discard(room)
+
+    def emit(self, event: str, data: Any, room: Optional[str] = None) -> int:
+        """Emit an event to every client (or only those in ``room``).
+
+        Returns the number of clients that received the event.
+        """
+        recipients = [
+            client for client in self._clients.values()
+            if room is None or room in client.rooms
+        ]
+        for client in recipients:
+            client._dispatch(event, data)
+        self.emitted += 1
+        self._broker.publish(self._mirror_topic.format(event=event), data)
+        return len(recipients)
+
+    def client_count(self) -> int:
+        """Number of currently connected clients."""
+        return len(self._clients)

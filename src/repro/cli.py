@@ -1,0 +1,300 @@
+"""Command-line interface for the Context-Aware OSINT Platform.
+
+Subcommands::
+
+    caop run        run N platform cycles (optionally persisting the MISP
+                    store to a SQLite file) and print the dashboard
+    caop rce-demo   the paper's §IV use case (Table V + Figures 3/4)
+    caop show       render views over a persisted MISP store
+    caop cvss       score a CVSS v3 vector
+    caop pattern    validate a STIX pattern
+
+``python -m repro.cli --help`` works without the console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .errors import ReproError
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core import ContextAwareOSINTPlatform, PlatformConfig
+    from .dashboard import render_topology
+    from .misp import MispInstance, MispStore
+
+    config = PlatformConfig(
+        seed=args.seed,
+        feed_entries=args.entries,
+        drop_irrelevant_text=args.drop_irrelevant,
+    )
+    if args.feeds:
+        platform = ContextAwareOSINTPlatform.build_from_feed_config(
+            args.feeds, config=config)
+    else:
+        platform = ContextAwareOSINTPlatform.build_default(config)
+    if args.store:
+        # Rewire the default instance onto a persistent store.
+        platform.misp.store = MispStore(args.store)
+    for cycle in range(1, args.cycles + 1):
+        report = platform.run_cycle()
+        print(f"cycle {cycle}: {report.collection.ciocs_created} cIoCs, "
+              f"{report.eiocs_created} eIoCs "
+              f"(mean TS {report.mean_score:.2f}), "
+              f"{report.riocs_created} rIoCs, {report.new_alarms} alarms")
+    print()
+    print(render_topology(platform.dashboard.state))
+    if args.store:
+        print(f"\nMISP store persisted to {args.store}")
+    return 0
+
+
+def _cmd_init_feeds(args: argparse.Namespace) -> int:
+    import json
+
+    from .feeds import default_feed_config
+
+    with open(args.path, "w") as handle:
+        json.dump(default_feed_config(), handle, indent=2)
+    print(f"feed configuration written to {args.path}")
+    return 0
+
+
+def _cmd_rce_demo(_args: argparse.Namespace) -> int:
+    from .dashboard import render_issue_details, render_node_details
+    from .workloads import RCE_PAPER_SCORE, rce_use_case
+
+    scenario = rce_use_case()
+    result = scenario.heuristics.process_pending()[0]
+    score = result.score
+    print("Table V reproduction (CVE-2017-9805 vs the Table III inventory)")
+    for feature in score.features:
+        xi = "-" if feature.value is None else feature.value
+        print(f"  {feature.feature:<22} Xi={xi!s:<2} Pi={feature.weight:.4f} "
+              f"({feature.attribute_label})")
+    print(f"  threat score = {score.score:.4f} (paper: {RCE_PAPER_SCORE})")
+    rioc = scenario.rioc_generator.generate(result.eioc)
+    if rioc is not None:
+        scenario.dashboard.push_rioc(rioc)
+        print()
+        print(render_node_details(scenario.dashboard.state, rioc.nodes[0]))
+        print()
+        print(render_issue_details(rioc))
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from .dashboard.geo import GeoSummaryView
+    from .dashboard.views import CorrelationGraphView, KeywordSummaryView
+    from .misp import MispStore
+
+    store = MispStore(args.store)
+    print(f"store: {args.store}")
+    print(f"  events:     {store.event_count()}")
+    print(f"  attributes: {store.attribute_count()}")
+    print()
+    print(CorrelationGraphView(store).render())
+    print()
+    print(KeywordSummaryView(store).render())
+    geo = GeoSummaryView()
+    if geo.ingest_store(store):
+        print()
+        print(geo.render())
+    return 0
+
+
+def _cmd_sight(args: argparse.Namespace) -> int:
+    from .core import HeuristicComponent, SightingProcessor
+    from .infra import paper_inventory
+    from .misp import MispInstance, MispStore
+
+    store = MispStore(args.store)
+    misp = MispInstance(store=store)
+    heuristics = HeuristicComponent(misp, inventory=paper_inventory())
+    processor = SightingProcessor(misp, heuristics)
+    try:
+        outcome = processor.report(args.event_uuid, args.value, args.node)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    print(f"sighting of {args.value!r} on {args.node} recorded")
+    old = f"{outcome.old_score:.4f}" if outcome.old_score is not None else "-"
+    print(f"threat score: {old} -> {outcome.new_score:.4f} "
+          f"({outcome.delta:+.4f})")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    from .core import threat_score_of
+    from .misp import MispStore
+
+    store = MispStore(args.store)
+    hits = store.search_value(args.value)
+    if not hits:
+        print(f"no stored event carries the value {args.value!r}")
+        return 1
+    print(f"{args.value!r} appears in {len(hits)} event(s):")
+    seen = set()
+    for event_uuid, _attribute_uuid in hits:
+        if event_uuid in seen:
+            continue
+        seen.add(event_uuid)
+        event = store.get_event(event_uuid)
+        if event is None:
+            continue
+        score = threat_score_of(event)
+        rendered = f"{score:.4f}" if score is not None else "unscored"
+        print(f"  {event_uuid}  TS={rendered}  {event.info[:60]}")
+    return 0
+
+
+def _cmd_purge(args: argparse.Namespace) -> int:
+    from .core import ScoreDecayEngine
+    from .misp import MispStore
+
+    store = MispStore(args.store)
+    engine = ScoreDecayEngine()
+    live, expired = engine.sweep(store)
+    print(f"store: {args.store} — {len(live)} live scored events, "
+          f"{len(expired)} expired")
+    if args.apply:
+        removed = engine.purge_expired(store)
+        print(f"purged {removed} expired events")
+    elif expired:
+        print("re-run with --apply to delete them")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import datetime as dt
+
+    from .core import IntelReportBuilder
+    from .misp import MispStore
+
+    store = MispStore(args.store)
+    builder = IntelReportBuilder(store)
+    report = builder.build(period=dt.timedelta(days=args.days), top=args.top)
+    print(report.to_markdown())
+    if args.stix:
+        stix_report, objects = builder.to_stix_report(report)
+        from .stix import Bundle
+        bundle = Bundle([stix_report] + objects)
+        with open(args.stix, "w") as handle:
+            handle.write(bundle.to_json(indent=1))
+        print(f"\nSTIX report bundle written to {args.stix}")
+    return 0
+
+
+def _cmd_cvss(args: argparse.Namespace) -> int:
+    from .cvss import CvssVector
+
+    vector = CvssVector.parse(args.vector)
+    print(f"vector:        {vector.to_string()}")
+    print(f"base score:    {vector.base_score()} ({vector.severity()})")
+    print(f"temporal:      {vector.temporal_score()}")
+    print(f"environmental: {vector.environmental_score()}")
+    return 0
+
+
+def _cmd_pattern(args: argparse.Namespace) -> int:
+    from .stix.pattern import CompiledPattern
+
+    compiled = CompiledPattern(args.pattern)
+    print("pattern is valid")
+    for comparison in compiled.comparisons():
+        print(f"  {comparison}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for the caop CLI."""
+    parser = argparse.ArgumentParser(
+        prog="caop",
+        description="Context-Aware OSINT Platform (DSN 2019 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"caop {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run platform cycles")
+    run.add_argument("--cycles", type=int, default=3)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--entries", type=int, default=60,
+                     help="entries per synthetic feed")
+    run.add_argument("--drop-irrelevant", action="store_true",
+                     help="filter irrelevant news via the NLP classifier")
+    run.add_argument("--store", default=None,
+                     help="persist the MISP store to this SQLite file")
+    run.add_argument("--feeds", default=None,
+                     help="JSON feed-configuration file (see 'caop init-feeds')")
+    run.set_defaults(func=_cmd_run)
+
+    init_feeds = subparsers.add_parser(
+        "init-feeds", help="write a ready-to-edit feed configuration file")
+    init_feeds.add_argument("path")
+    init_feeds.set_defaults(func=_cmd_init_feeds)
+
+    rce = subparsers.add_parser("rce-demo", help="the paper's §IV use case")
+    rce.set_defaults(func=_cmd_rce_demo)
+
+    show = subparsers.add_parser("show", help="inspect a persisted MISP store")
+    show.add_argument("store", help="path to the SQLite store")
+    show.set_defaults(func=_cmd_show)
+
+    sight = subparsers.add_parser(
+        "sight", help="record an infrastructure sighting and re-score an eIoC")
+    sight.add_argument("store", help="path to the SQLite store")
+    sight.add_argument("event_uuid")
+    sight.add_argument("value", help="the sighted indicator value")
+    sight.add_argument("node", help="the node it was sighted on")
+    sight.set_defaults(func=_cmd_sight)
+
+    match = subparsers.add_parser(
+        "match", help="look an indicator value up in a persisted store")
+    match.add_argument("store", help="path to the SQLite store")
+    match.add_argument("value", help="the indicator value to look up")
+    match.set_defaults(func=_cmd_match)
+
+    purge = subparsers.add_parser(
+        "purge", help="sweep a store for decay-expired eIoCs")
+    purge.add_argument("store", help="path to the SQLite store")
+    purge.add_argument("--apply", action="store_true",
+                       help="actually delete expired events")
+    purge.set_defaults(func=_cmd_purge)
+
+    report = subparsers.add_parser(
+        "report", help="build an intelligence report from a persisted store")
+    report.add_argument("store", help="path to the SQLite store")
+    report.add_argument("--days", type=int, default=7)
+    report.add_argument("--top", type=int, default=10)
+    report.add_argument("--stix", default=None,
+                        help="also write a STIX report bundle to this path")
+    report.set_defaults(func=_cmd_report)
+
+    cvss = subparsers.add_parser("cvss", help="score a CVSS v3 vector")
+    cvss.add_argument("vector")
+    cvss.set_defaults(func=_cmd_cvss)
+
+    pattern = subparsers.add_parser("pattern", help="validate a STIX pattern")
+    pattern.add_argument("pattern")
+    pattern.set_defaults(func=_cmd_pattern)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

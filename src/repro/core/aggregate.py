@@ -1,0 +1,29 @@
+"""Aggregation by threat category (§III-A1).
+
+"Afterwards, the component aggregates the security events by threat
+category, resulting in sets of events regarding a same category."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List
+
+from .normalize import NormalizedEvent
+
+
+class Aggregator:
+    """Groups normalized events into per-category sets (insertion ordered)."""
+
+    def aggregate(self, events: Iterable[NormalizedEvent]
+                  ) -> "OrderedDict[str, List[NormalizedEvent]]":
+        """Group events by threat category (insertion-ordered)."""
+        groups: "OrderedDict[str, List[NormalizedEvent]]" = OrderedDict()
+        for event in events:
+            groups.setdefault(event.category, []).append(event)
+        return groups
+
+    def category_counts(self, events: Iterable[NormalizedEvent]) -> Dict[str, int]:
+        """Per-category event counts for a batch."""
+        return {category: len(batch)
+                for category, batch in self.aggregate(events).items()}

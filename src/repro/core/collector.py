@@ -1,0 +1,152 @@
+"""The OSINT Data Collector (§III-A1): the full input-module pipeline.
+
+fetch -> parse -> normalize -> deduplicate -> aggregate -> correlate ->
+compose cIoCs -> ship to the MISP instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..errors import FeedError, ParseError
+from ..feeds import FeedDescriptor, FeedDocument, FeedFetcher, parse_document
+from ..feeds.scheduler import FeedScheduler
+from ..misp import MispEvent, MispInstance
+from ..misp.warninglists import WarninglistIndex
+from .aggregate import Aggregator
+from .compose import CiocComposer
+from .correlate import Connection, EventCorrelator
+from .dedup import Deduplicator
+from .normalize import NormalizedEvent, Normalizer
+
+
+@dataclass
+class CollectionReport:
+    """Counters from one collection cycle."""
+
+    feeds_fetched: int = 0
+    feeds_failed: int = 0
+    records_parsed: int = 0
+    events_normalized: int = 0
+    duplicates_removed: int = 0
+    benign_filtered: int = 0
+    categories: Dict[str, int] = field(default_factory=dict)
+    subsets: int = 0
+    connections: int = 0
+    ciocs_created: int = 0
+
+    @property
+    def volume_reduction(self) -> float:
+        """Fraction of raw records that did NOT become a fresh event."""
+        if self.records_parsed == 0:
+            return 0.0
+        return 1.0 - (self.events_normalized - self.duplicates_removed) / self.records_parsed
+
+
+class OsintDataCollector:
+    """Configured with feeds; each cycle produces cIoCs in the MISP instance."""
+
+    def __init__(self, fetcher: FeedFetcher,
+                 feeds: Sequence[FeedDescriptor],
+                 misp: Optional[MispInstance] = None,
+                 clock: Optional[Clock] = None,
+                 normalizer: Optional[Normalizer] = None,
+                 drop_irrelevant_text: bool = False,
+                 relevance_threshold: float = 0.75,
+                 scheduler: Optional[FeedScheduler] = None,
+                 warninglists: Optional[WarninglistIndex] = None) -> None:
+        self._fetcher = fetcher
+        self._feeds = list(feeds)
+        self._scheduler = scheduler
+        self._warninglists = warninglists
+        self._misp = misp
+        self._clock = clock or SimulatedClock()
+        self._normalizer = normalizer or Normalizer()
+        self.deduplicator = Deduplicator()
+        self._aggregator = Aggregator()
+        self._correlator = EventCorrelator()
+        self._composer = CiocComposer(
+            clock=self._clock, deduplicator=self.deduplicator)
+        self._drop_irrelevant_text = drop_irrelevant_text
+        self._relevance_threshold = relevance_threshold
+        self.last_connections: List[Connection] = []
+
+    @property
+    def feeds(self) -> List[FeedDescriptor]:
+        """The configured feed descriptors."""
+        return list(self._feeds)
+
+    def add_feed(self, descriptor: FeedDescriptor) -> None:
+        """Register one more feed for subsequent cycles."""
+        self._feeds.append(descriptor)
+
+    def collect(self) -> Tuple[List[MispEvent], CollectionReport]:
+        """Run one full collection cycle; returns (cIoCs, report)."""
+        report = CollectionReport()
+        documents: List[FeedDocument] = []
+        if self._scheduler is not None:
+            to_fetch = self._scheduler.due_feeds()
+        else:
+            to_fetch = self._feeds
+        for descriptor in to_fetch:
+            try:
+                documents.append(self._fetcher.fetch(descriptor))
+                report.feeds_fetched += 1
+                if self._scheduler is not None:
+                    self._scheduler.mark_fetched(descriptor)
+            except FeedError:
+                report.feeds_failed += 1
+
+        events: List[NormalizedEvent] = []
+        for document in documents:
+            try:
+                records = parse_document(document)
+            except ParseError:
+                # A feed serving garbage must not take the cycle down; it
+                # counts as failed and the remaining feeds proceed.
+                report.feeds_failed += 1
+                report.feeds_fetched -= 1
+                continue
+            report.records_parsed += len(records)
+            events.extend(self._normalizer.normalize_all(records))
+        report.events_normalized = len(events)
+
+        fresh, duplicates = self.deduplicator.filter(events)
+        report.duplicates_removed = len(duplicates)
+
+        if self._warninglists is not None:
+            kept = []
+            for event in fresh:
+                if not event.is_text and self._warninglists.is_benign(event.value):
+                    report.benign_filtered += 1
+                else:
+                    kept.append(event)
+            fresh = kept
+
+        if self._drop_irrelevant_text:
+            fresh = [
+                event for event in fresh
+                if not event.is_text
+                or event.relevant
+                or (event.relevance_confidence or 0.0) < self._relevance_threshold
+            ]
+
+        groups = self._aggregator.aggregate(fresh)
+        report.categories = {c: len(batch) for c, batch in groups.items()}
+
+        ciocs: List[MispEvent] = []
+        self.last_connections = []
+        for category, batch in groups.items():
+            subsets, connections = self._correlator.correlate(batch)
+            report.subsets += len(subsets)
+            report.connections += len(connections)
+            self.last_connections.extend(connections)
+            for subset in subsets:
+                cioc = self._composer.compose(category, subset)
+                if self._misp is not None:
+                    self._misp.add_event(cioc)
+                ciocs.append(cioc)
+        report.ciocs_created = len(ciocs)
+        return ciocs, report

@@ -1,0 +1,214 @@
+"""cIoC composition: a correlated sub-set of events -> one MISP event.
+
+The composed IoC "is the result of the aggregation and normalization of
+OSINT data, retrieved from various feeds, expressed in different formats"
+(§III).  Provenance (feeds, category, relevance) is carried as MISP tags so
+the heuristic component can reconstruct its evaluation context from the
+event alone.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..clock import Clock, SimulatedClock
+from ..misp import MispAttribute, MispEvent, MispObject
+from .dedup import Deduplicator
+from .ioc import TAG_CIOC
+from .normalize import NormalizedEvent
+
+#: Tag templates used on composed events.
+def category_tag(category: str) -> str:
+    """The machine tag carrying an event's threat category."""
+    return f'caop:category="{category}"'
+
+
+def feed_tag(feed_name: str) -> str:
+    """The machine tag recording a contributing feed."""
+    return f'caop:feed="{feed_name}"'
+
+
+OSINT_SOURCE_TAG = 'caop:source="osint"'
+RELEVANT_TAG = 'caop:relevance="relevant"'
+IRRELEVANT_TAG = 'caop:relevance="irrelevant"'
+
+_INDICATOR_TO_MISP = {
+    "domain": "domain",
+    "ipv4": "ip-src",
+    "url": "url",
+    "md5": "md5",
+    "sha1": "sha1",
+    "sha256": "sha256",
+}
+
+
+def tags_to_feeds(event: MispEvent) -> Set[str]:
+    """Recover the contributing feed names from an event's tags."""
+    feeds: Set[str] = set()
+    for tag in event.tags:
+        if tag.name.startswith('caop:feed="') and tag.name.endswith('"'):
+            feeds.add(tag.name[len('caop:feed="'):-1])
+    return feeds
+
+
+def tags_to_category(event: MispEvent) -> Optional[str]:
+    """Recover the threat category from an event's tags."""
+    for tag in event.tags:
+        if tag.name.startswith('caop:category="') and tag.name.endswith('"'):
+            return tag.name[len('caop:category="'):-1]
+    return None
+
+
+class CiocComposer:
+    """Builds composed-IoC MISP events from correlated sub-sets.
+
+    Composed events are TLP-marked at birth (default ``tlp:green``: OSINT
+    redistributable within the community) so the sharing gateway's policy
+    has something to act on.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 deduplicator: Optional[Deduplicator] = None,
+                 org: str = "CAOP", tlp: Optional[str] = "green") -> None:
+        self._clock = clock or SimulatedClock()
+        self._dedup = deduplicator
+        self._org = org
+        self._tlp = tlp
+
+    def compose(self, category: str,
+                subset: Sequence[NormalizedEvent]) -> MispEvent:
+        """One correlated sub-set -> one cIoC."""
+        if not subset:
+            raise ValueError("cannot compose an empty subset")
+        summary = self._summary(category, subset)
+        event = MispEvent(
+            info=summary,
+            org=self._org,
+            timestamp=self._clock.now(),
+        )
+        event.add_tag(TAG_CIOC)
+        event.add_tag(category_tag(category))
+        event.add_tag(OSINT_SOURCE_TAG)
+        if self._tlp is not None:
+            event.add_tag(f"tlp:{self._tlp}")
+        feeds: Set[str] = set()
+        any_relevant = False
+        any_text = False
+        for normalized in subset:
+            feeds.add(normalized.feed_name)
+            if self._dedup is not None:
+                feeds |= self._dedup.feeds_for(normalized.uid)
+            if normalized.is_text:
+                any_text = True
+                any_relevant = any_relevant or bool(normalized.relevant)
+            file_object = self._file_object_for(normalized)
+            if file_object is not None:
+                event.objects.append(file_object)
+                continue
+            for attribute in self._attributes_for(normalized):
+                event.add_attribute(attribute)
+        for feed_name in sorted(feeds):
+            event.add_tag(feed_tag(feed_name))
+        if any_text:
+            event.add_tag(RELEVANT_TAG if any_relevant else IRRELEVANT_TAG)
+        return event
+
+    def _summary(self, category: str, subset: Sequence[NormalizedEvent]) -> str:
+        lead = subset[0]
+        if len(subset) == 1:
+            detail = lead.value if not lead.is_text else lead.value[:80]
+        else:
+            detail = f"{len(subset)} correlated events"
+        return f"cIoC [{category}]: {detail}"
+
+    def _file_object_for(self, normalized: NormalizedEvent) -> Optional[MispObject]:
+        """Hash records carrying companion hashes compose as a MISP ``file``
+        object (one sample, several hash relations), the way real MISP
+        groups multi-hash intel instead of flat attributes."""
+        if normalized.indicator_type not in ("md5", "sha1", "sha256"):
+            return None
+        companions = {
+            key: str(value) for key, value in normalized.fields.items()
+            if key in ("md5", "sha1", "sha256") and value
+        }
+        if not companions:
+            return None
+        timestamp = normalized.observed_at or self._clock.now()
+        family = str(normalized.fields.get("family", "")) or "unknown"
+        file_object = MispObject(
+            name="file",
+            description=f"malware sample (family: {family}, "
+                        f"feed={normalized.feed_name})")
+        file_object.add_attribute(
+            MispAttribute(type=normalized.indicator_type,
+                          value=normalized.value, timestamp=timestamp),
+            relation=normalized.indicator_type)
+        for hash_type, value in sorted(companions.items()):
+            file_object.add_attribute(
+                MispAttribute(type=hash_type, value=value.lower(),
+                              timestamp=timestamp),
+                relation=hash_type)
+        if family != "unknown":
+            file_object.add_attribute(
+                MispAttribute(type="text", value=family, to_ids=False,
+                              comment="malware family", timestamp=timestamp),
+                relation="malware-family")
+        return file_object
+
+    def _attributes_for(self, normalized: NormalizedEvent) -> List[MispAttribute]:
+        attributes: List[MispAttribute] = []
+        timestamp = normalized.observed_at or self._clock.now()
+        comment = f"feed={normalized.feed_name}"
+        if normalized.indicator_type in _INDICATOR_TO_MISP:
+            attributes.append(MispAttribute(
+                type=_INDICATOR_TO_MISP[normalized.indicator_type],
+                value=normalized.value,
+                comment=comment,
+                timestamp=timestamp,
+            ))
+        elif normalized.indicator_type == "cve":
+            attributes.append(MispAttribute(
+                type="vulnerability",
+                value=normalized.value,
+                comment=str(normalized.fields.get("summary", "")) or comment,
+                timestamp=timestamp,
+            ))
+            vector = normalized.fields.get("cvss_vector")
+            if vector:
+                attributes.append(MispAttribute(
+                    type="text", value=str(vector),
+                    comment="cvss vector", to_ids=False, timestamp=timestamp,
+                ))
+            for product in normalized.fields.get("products", ()) or ():
+                attributes.append(MispAttribute(
+                    type="text", value=str(product),
+                    comment="affected product", to_ids=False, timestamp=timestamp,
+                ))
+        elif normalized.is_text:
+            confidence = normalized.relevance_confidence
+            note = (f"relevance={'relevant' if normalized.relevant else 'irrelevant'}"
+                    f" confidence={confidence:.3f}" if confidence is not None else comment)
+            attributes.append(MispAttribute(
+                type="text", value=normalized.value,
+                comment=note, to_ids=False, timestamp=timestamp,
+            ))
+            for kind, values in normalized.extracted.items():
+                misp_type = _INDICATOR_TO_MISP.get(
+                    {"domains": "domain", "urls": "url", "ipv4": "ipv4"}.get(kind, kind))
+                if kind == "cves":
+                    for value in values:
+                        attributes.append(MispAttribute(
+                            type="vulnerability", value=value,
+                            comment="extracted from text", timestamp=timestamp))
+                elif misp_type is not None:
+                    for value in values:
+                        attributes.append(MispAttribute(
+                            type=misp_type, value=value,
+                            comment="extracted from text", timestamp=timestamp))
+        else:
+            attributes.append(MispAttribute(
+                type="text", value=normalized.value,
+                comment=comment, to_ids=False, timestamp=timestamp,
+            ))
+        return attributes

@@ -1,0 +1,154 @@
+"""Event correlation and cIoC composition (§III-A1).
+
+"within each set it looks for interconnections between events, correlating
+them by the establishment of connections of pair of events.  The result of
+this correlation is sub-sets of events.  Lastly, from these subsets are
+generated cIoCs, in which a single (composed) IoC is created from the
+correlated events."
+
+Connections between a pair of events (same category):
+
+- equal indicator value (should not survive dedup, but sync'd stores can
+  reintroduce it);
+- a URL event whose host equals a domain event's value;
+- text events whose extracted entities mention another event's value;
+- equal discriminating field (malware ``family``, phishing ``target``,
+  CVE ``products``).
+
+Connected components (union-find) become the sub-sets; each sub-set is
+composed into one cIoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from urllib.parse import urlparse
+
+from .normalize import NormalizedEvent
+
+
+@dataclass(frozen=True)
+class Connection:
+    """Why two events were linked (kept for explainability)."""
+
+    left_uid: str
+    right_uid: str
+    reason: str
+
+
+class _UnionFind:
+    """Disjoint-set forest over event uids."""
+
+    def __init__(self, items: Sequence[str]) -> None:
+        self._parent = {item: item for item in items}
+
+    def find(self, item: str) -> str:
+        """Find the set representative (with path compression)."""
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, left: str, right: str) -> None:
+        """Merge the sets containing the two items."""
+        self._parent[self.find(left)] = self.find(right)
+
+
+def _url_host(url: str) -> str:
+    try:
+        return (urlparse(url).hostname or "").lower()
+    except ValueError:
+        return ""
+
+
+#: Fields whose equality links two events of the same category.
+_LINK_FIELDS = ("family", "target", "products")
+
+
+def _field_keys(event: NormalizedEvent) -> Set[Tuple[str, str]]:
+    keys: Set[Tuple[str, str]] = set()
+    for name in _LINK_FIELDS:
+        value = event.fields.get(name)
+        if isinstance(value, str) and value:
+            keys.add((name, value.lower()))
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, str) and item:
+                    keys.add((name, item.lower()))
+    return keys
+
+
+def _mention_values(event: NormalizedEvent) -> Set[str]:
+    """Values a text event mentions via entity extraction."""
+    out: Set[str] = set()
+    for values in event.extracted.values():
+        out.update(v.lower() for v in values)
+    return out
+
+
+class EventCorrelator:
+    """Builds sub-sets of interconnected events within one category."""
+
+    def correlate(self, events: Sequence[NormalizedEvent]
+                  ) -> Tuple[List[List[NormalizedEvent]], List[Connection]]:
+        """Return (sub_sets, connections).  Singletons are kept as sub-sets."""
+        if not events:
+            return [], []
+        uids = [event.uid for event in events]
+        by_uid = {event.uid: event for event in events}
+        uf = _UnionFind(uids)
+        connections: List[Connection] = []
+
+        def link(a: NormalizedEvent, b: NormalizedEvent, reason: str) -> None:
+            if uf.find(a.uid) != uf.find(b.uid):
+                connections.append(Connection(a.uid, b.uid, reason))
+            uf.union(a.uid, b.uid)
+
+        # Index by value, by URL host, by discriminating field.
+        by_value: Dict[str, List[NormalizedEvent]] = {}
+        by_field: Dict[Tuple[str, str], List[NormalizedEvent]] = {}
+        for event in events:
+            by_value.setdefault(event.value.lower(), []).append(event)
+            for key in _field_keys(event):
+                by_field.setdefault(key, []).append(event)
+
+        # 1. equal value.
+        for value, group in by_value.items():
+            for other in group[1:]:
+                link(group[0], other, f"equal value {value!r}")
+
+        # 2. URL host == domain value.
+        for event in events:
+            if event.indicator_type != "url":
+                continue
+            host = _url_host(event.value)
+            if host and host in by_value:
+                for other in by_value[host]:
+                    if other.uid != event.uid:
+                        link(event, other, f"url host {host!r} matches domain")
+
+        # 3. shared discriminating field.
+        for (name, value), group in by_field.items():
+            for other in group[1:]:
+                link(group[0], other, f"shared {name}={value!r}")
+
+        # 4. text events mentioning other events' values.
+        for event in events:
+            if not event.is_text:
+                continue
+            for mentioned in _mention_values(event):
+                if mentioned in by_value:
+                    for other in by_value[mentioned]:
+                        if other.uid != event.uid:
+                            link(event, other, f"text mentions {mentioned!r}")
+
+        components: Dict[str, List[NormalizedEvent]] = {}
+        for uid in uids:
+            components.setdefault(uf.find(uid), []).append(by_uid[uid])
+        # Deterministic order: by first event's uid within, largest first.
+        subsets = sorted(components.values(),
+                         key=lambda grp: (-len(grp), grp[0].uid))
+        return subsets, connections

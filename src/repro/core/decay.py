@@ -1,0 +1,146 @@
+"""IoC score decay over time (MISP decaying-models style).
+
+Threat intelligence ages: a domain sighted a year ago is weaker evidence
+than one sighted yesterday.  The paper encodes recency *at scoring time*
+(the timeliness features); this module adds the complementary *continuous*
+view used by MISP's decaying models so consumers can ask "what is this
+eIoC's score worth **now**?" without re-running the heuristic analysis.
+
+The decay follows MISP's polynomial model::
+
+    score(t) = base_score * (1 - (t / lifetime) ** (1 / decay_speed))
+
+clamped at zero once ``t`` reaches ``lifetime``.  As in MISP, a larger
+``decay_speed`` decays *faster* early on (the exponent 1/decay_speed pulls
+the ratio toward 1); ``decay_speed = 1`` gives a straight line.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock, ensure_utc
+from ..errors import ValidationError
+from ..misp import MispEvent, MispStore
+from .ioc import threat_score_of
+
+
+@dataclass(frozen=True)
+class DecayModel:
+    """Parameters of one decay curve."""
+
+    lifetime: _dt.timedelta = _dt.timedelta(days=365)
+    decay_speed: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.lifetime <= _dt.timedelta(0):
+            raise ValidationError("lifetime must be positive")
+        if self.decay_speed <= 0:
+            raise ValidationError("decay_speed must be positive")
+
+    def factor(self, age: _dt.timedelta) -> float:
+        """The multiplicative decay factor in [0, 1] at a given age."""
+        if age <= _dt.timedelta(0):
+            return 1.0
+        ratio = age / self.lifetime
+        if ratio >= 1.0:
+            return 0.0
+        return 1.0 - ratio ** (1.0 / self.decay_speed)
+
+    def current_score(self, base_score: float, age: _dt.timedelta) -> float:
+        """The decayed score of a base score at a given age."""
+        if not 0.0 <= base_score <= 5.0:
+            raise ValidationError(f"base score out of range: {base_score}")
+        return base_score * self.factor(age)
+
+    def is_expired(self, age: _dt.timedelta) -> bool:
+        """Whether an IoC of this age is past its lifetime."""
+        return age >= self.lifetime
+
+
+#: Default models per threat category.  Network indicators churn fast
+#: (short lifetime, high decay_speed = steep early decay); hashes and
+#: vulnerabilities stay actionable for years (long lifetime, decay_speed
+#: below 1 = value holds up through most of the lifetime).
+CATEGORY_MODELS = {
+    "ip-blocklist": DecayModel(lifetime=_dt.timedelta(days=30), decay_speed=3.0),
+    "malware-domains": DecayModel(lifetime=_dt.timedelta(days=90), decay_speed=2.5),
+    "phishing": DecayModel(lifetime=_dt.timedelta(days=30), decay_speed=3.0),
+    "malware-hashes": DecayModel(lifetime=_dt.timedelta(days=730), decay_speed=1.0),
+    "vulnerability-exploitation": DecayModel(lifetime=_dt.timedelta(days=1095),
+                                             decay_speed=0.8),
+    "threat-news": DecayModel(lifetime=_dt.timedelta(days=60), decay_speed=2.0),
+}
+
+DEFAULT_MODEL = DecayModel()
+
+
+@dataclass(frozen=True)
+class DecayedScore:
+    """The decayed view of one eIoC at one instant."""
+
+    event_uuid: str
+    base_score: float
+    current_score: float
+    age: _dt.timedelta
+    expired: bool
+
+
+class ScoreDecayEngine:
+    """Computes current (decayed) scores over a MISP store's eIoCs."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SimulatedClock()
+
+    def model_for(self, event: MispEvent) -> DecayModel:
+        """Select the decay model for an event's category."""
+        from .compose import tags_to_category
+        category = tags_to_category(event)
+        if category is not None and category in CATEGORY_MODELS:
+            return CATEGORY_MODELS[category]
+        return DEFAULT_MODEL
+
+    def evaluate(self, event: MispEvent) -> Optional[DecayedScore]:
+        """Decayed score of one eIoC; None when it carries no score."""
+        base = threat_score_of(event)
+        if base is None:
+            return None
+        age = self._clock.now() - ensure_utc(event.timestamp)
+        model = self.model_for(event)
+        return DecayedScore(
+            event_uuid=event.uuid,
+            base_score=base,
+            current_score=model.current_score(base, age),
+            age=age,
+            expired=model.is_expired(age))
+
+    def sweep(self, store: MispStore) -> Tuple[List[DecayedScore], List[str]]:
+        """Evaluate every scored event; returns (live scores, expired uuids)."""
+        live: List[DecayedScore] = []
+        expired: List[str] = []
+        for event in store.list_events():
+            decayed = self.evaluate(event)
+            if decayed is None:
+                continue
+            if decayed.expired:
+                expired.append(decayed.event_uuid)
+            else:
+                live.append(decayed)
+        return live, expired
+
+    def purge_expired(self, store: MispStore) -> int:
+        """Delete expired eIoCs from the store; returns how many were removed.
+
+        Store maintenance MISP deployments run periodically: indicators past
+        their lifetime add noise to correlation and search without evidence
+        value.  Only *scored* events are candidates — raw cIoCs and
+        infrastructure events are never aged out.
+        """
+        _live, expired = self.sweep(store)
+        removed = 0
+        for event_uuid in expired:
+            if store.delete_event(event_uuid):
+                removed += 1
+        return removed

@@ -1,0 +1,76 @@
+"""The deduplicator (§III-A1).
+
+"To circumvent and avoid getting duplicate data, the component resorts of a
+deduplicator mechanism that compares the data received with the data already
+stored in the database, looking for security events equals to the received
+ones, and erases the duplicated ones."
+
+Duplicates are detected on the *content-derived uid* of the normalized
+event, both within a batch and against everything seen in prior batches.
+When a duplicate arrives from a *new feed*, the feed name is remembered —
+that cross-feed sighting count is exactly what the ``osint_source`` /
+``source_diversity`` heuristic features consume later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .normalize import NormalizedEvent
+
+
+@dataclass
+class DedupStats:
+    """Counters describing a deduplicator's history."""
+    received: int = 0
+    unique: int = 0
+    duplicates: int = 0
+    cross_feed_duplicates: int = 0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of received events removed as duplicates."""
+        if self.received == 0:
+            return 0.0
+        return self.duplicates / self.received
+
+
+class Deduplicator:
+    """Stateful duplicate filter keyed on the content uid."""
+
+    def __init__(self) -> None:
+        self._seen_feeds: Dict[str, Set[str]] = {}
+        self.stats = DedupStats()
+
+    def seen(self, uid: str) -> bool:
+        """Whether this content uid has been observed before."""
+        return uid in self._seen_feeds
+
+    def feeds_for(self, uid: str) -> Set[str]:
+        """Every feed that has ever reported this event."""
+        return set(self._seen_feeds.get(uid, set()))
+
+    def filter(self, events: Iterable[NormalizedEvent]
+               ) -> Tuple[List[NormalizedEvent], List[NormalizedEvent]]:
+        """Split a batch into (fresh, duplicates); updates the seen set."""
+        fresh: List[NormalizedEvent] = []
+        duplicates: List[NormalizedEvent] = []
+        for event in events:
+            self.stats.received += 1
+            feeds = self._seen_feeds.get(event.uid)
+            if feeds is None:
+                self._seen_feeds[event.uid] = {event.feed_name}
+                self.stats.unique += 1
+                fresh.append(event)
+            else:
+                if event.feed_name not in feeds:
+                    feeds.add(event.feed_name)
+                    self.stats.cross_feed_duplicates += 1
+                self.stats.duplicates += 1
+                duplicates.append(event)
+        return fresh, duplicates
+
+    def known_events(self) -> int:
+        """Number of distinct events ever observed."""
+        return len(self._seen_feeds)

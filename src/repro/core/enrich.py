@@ -1,0 +1,175 @@
+"""The Heuristic Component (§III-B2): cIoC -> eIoC.
+
+Consumes cIoCs from the MISP zeroMQ feed "in STIX 2.0 format", runs the
+heuristic analysis against the infrastructure context, and writes the threat
+score back onto the stored event "as a new MISP attribute" (§IV-A), plus a
+JSON breakdown attribute so the per-criterion detail the paper's future work
+calls for is already available to the dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..bus import ZmqSubscriber
+from ..clock import Clock, SimulatedClock
+from ..cvss import CveDatabase
+from ..infra import INFRASTRUCTURE_TAG, AlarmManager, Inventory
+from ..misp import MispAttribute, MispEvent, MispInstance, to_stix2_bundle
+from ..misp.instance import TOPIC_EVENT
+from ..stix import StixObject
+from .compose import tags_to_feeds
+from .heuristics import EvaluationContext, HeuristicRegistry, default_registry
+from .ioc import (
+    TAG_CIOC,
+    TAG_EIOC,
+    THREAT_SCORE_COMMENT,
+    ThreatScoreResult,
+)
+
+BREAKDOWN_COMMENT = "caop threat score breakdown"
+
+#: When an event yields several scorable STIX objects, the event-level score
+#: is the maximum (the analyst prioritizes by the worst credible threat).
+_TYPE_PRIORITY = ("vulnerability", "indicator", "malware", "attack-pattern",
+                  "tool", "identity")
+
+
+@dataclass
+class EnrichmentResult:
+    """Outcome of enriching one cIoC."""
+
+    event_uuid: str
+    score: ThreatScoreResult
+    object_results: Tuple[Tuple[str, ThreatScoreResult], ...]
+    eioc: MispEvent
+
+
+class HeuristicComponent:
+    """Subscribes to the MISP feed and enriches incoming cIoCs."""
+
+    def __init__(self, misp: MispInstance,
+                 inventory: Optional[Inventory] = None,
+                 alarm_manager: Optional[AlarmManager] = None,
+                 cve_db: Optional[CveDatabase] = None,
+                 registry: Optional[HeuristicRegistry] = None,
+                 clock: Optional[Clock] = None,
+                 galaxy_matcher: Optional["GalaxyMatcher"] = None) -> None:
+        from ..misp.galaxy import GalaxyMatcher
+
+        self._misp = misp
+        self._inventory = inventory
+        self._alarm_manager = alarm_manager
+        self._cve_db = cve_db or CveDatabase()
+        self._registry = registry or default_registry()
+        self._clock = clock or SimulatedClock()
+        self._galaxies = galaxy_matcher or GalaxyMatcher()
+        self._subscriber = ZmqSubscriber(misp.broker)
+        self._subscriber.subscribe(TOPIC_EVENT)
+        self.processed = 0
+        self.skipped = 0
+        self.galaxy_hits = 0
+
+    def process_pending(self) -> List[EnrichmentResult]:
+        """Drain the zmq feed and enrich every eligible cIoC."""
+        results: List[EnrichmentResult] = []
+        for topic, document in self._subscriber.drain():
+            if topic != TOPIC_EVENT:
+                continue  # prefix subscription also matches attribute topic
+            event = MispEvent.from_dict(document)
+            result = self.enrich(event.uuid)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def enrich(self, event_uuid: str) -> Optional[EnrichmentResult]:
+        """Enrich one stored event; returns None when not eligible."""
+        event = self._misp.store.get_event(event_uuid)
+        if event is None:
+            self.skipped += 1
+            return None
+        if event.has_tag(INFRASTRUCTURE_TAG) or event.has_tag(TAG_EIOC):
+            self.skipped += 1
+            return None
+
+        object_results = self.score_event(event)
+        if not object_results:
+            self.skipped += 1
+            return None
+        best = max(object_results, key=lambda pair: pair[1].score)
+        score = best[1]
+
+        # Write the score back as new attributes + the enriched tag.
+        self._misp.add_attribute(event.uuid, MispAttribute(
+            type="float", value=f"{score.score:.4f}",
+            comment=THREAT_SCORE_COMMENT, to_ids=False,
+            timestamp=self._clock.now(),
+        ), publish_feed=False)
+        self._misp.add_attribute(event.uuid, MispAttribute(
+            type="text", value=json.dumps(score.breakdown(), sort_keys=True),
+            comment=BREAKDOWN_COMMENT, to_ids=False,
+            timestamp=self._clock.now(),
+        ), publish_feed=False)
+        # Contextual enrichment: galaxy clusters (threat actors, tooling)
+        # mentioned by the intelligence get their misp-galaxy tags.
+        stored = self._misp.store.get_event(event.uuid)
+        if stored is not None:
+            clusters = self._galaxies.tag_event(stored)
+            if clusters:
+                self.galaxy_hits += len(clusters)
+                self._misp.store.save_event(stored)
+        eioc = self._misp.tag_event(event.uuid, TAG_EIOC)
+        self.processed += 1
+        return EnrichmentResult(
+            event_uuid=event.uuid,
+            score=score,
+            object_results=tuple(object_results),
+            eioc=eioc,
+        )
+
+    def score_event(self, event: MispEvent) -> List[Tuple[str, ThreatScoreResult]]:
+        """Export the event to STIX 2.0 and score every supported object."""
+        bundle = to_stix2_bundle(event)
+        source_types = self._source_types_for(event)
+        osint_feeds = frozenset(tags_to_feeds(event))
+        results: List[Tuple[str, ThreatScoreResult]] = []
+        seen_types: Set[str] = set()
+        for stix_type in _TYPE_PRIORITY:
+            heuristic = self._registry.for_type(stix_type)
+            if heuristic is None:
+                continue
+            for obj in bundle.by_type(stix_type):
+                # Score one object per (type, id); duplicates add nothing.
+                key = obj["id"]
+                if key in seen_types:
+                    continue
+                seen_types.add(key)
+                context = EvaluationContext(
+                    stix_object=obj,
+                    event=event,
+                    inventory=self._inventory,
+                    alarm_manager=self._alarm_manager,
+                    cve_db=self._cve_db,
+                    store=self._misp.store,
+                    clock=self._clock,
+                    source_types=source_types,
+                    osint_feeds=osint_feeds,
+                )
+                results.append((obj["id"], heuristic.evaluate(context)))
+        return results
+
+    def _source_types_for(self, event: MispEvent) -> FrozenSet[str]:
+        """osint always (cIoCs come from feeds); infrastructure when the MISP
+        correlation engine linked this event to an infrastructure event."""
+        kinds = {"osint"}
+        for correlation in self._misp.store.correlations_for_event(event.uuid):
+            other_uuid = (correlation["target_event"]
+                          if correlation["source_event"] == event.uuid
+                          else correlation["source_event"])
+            other = self._misp.store.get_event(other_uuid)
+            if other is not None and other.has_tag(INFRASTRUCTURE_TAG):
+                kinds.add("infrastructure")
+                break
+        return frozenset(kinds)

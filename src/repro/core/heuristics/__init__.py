@@ -1,0 +1,45 @@
+"""Heuristic analysis: features, criteria weighting, Equation 1 engine."""
+
+from .context import EvaluationContext
+from .engine import (
+    MAX_FEATURE_VALUE,
+    CriteriaPoints,
+    CriteriaWeights,
+    FeatureDefinition,
+    FixedWeights,
+    Heuristic,
+    WeightingScheme,
+    score_features,
+    score_vector,
+)
+from .registry import HeuristicRegistry, default_registry
+from .standard import (
+    build_attack_pattern_heuristic,
+    build_identity_heuristic,
+    build_indicator_heuristic,
+    build_malware_heuristic,
+    build_tool_heuristic,
+)
+from .vulnerability import build_vulnerability_heuristic, find_cve_id
+
+__all__ = [
+    "EvaluationContext",
+    "MAX_FEATURE_VALUE",
+    "CriteriaPoints",
+    "CriteriaWeights",
+    "FeatureDefinition",
+    "FixedWeights",
+    "Heuristic",
+    "WeightingScheme",
+    "score_features",
+    "score_vector",
+    "HeuristicRegistry",
+    "default_registry",
+    "build_attack_pattern_heuristic",
+    "build_identity_heuristic",
+    "build_indicator_heuristic",
+    "build_malware_heuristic",
+    "build_tool_heuristic",
+    "build_vulnerability_heuristic",
+    "find_cve_id",
+]

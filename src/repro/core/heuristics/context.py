@@ -1,0 +1,73 @@
+"""Evaluation context handed to every feature extractor.
+
+The heuristic analysis is *context-aware*: feature values depend not only on
+the IoC itself but on the monitored infrastructure (inventory, live alarms),
+prior knowledge (the MISP store), the CVE database and the current time.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from ...clock import Clock, SimulatedClock
+from ...cvss import CveDatabase
+from ...infra import AlarmManager, Inventory
+from ...misp import MispEvent, MispStore
+from ...stix import StixObject
+
+
+@dataclass
+class EvaluationContext:
+    """Everything a feature extractor may consult."""
+
+    stix_object: StixObject
+    event: Optional[MispEvent] = None
+    inventory: Optional[Inventory] = None
+    alarm_manager: Optional[AlarmManager] = None
+    cve_db: Optional[CveDatabase] = None
+    store: Optional[MispStore] = None
+    clock: Optional[Clock] = None
+    #: Which source families reported this IoC ("osint", "infrastructure").
+    source_types: FrozenSet[str] = frozenset({"osint"})
+    #: Names of the OSINT feeds that contributed (for source-diversity).
+    osint_feeds: FrozenSet[str] = frozenset()
+
+    def now(self) -> _dt.datetime:
+        """Return the current instant (aware UTC datetime)."""
+        return (self.clock or SimulatedClock()).now()
+
+    # -- convenience accessors used by several extractors ----------------------
+
+    def text_blob(self) -> str:
+        """All human-readable text on the object + event (for term matching)."""
+        parts: List[str] = []
+        for key in ("name", "description"):
+            value = self.stix_object.get(key)
+            if isinstance(value, str):
+                parts.append(value)
+        if self.event is not None:
+            parts.append(self.event.info)
+            for attribute in self.event.all_attributes():
+                parts.append(attribute.value)
+                if attribute.comment:
+                    parts.append(attribute.comment)
+        return " ".join(parts).lower()
+
+    def matched_inventory_terms(self) -> List[str]:
+        """Inventory software terms mentioned by this IoC (longest first)."""
+        if self.inventory is None:
+            return []
+        blob = self.text_blob()
+        hits = [
+            term for term in self.inventory.all_software_terms()
+            if term and term in blob
+        ]
+        return sorted(hits, key=len, reverse=True)
+
+    def age_of(self, timestamp: Optional[_dt.datetime]) -> Optional[_dt.timedelta]:
+        """Age of a timestamp relative to the context clock."""
+        if timestamp is None:
+            return None
+        return self.now() - timestamp

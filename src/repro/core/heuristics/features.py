@@ -1,0 +1,187 @@
+"""Shared feature extractors used by several heuristics (Table II).
+
+Every extractor maps an :class:`EvaluationContext` to
+``(value, attribute_label)`` where ``value`` is the heuristic value Xi
+(``None`` or ``0`` meaning *no information*, which the engine treats as an
+empty feature) and ``attribute_label`` names the score-table row that fired
+(e.g. ``"last_year"``), so results are explainable.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .context import EvaluationContext
+
+DAY = _dt.timedelta(days=1)
+WEEK = _dt.timedelta(weeks=1)
+MONTH = _dt.timedelta(days=30)
+YEAR = _dt.timedelta(days=365)
+
+#: Reference sources the platform recognizes when scoring external refs.
+KNOWN_REFERENCE_SOURCES = frozenset({
+    "cve", "capec", "cwe", "nvd", "mitre-attack", "mitre", "us-cert",
+    "exploit-db", "msrc", "ics-cert",
+})
+
+#: Table IV, modified_created: "Last timestamp related to object
+#: creation/last modification".
+MODIFIED_CREATED_SCORES: Mapping[str, int] = {
+    "last_24h": 5, "last_week": 4, "last_month": 3, "last_year": 2, "other": 1,
+}
+
+#: Table IV, valid_from: "From when the IoC can be considered valid".
+VALID_FROM_SCORES: Mapping[str, int] = {
+    "last_week": 3, "last_month": 2, "last_year": 1, "other": 0,
+}
+
+#: Table IV, valid_until: "Until when the IoC can be considered valid".
+VALID_UNTIL_SCORES: Mapping[str, int] = {
+    "greater_than_current_date": 5, "less_or_equal_to_current_date": 1,
+}
+
+#: Table IV, external_references: "checked against a local inventory" of
+#: known reference sources.
+EXTERNAL_REFERENCES_SCORES: Mapping[str, int] = {
+    "multi_known_ref": 5, "single_known_ref": 3, "unknown_ref": 1, "no_ref": 0,
+}
+
+KILL_CHAIN_SCORES: Mapping[str, int] = {
+    "multiple_phases": 4, "single_phase": 2, "no_phases": 0,
+}
+
+OSINT_SOURCE_SCORES: Mapping[str, int] = {
+    "multi_feed": 4, "single_feed": 2, "no_feed": 0,
+}
+
+SOURCE_TYPE_SCORES: Mapping[str, int] = {
+    "osint_and_infrastructure": 5, "infrastructure_only": 3, "osint_only": 1,
+    "unknown": 0,
+}
+
+
+def _age_band(age: _dt.timedelta) -> str:
+    if age <= DAY:
+        return "last_24h"
+    if age <= WEEK:
+        return "last_week"
+    if age <= MONTH:
+        return "last_month"
+    if age <= YEAR:
+        return "last_year"
+    return "other"
+
+
+def modified_created(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """Recency of the object's last modification (or creation)."""
+    timestamp = context.stix_object.get("modified") or context.stix_object.get("created")
+    age = context.age_of(timestamp)
+    if age is None:
+        return None, "no_info"
+    if age < _dt.timedelta(0):
+        # A timestamp in the future is suspicious but *fresh*.
+        return MODIFIED_CREATED_SCORES["last_24h"], "last_24h"
+    band = _age_band(age)
+    return MODIFIED_CREATED_SCORES[band], band
+
+
+def valid_from(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """How recently the IoC became valid."""
+    timestamp = context.stix_object.get("valid_from") or context.stix_object.get("created")
+    age = context.age_of(timestamp)
+    if age is None:
+        return None, "no_info"
+    if age < _dt.timedelta(0):
+        return VALID_FROM_SCORES["last_week"], "last_week"
+    band = _age_band(age)
+    if band == "last_24h":
+        band = "last_week"
+    score = VALID_FROM_SCORES.get(band, 0)
+    return score, band if score else "other"
+
+
+def valid_until(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """Is the IoC still valid?  Missing -> empty (discarded, as in Table V)."""
+    timestamp = context.stix_object.get("valid_until")
+    if timestamp is None:
+        return None, "no_info"
+    if timestamp > context.now():
+        return VALID_UNTIL_SCORES["greater_than_current_date"], "greater_than_current_date"
+    return (VALID_UNTIL_SCORES["less_or_equal_to_current_date"],
+            "less_or_equal_to_current_date")
+
+
+def external_references(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """How many *known* reference sources back this IoC."""
+    references = context.stix_object.get("external_references") or []
+    if not references:
+        return 0, "no_ref"
+    known = sum(
+        1 for ref in references
+        if ref.source_name.lower() in KNOWN_REFERENCE_SOURCES
+    )
+    if known >= 2:
+        return EXTERNAL_REFERENCES_SCORES["multi_known_ref"], "multi_known_ref"
+    if known == 1:
+        return EXTERNAL_REFERENCES_SCORES["single_known_ref"], "single_known_ref"
+    return EXTERNAL_REFERENCES_SCORES["unknown_ref"], "unknown_ref"
+
+
+def kill_chain_phases(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """Coverage of the kill chain: more phases -> richer description."""
+    phases = context.stix_object.get("kill_chain_phases") or []
+    if not phases:
+        return 0, "no_phases"
+    if len(phases) >= 2:
+        return KILL_CHAIN_SCORES["multiple_phases"], "multiple_phases"
+    return KILL_CHAIN_SCORES["single_phase"], "single_phase"
+
+
+def osint_source(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """How many distinct OSINT feeds reported this IoC."""
+    feeds = context.osint_feeds
+    if not feeds:
+        return 0, "no_feed"
+    if len(feeds) >= 2:
+        return OSINT_SOURCE_SCORES["multi_feed"], "multi_feed"
+    return OSINT_SOURCE_SCORES["single_feed"], "single_feed"
+
+
+def source_type(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """Which source families contributed (variety criterion's raw signal)."""
+    kinds = context.source_types
+    has_osint = "osint" in kinds
+    has_infra = "infrastructure" in kinds
+    if has_osint and has_infra:
+        return SOURCE_TYPE_SCORES["osint_and_infrastructure"], "osint_and_infrastructure"
+    if has_infra:
+        return SOURCE_TYPE_SCORES["infrastructure_only"], "infrastructure_only"
+    if has_osint:
+        return SOURCE_TYPE_SCORES["osint_only"], "osint_only"
+    return 0, "unknown"
+
+
+#: OS families used by the operating_system feature (Table IV: "windows (5),
+#: centOS (3), others (1), unknown (0)"; the use case scores *debian* a 3,
+#: so the 3-band covers the common server Linux family).
+WINDOWS_TERMS = ("windows", "win32", "win64", "microsoft windows")
+LINUX_FAMILY_TERMS = ("debian", "ubuntu", "centos", "redhat", "red hat",
+                      "fedora", "suse", "linux")
+
+OPERATING_SYSTEM_SCORES: Mapping[str, int] = {
+    "windows": 5, "linux_family": 3, "others": 1, "unknown": 0,
+}
+
+
+def operating_system(context: EvaluationContext) -> Tuple[Optional[int], str]:
+    """Which OS the IoC affects, read from its text."""
+    blob = context.text_blob()
+    if any(term in blob for term in WINDOWS_TERMS):
+        return OPERATING_SYSTEM_SCORES["windows"], "windows"
+    if any(term in blob for term in LINUX_FAMILY_TERMS):
+        return OPERATING_SYSTEM_SCORES["linux_family"], "linux_family"
+    for hint in ("macos", "os x", "android", "ios", "solaris", "freebsd"):
+        if hint in blob:
+            return OPERATING_SYSTEM_SCORES["others"], "others"
+    return 0, "unknown"

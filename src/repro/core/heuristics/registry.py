@@ -1,0 +1,65 @@
+"""Heuristic registry: STIX object type -> heuristic (§III-B2).
+
+"The set of heuristics will be selected depending on what standard is used
+for representing cybersecurity events" — this registry implements the
+STIX 2.0 selection; new standards plug in by registering more heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...errors import ConfigurationError
+from .engine import Heuristic
+from .standard import (
+    build_attack_pattern_heuristic,
+    build_identity_heuristic,
+    build_indicator_heuristic,
+    build_malware_heuristic,
+    build_tool_heuristic,
+)
+from .vulnerability import build_vulnerability_heuristic
+
+
+class HeuristicRegistry:
+    """Holds the active heuristics, keyed by the STIX type they score."""
+
+    def __init__(self) -> None:
+        self._by_type: Dict[str, Heuristic] = {}
+
+    def register(self, heuristic: Heuristic, replace: bool = False) -> None:
+        """Register a new entry; rejects duplicates."""
+        if heuristic.stix_type in self._by_type and not replace:
+            raise ConfigurationError(
+                f"a heuristic for {heuristic.stix_type!r} is already registered")
+        self._by_type[heuristic.stix_type] = heuristic
+
+    def for_type(self, stix_type: str) -> Optional[Heuristic]:
+        """The heuristic scoring the given STIX type, if any."""
+        return self._by_type.get(stix_type)
+
+    def supported_types(self) -> List[str]:
+        """The STIX types with a registered heuristic."""
+        return sorted(self._by_type)
+
+    def heuristics(self) -> List[Heuristic]:
+        """All registered heuristics, sorted by type."""
+        return [self._by_type[t] for t in sorted(self._by_type)]
+
+    def __len__(self) -> int:
+        return len(self._by_type)
+
+    def __contains__(self, stix_type: str) -> bool:
+        return stix_type in self._by_type
+
+
+def default_registry() -> HeuristicRegistry:
+    """The paper's six heuristics (§III-B2a)."""
+    registry = HeuristicRegistry()
+    registry.register(build_attack_pattern_heuristic())
+    registry.register(build_identity_heuristic())
+    registry.register(build_indicator_heuristic())
+    registry.register(build_malware_heuristic())
+    registry.register(build_tool_heuristic())
+    registry.register(build_vulnerability_heuristic())
+    return registry

@@ -1,0 +1,209 @@
+"""The platform's IoC lineage: cIoC -> eIoC -> rIoC (§III).
+
+- **cIoC** (composed): aggregation + normalization of OSINT data from
+  several feeds, stored as a MISP event;
+- **eIoC** (enriched): the cIoC after heuristic analysis, carrying the
+  threat score (and its per-criterion breakdown) as new attributes;
+- **rIoC** (reduced): the infrastructure-relevant slice of an eIoC — "just
+  the most relevant information from the monitored infrastructure point of
+  view" — the only thing the dashboard receives.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ValidationError
+from ..misp import MispAttribute, MispEvent
+
+#: MISP tags the platform stamps on events at each lifecycle stage.
+TAG_CIOC = "caop:ioc=\"composed\""
+TAG_EIOC = "caop:ioc=\"enriched\""
+#: The custom attribute type/comment carrying the threat score on an eIoC.
+THREAT_SCORE_COMMENT = "caop threat score"
+
+
+@dataclass(frozen=True)
+class FeatureScore:
+    """One scored feature: its value Xi, weight Pi and criteria points."""
+
+    feature: str
+    value: Optional[int]          # None -> feature empty (no info)
+    attribute_label: str          # which score-table row fired, e.g. "last_year"
+    relevance: int
+    accuracy: int
+    timeliness: int
+    variety: int
+    weight: float = 0.0           # Pi, filled in by the engine
+
+    @property
+    def empty(self) -> bool:
+        """Whether this feature carried no information."""
+        return self.value is None
+
+    @property
+    def criteria_points(self) -> int:
+        """Total R/A/T/V expert points of this feature."""
+        return self.relevance + self.accuracy + self.timeliness + self.variety
+
+    @property
+    def contribution(self) -> float:
+        """Xi * Pi (zero for empty features)."""
+        if self.value is None:
+            return 0.0
+        return self.value * self.weight
+
+
+@dataclass(frozen=True)
+class ThreatScoreResult:
+    """The full outcome of one heuristic analysis (Eq. 1)."""
+
+    heuristic: str
+    score: float
+    completeness: float
+    weighted_sum: float
+    features: Tuple[FeatureScore, ...]
+
+    def __post_init__(self) -> None:
+        # Weighted sums can land a few ulps outside [0, 5]; snap those back
+        # rather than failing on float rounding.
+        if -1e-9 <= self.score < 0.0 or 5.0 < self.score <= 5.0 + 1e-9:
+            object.__setattr__(self, "score", min(5.0, max(0.0, self.score)))
+        if not 0.0 <= self.score <= 5.0:
+            raise ValidationError(f"threat score out of range: {self.score}")
+
+    @property
+    def non_empty_features(self) -> Tuple[FeatureScore, ...]:
+        """The features that carried information."""
+        return tuple(f for f in self.features if not f.empty)
+
+    def feature(self, name: str) -> FeatureScore:
+        """Look up one feature score by name."""
+        for feature in self.features:
+            if feature.feature == name:
+                return feature
+        raise KeyError(name)
+
+    def breakdown(self) -> Dict[str, Any]:
+        """Per-criterion detail (future-work §VI: expose each criterion)."""
+        return {
+            "heuristic": self.heuristic,
+            "score": round(self.score, 4),
+            "completeness": round(self.completeness, 4),
+            "weighted_sum": round(self.weighted_sum, 4),
+            "features": [
+                {
+                    "feature": f.feature,
+                    "value": f.value,
+                    "attribute": f.attribute_label,
+                    "weight": round(f.weight, 4),
+                    "criteria": {
+                        "relevance": f.relevance,
+                        "accuracy": f.accuracy,
+                        "timeliness": f.timeliness,
+                        "variety": f.variety,
+                    },
+                }
+                for f in self.features
+            ],
+        }
+
+    def priority(self) -> str:
+        """Coarse analyst-facing priority band derived from the score."""
+        if self.score >= 4.0:
+            return "critical"
+        if self.score >= 3.0:
+            return "high"
+        if self.score >= 2.0:
+            return "medium"
+        if self.score >= 1.0:
+            return "low"
+        return "very-low"
+
+
+@dataclass
+class ReducedIoc:
+    """The rIoC sent to the dashboard (§III-C1, Fig. 4).
+
+    Carries "the number of detected vulnerabilities, the CVE, the associated
+    threat score, a brief description of the vulnerability and the affected
+    application", plus the nodes it maps onto and a link back to the stored
+    eIoC.
+    """
+
+    eioc_uuid: str
+    threat_score: float
+    nodes: Tuple[str, ...]
+    cve: Optional[str] = None
+    description: str = ""
+    affected_application: str = ""
+    matched_term: str = ""
+    via_common_keyword: bool = False
+    vulnerability_count: int = 1
+    created_at: Optional[_dt.datetime] = None
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValidationError("an rIoC must map onto at least one node")
+        if not 0.0 <= self.threat_score <= 5.0:
+            raise ValidationError(f"threat score out of range: {self.threat_score}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-ready dict."""
+        return {
+            "eioc_uuid": self.eioc_uuid,
+            "threat_score": round(self.threat_score, 4),
+            "nodes": list(self.nodes),
+            "cve": self.cve,
+            "description": self.description,
+            "affected_application": self.affected_application,
+            "matched_term": self.matched_term,
+            "via_common_keyword": self.via_common_keyword,
+            "vulnerability_count": self.vulnerability_count,
+            "created_at": self.created_at.isoformat() if self.created_at else None,
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReducedIoc":
+        """Revive an instance from its dict form."""
+        created = data.get("created_at")
+        return cls(
+            eioc_uuid=data["eioc_uuid"],
+            threat_score=float(data["threat_score"]),
+            nodes=tuple(data["nodes"]),
+            cve=data.get("cve"),
+            description=data.get("description", ""),
+            affected_application=data.get("affected_application", ""),
+            matched_term=data.get("matched_term", ""),
+            via_common_keyword=bool(data.get("via_common_keyword", False)),
+            vulnerability_count=int(data.get("vulnerability_count", 1)),
+            created_at=_dt.datetime.fromisoformat(created) if created else None,
+        )
+
+
+def is_cioc(event: MispEvent) -> bool:
+    """Whether the event is tagged as a composed IoC."""
+    return event.has_tag(TAG_CIOC)
+
+
+def is_eioc(event: MispEvent) -> bool:
+    """Whether the event is tagged as an enriched IoC."""
+    return event.has_tag(TAG_EIOC)
+
+
+def threat_score_of(event: MispEvent) -> Optional[float]:
+    """Read the threat score attribute off an eIoC, if present."""
+    for attribute in event.all_attributes():
+        if attribute.type == "float" and attribute.comment == THREAT_SCORE_COMMENT:
+            try:
+                return float(attribute.value)
+            except ValueError:
+                return None
+    return None

@@ -1,0 +1,217 @@
+"""The Context-Aware OSINT Platform: the full Fig. 1 architecture.
+
+Wires the three modules together:
+
+- **Input**: the OSINT Data Collector (feeds -> cIoCs) and the
+  Infrastructure Data Collector (sensors -> internal events);
+- **Operational**: the MISP instance (store/correlate/share) and the
+  Heuristic Component (threat score -> eIoC);
+- **Output**: the rIoC generator + dashboard (socket.io push) and external
+  sharing (MISP peers).
+
+``run_cycle()`` advances the whole platform one collection round and
+returns a :class:`CycleReport`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..cvss import CveDatabase
+from ..dashboard.server import DashboardServer
+from ..feeds import (
+    FeedDescriptor,
+    FeedFetcher,
+    FeedGenerator,
+    IndicatorPool,
+    SimulatedTransport,
+    standard_feed_set,
+)
+from ..infra import (
+    InfrastructureDataCollector,
+    Inventory,
+    SensorNetwork,
+    paper_inventory,
+)
+from ..misp import MispInstance
+from .collector import CollectionReport, OsintDataCollector
+from .enrich import EnrichmentResult, HeuristicComponent
+from .ioc import ReducedIoc
+from .reduce import RIocGenerator
+
+
+@dataclass
+class CycleReport:
+    """Everything one ``run_cycle`` produced."""
+
+    collection: CollectionReport
+    new_alarms: int = 0
+    infrastructure_events: int = 0
+    eiocs_created: int = 0
+    riocs_created: int = 0
+    riocs_suppressed: int = 0
+    dashboard_pushes: int = 0
+    scores: List[float] = field(default_factory=list)
+
+    @property
+    def mean_score(self) -> float:
+        """Mean threat score across this cycle's eIoCs."""
+        return sum(self.scores) / len(self.scores) if self.scores else 0.0
+
+
+@dataclass
+class PlatformConfig:
+    """Build-time knobs for the default wiring."""
+
+    seed: int = 7
+    feed_entries: int = 60
+    feed_overlap: float = 0.5
+    sensor_alarm_rate: float = 0.25
+    sensor_steps_per_cycle: int = 6
+    drop_irrelevant_text: bool = False
+    #: Filter known-benign values (public resolvers, RFC1918, top sites).
+    use_warninglists: bool = True
+    org: str = "CAOP"
+
+
+class ContextAwareOSINTPlatform:
+    """Facade over the whole platform; see :func:`build_default`."""
+
+    def __init__(self, osint_collector: OsintDataCollector,
+                 infra_collector: InfrastructureDataCollector,
+                 sensors: SensorNetwork,
+                 misp: MispInstance,
+                 heuristics: HeuristicComponent,
+                 rioc_generator: RIocGenerator,
+                 dashboard: DashboardServer,
+                 clock: Clock) -> None:
+        from .decay import ScoreDecayEngine
+        from .sightings import SightingProcessor
+
+        self.osint_collector = osint_collector
+        self.infra_collector = infra_collector
+        self.sensors = sensors
+        self.misp = misp
+        self.heuristics = heuristics
+        self.rioc_generator = rioc_generator
+        self.dashboard = dashboard
+        self.clock = clock
+        self.sightings = SightingProcessor(misp, heuristics, clock=clock)
+        self.decay = ScoreDecayEngine(clock=clock)
+        self.history: List[CycleReport] = []
+
+    @classmethod
+    def build_default(cls, config: Optional[PlatformConfig] = None,
+                      inventory: Optional[Inventory] = None,
+                      clock: Optional[Clock] = None) -> "ContextAwareOSINTPlatform":
+        """The standard wiring over synthetic feeds and the paper inventory."""
+        config = config or PlatformConfig()
+        clock = clock or SimulatedClock()
+        pool = IndicatorPool(seed=config.seed)
+        transport = SimulatedTransport(clock=clock, seed=config.seed)
+        descriptors: List[FeedDescriptor] = []
+        for generator, name in standard_feed_set(
+                pool, entries=config.feed_entries,
+                seed=config.seed, overlap=config.feed_overlap):
+            descriptor = generator.descriptor(name)
+            transport.register_generator(descriptor, generator)
+            descriptors.append(descriptor)
+        return cls.build_with_feeds(descriptors, transport, config=config,
+                                    inventory=inventory, clock=clock)
+
+    @classmethod
+    def build_from_feed_config(cls, path: str,
+                               config: Optional[PlatformConfig] = None,
+                               inventory: Optional[Inventory] = None,
+                               clock: Optional[Clock] = None
+                               ) -> "ContextAwareOSINTPlatform":
+        """Wire the platform from a JSON feed-configuration file."""
+        from ..feeds import load_feed_config, register_configured_feeds
+
+        config = config or PlatformConfig()
+        clock = clock or SimulatedClock()
+        entries = load_feed_config(path)
+        transport = SimulatedTransport(clock=clock, seed=config.seed)
+        descriptors = register_configured_feeds(
+            entries, transport, pool=IndicatorPool(seed=config.seed))
+        return cls.build_with_feeds(descriptors, transport, config=config,
+                                    inventory=inventory, clock=clock)
+
+    @classmethod
+    def build_with_feeds(cls, descriptors: Sequence[FeedDescriptor],
+                         transport: SimulatedTransport,
+                         config: Optional[PlatformConfig] = None,
+                         inventory: Optional[Inventory] = None,
+                         clock: Optional[Clock] = None
+                         ) -> "ContextAwareOSINTPlatform":
+        """Common wiring once feeds and their transport exist."""
+        config = config or PlatformConfig()
+        clock = clock or SimulatedClock()
+        inventory = inventory or paper_inventory()
+        descriptors = list(descriptors)
+        fetcher = FeedFetcher(transport, clock=clock)
+
+        misp = MispInstance(org=config.org)
+        sensors = SensorNetwork(inventory, clock=clock, seed=config.seed,
+                                alarm_rate=config.sensor_alarm_rate)
+        infra_collector = InfrastructureDataCollector(
+            inventory, sensors, misp=misp, clock=clock)
+        from ..misp.warninglists import WarninglistIndex
+        osint_collector = OsintDataCollector(
+            fetcher, descriptors, misp=misp, clock=clock,
+            drop_irrelevant_text=config.drop_irrelevant_text,
+            warninglists=WarninglistIndex() if config.use_warninglists else None)
+        heuristics = HeuristicComponent(
+            misp, inventory=inventory,
+            alarm_manager=sensors.alarm_manager,
+            cve_db=CveDatabase(), clock=clock)
+        rioc_generator = RIocGenerator(inventory, clock=clock)
+        dashboard = DashboardServer(inventory)
+        return cls(
+            osint_collector=osint_collector,
+            infra_collector=infra_collector,
+            sensors=sensors,
+            misp=misp,
+            heuristics=heuristics,
+            rioc_generator=rioc_generator,
+            dashboard=dashboard,
+            clock=clock,
+        )
+
+    def run_cycle(self) -> CycleReport:
+        """One full platform round: sense -> collect -> enrich -> reduce -> push."""
+        # 1. Infrastructure side: sensors tick, alarms reach the dashboard,
+        #    internal IoCs reach MISP (stored only; no zmq feed).
+        new_alarms = self.sensors.tick(steps=6)
+        for alarm in new_alarms:
+            self.dashboard.push_alarm(alarm)
+        infra_event = self.infra_collector.ship_to_misp()
+
+        # 2. OSINT side: collect feeds into cIoCs (MISP publishes each on zmq).
+        _ciocs, collection = self.osint_collector.collect()
+
+        # 3. Heuristic analysis: drain the feed, score, enrich.
+        enrichments = self.heuristics.process_pending()
+
+        # 4. Reduction + visualization: rIoCs to the dashboard sockets.
+        report = CycleReport(collection=collection)
+        report.new_alarms = len(new_alarms)
+        report.infrastructure_events = 1 if infra_event is not None else 0
+        report.eiocs_created = len(enrichments)
+        for enrichment in enrichments:
+            report.scores.append(enrichment.score.score)
+            rioc = self.rioc_generator.generate(enrichment.eioc)
+            if rioc is None:
+                report.riocs_suppressed += 1
+                continue
+            report.riocs_created += 1
+            report.dashboard_pushes += self.dashboard.push_rioc(rioc)
+        self.history.append(report)
+        return report
+
+    def run(self, cycles: int) -> List[CycleReport]:
+        """Run several cycles and return their reports."""
+        return [self.run_cycle() for _ in range(cycles)]

@@ -1,0 +1,106 @@
+"""rIoC generation (§III-C, §IV): eIoC -> reduced IoC or nothing.
+
+"Every eIoC is checked against this information and, if there is a match,
+the rIoC is generated, associated to a specific node ... If there is no
+match, the rIoC is not generated, while, if the match is with a common
+keyword (e.g., Linux), the new rIoC is associated with all nodes."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..infra import Inventory
+from ..misp import MispEvent
+from .enrich import BREAKDOWN_COMMENT
+from .ioc import ReducedIoc, THREAT_SCORE_COMMENT, threat_score_of
+
+
+def event_text_blob(event: MispEvent) -> str:
+    """All matchable text on an event (info + attribute values + comments)."""
+    parts = [event.info]
+    for attribute in event.all_attributes():
+        if attribute.comment in (THREAT_SCORE_COMMENT, BREAKDOWN_COMMENT):
+            continue
+        parts.append(attribute.value)
+        if attribute.comment:
+            parts.append(attribute.comment)
+    return " ".join(parts).lower()
+
+
+class RIocGenerator:
+    """Matches eIoCs against the inventory and emits rIoCs."""
+
+    def __init__(self, inventory: Inventory,
+                 clock: Optional[Clock] = None) -> None:
+        self._inventory = inventory
+        self._clock = clock or SimulatedClock()
+        self.generated = 0
+        self.suppressed = 0
+
+    def generate(self, eioc: MispEvent) -> Optional[ReducedIoc]:
+        """Produce the rIoC for an eIoC, or None when nothing matches."""
+        score = threat_score_of(eioc)
+        if score is None:
+            self.suppressed += 1
+            return None
+        blob = event_text_blob(eioc)
+
+        # Prefer application matches over bare OS matches, longest term
+        # first (most specific); common keywords only win when nothing
+        # specific matches at all.
+        application_terms = {
+            term for node in self._inventory.nodes for term in node.applications}
+        specific: List[Tuple[str, Tuple[str, ...]]] = []
+        common: List[Tuple[str, Tuple[str, ...]]] = []
+        ordered_terms = sorted(
+            self._inventory.all_software_terms(),
+            key=lambda t: (0 if t in application_terms else 1, -len(t), t))
+        for term in ordered_terms:
+            if term and term in blob:
+                match = self._inventory.match(term)
+                if not match:
+                    continue
+                if match.via_common_keyword:
+                    common.append((term, match.nodes))
+                else:
+                    specific.append((term, match.nodes))
+        if specific:
+            term, nodes = specific[0]
+            via_common = False
+        elif common:
+            term, nodes = common[0]
+            via_common = True
+        else:
+            self.suppressed += 1
+            return None
+
+        vulnerabilities = eioc.attributes_of_type("vulnerability")
+        cve = vulnerabilities[0].value if vulnerabilities else None
+        description = (vulnerabilities[0].comment
+                       if vulnerabilities and vulnerabilities[0].comment
+                       else eioc.info)
+        rioc = ReducedIoc(
+            eioc_uuid=eioc.uuid,
+            threat_score=score,
+            nodes=nodes,
+            cve=cve,
+            description=description,
+            affected_application=term,
+            matched_term=term,
+            via_common_keyword=via_common,
+            vulnerability_count=max(1, len(vulnerabilities)),
+            created_at=self._clock.now(),
+        )
+        self.generated += 1
+        return rioc
+
+    def generate_all(self, eiocs: List[MispEvent]) -> List[ReducedIoc]:
+        """Generate rIoCs for a batch of eIoCs (matches only)."""
+        riocs: List[ReducedIoc] = []
+        for eioc in eiocs:
+            rioc = self.generate(eioc)
+            if rioc is not None:
+                riocs.append(rioc)
+        return riocs

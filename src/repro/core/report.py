@@ -1,0 +1,168 @@
+"""Intelligence report generation.
+
+SIEM platforms carry a *reporting* module (§I lists it among the platform
+modules); the CAOP equivalent digests the MISP store into an analyst-facing
+periodic report: top threats by score, category volumes, infrastructure
+exposure, sightings — rendered as markdown and exportable as a STIX 2.0
+``report`` object whose ``object_refs`` point at the underlying intelligence.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock, format_timestamp
+from ..ids import content_stix_id
+from ..misp import MispEvent, MispStore, to_stix2_bundle
+from ..stix import Report, StixObject
+from .compose import tags_to_category
+from .decay import ScoreDecayEngine
+from .ioc import is_eioc, threat_score_of
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One eIoC line in the report."""
+
+    event_uuid: str
+    info: str
+    category: Optional[str]
+    base_score: float
+    current_score: float
+    cve: Optional[str]
+
+
+@dataclass
+class IntelReport:
+    """The digested state of the platform at one instant."""
+
+    generated_at: _dt.datetime
+    period: _dt.timedelta
+    total_events: int
+    total_eiocs: int
+    category_volumes: Dict[str, int]
+    top_threats: List[ReportEntry]
+    expired_count: int
+    mean_score: float
+
+    def to_markdown(self) -> str:
+        """Render the report as a markdown document."""
+        lines = [
+            "# CAOP intelligence report",
+            f"_generated {self.generated_at.isoformat()} — "
+            f"covering the last {self.period.days} days_",
+            "",
+            "## Summary",
+            f"- events in store: **{self.total_events}** "
+            f"({self.total_eiocs} enriched)",
+            f"- mean live threat score: **{self.mean_score:.2f} / 5**",
+            f"- expired IoCs swept: {self.expired_count}",
+            "",
+            "## Volume by category",
+        ]
+        for category, count in sorted(self.category_volumes.items(),
+                                      key=lambda pair: -pair[1]):
+            lines.append(f"- {category}: {count}")
+        lines.append("")
+        lines.append("## Top threats (by current score)")
+        lines.append("| score | now | category | CVE | summary |")
+        lines.append("|---|---|---|---|---|")
+        for entry in self.top_threats:
+            lines.append(
+                f"| {entry.base_score:.2f} | {entry.current_score:.2f} "
+                f"| {entry.category or '-'} | {entry.cve or '-'} "
+                f"| {entry.info[:60]} |")
+        return "\n".join(lines)
+
+
+class IntelReportBuilder:
+    """Builds :class:`IntelReport` digests over a MISP store."""
+
+    def __init__(self, store: MispStore, clock: Optional[Clock] = None,
+                 decay: Optional[ScoreDecayEngine] = None) -> None:
+        self._store = store
+        self._clock = clock or SimulatedClock()
+        self._decay = decay or ScoreDecayEngine(clock=self._clock)
+
+    def build(self, period: _dt.timedelta = _dt.timedelta(days=7),
+              top: int = 10) -> IntelReport:
+        """Digest the store into an :class:`IntelReport`."""
+        now = self._clock.now()
+        events = self._store.list_events()
+        recent = [event for event in events
+                  if now - event.timestamp <= period]
+        eiocs = [event for event in recent if is_eioc(event)]
+
+        volumes: Dict[str, int] = {}
+        entries: List[ReportEntry] = []
+        expired = 0
+        for event in eiocs:
+            category = tags_to_category(event)
+            if category is not None:
+                volumes[category] = volumes.get(category, 0) + 1
+            base = threat_score_of(event)
+            if base is None:
+                continue
+            decayed = self._decay.evaluate(event)
+            if decayed is None:
+                continue
+            if decayed.expired:
+                expired += 1
+                continue
+            vulnerabilities = event.attributes_of_type("vulnerability")
+            entries.append(ReportEntry(
+                event_uuid=event.uuid,
+                info=event.info,
+                category=category,
+                base_score=base,
+                current_score=decayed.current_score,
+                cve=vulnerabilities[0].value if vulnerabilities else None,
+            ))
+        entries.sort(key=lambda entry: -entry.current_score)
+        mean = (sum(entry.current_score for entry in entries) / len(entries)
+                if entries else 0.0)
+        return IntelReport(
+            generated_at=now,
+            period=period,
+            total_events=len(recent),
+            total_eiocs=len(eiocs),
+            category_volumes=volumes,
+            top_threats=entries[:top],
+            expired_count=expired,
+            mean_score=mean,
+        )
+
+    def to_stix_report(self, report: IntelReport) -> Tuple[Report, List[StixObject]]:
+        """Render the digest as a STIX ``report`` plus its referenced objects."""
+        referenced: List[StixObject] = []
+        refs: List[str] = []
+        for entry in report.top_threats:
+            event = self._store.get_event(entry.event_uuid)
+            if event is None:
+                continue
+            for obj in to_stix2_bundle(event):
+                referenced.append(obj)
+                refs.append(obj["id"])
+        stamp = format_timestamp(report.generated_at)
+        if not refs:
+            # A report must reference at least one object; reference itself
+            # being empty is invalid, so synthesize a placeholder identity.
+            from ..stix import Identity
+            placeholder = Identity(
+                id=content_stix_id("identity", "caop-platform"),
+                name="CAOP platform", identity_class="organization",
+                created=stamp, modified=stamp)
+            referenced.append(placeholder)
+            refs.append(placeholder["id"])
+        stix_report = Report(
+            id=content_stix_id("report", "caop", stamp),
+            name=f"CAOP intelligence report {report.generated_at.date()}",
+            published=stamp,
+            labels=["threat-report"],
+            object_refs=refs,
+            created=stamp,
+            modified=stamp,
+        )
+        return stix_report, referenced

@@ -1,0 +1,166 @@
+"""Sighting feedback: infrastructure detections flow back into the score.
+
+The paper's assessment "complement[s] the usage of static information ...
+with dynamic and real-time threat intelligence data reported from inside the
+own monitored infrastructure in the way of Indicators of Compromise" (§II-A),
+and its future work wants "new features to enrich the threat score analysis".
+
+This module closes that loop the way MISP deployments do with sightings:
+
+1. the SIEM matches an eIoC-derived rule against live telemetry;
+2. a sighting is recorded against the eIoC (and an infrastructure-tagged
+   MISP event is stored for the matched value, so the correlation engine
+   links the two);
+3. the eIoC is **re-scored** — source diversity now includes the
+   infrastructure, so its threat score rises and the dashboard is updated.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..infra import INFRASTRUCTURE_TAG
+from ..misp import Distribution, MispAttribute, MispEvent, MispInstance
+from .enrich import BREAKDOWN_COMMENT, HeuristicComponent
+from .ioc import THREAT_SCORE_COMMENT, ThreatScoreResult, threat_score_of
+
+SIGHTING_TAG = 'caop:sighting="infrastructure"'
+
+
+@dataclass(frozen=True)
+class SightingRecord:
+    """One confirmed in-infrastructure observation of an eIoC's value."""
+
+    eioc_uuid: str
+    value: str
+    node: str
+    observed_at: _dt.datetime
+
+
+@dataclass
+class RescoreOutcome:
+    """Before/after of one sighting-triggered re-evaluation."""
+
+    eioc_uuid: str
+    old_score: Optional[float]
+    new_score: float
+    sighting: SightingRecord
+
+    @property
+    def delta(self) -> float:
+        """Score change caused by the sighting."""
+        return self.new_score - (self.old_score or 0.0)
+
+
+class SightingProcessor:
+    """Records sightings and re-scores the affected eIoCs."""
+
+    def __init__(self, misp: MispInstance, heuristics: HeuristicComponent,
+                 clock: Optional[Clock] = None) -> None:
+        self._misp = misp
+        self._heuristics = heuristics
+        self._clock = clock or SimulatedClock()
+        self.sightings: List[SightingRecord] = []
+
+    def report(self, eioc_uuid: str, value: str, node: str) -> RescoreOutcome:
+        """Record an infrastructure sighting of ``value`` and re-score."""
+        eioc = self._misp.store.get_event(eioc_uuid)
+        if eioc is None:
+            raise KeyError(f"no such eIoC {eioc_uuid}")
+        sighting = SightingRecord(
+            eioc_uuid=eioc_uuid, value=value, node=node,
+            observed_at=self._clock.now())
+        self.sightings.append(sighting)
+
+        # 1. Store the infrastructure-side evidence; the MISP correlation
+        #    engine links it to the eIoC by the shared value.
+        evidence = MispEvent(
+            info=f"Infrastructure sighting of {value} on {node}",
+            distribution=Distribution.ORGANISATION_ONLY,
+            timestamp=self._clock.now())
+        evidence.add_attribute(MispAttribute(
+            type=_misp_type_for(value),
+            value=value,
+            comment=f"sighted on {node}",
+            timestamp=self._clock.now()))
+        evidence.add_tag(INFRASTRUCTURE_TAG)
+        self._misp.add_event(evidence, publish_feed=False)
+
+        # 2. Re-score: strip the previous enrichment artifacts so the
+        #    heuristic component treats the event as a fresh cIoC, then
+        #    enrich again with the infrastructure correlation in place.
+        old_score = threat_score_of(eioc)
+        self._strip_enrichment(eioc)
+        self._misp.store.save_event(eioc)
+        result = self._heuristics.enrich(eioc_uuid)
+        if result is None:
+            raise RuntimeError(f"re-enrichment of {eioc_uuid} failed")
+        enriched = self._misp.tag_event(eioc_uuid, SIGHTING_TAG)
+        return RescoreOutcome(
+            eioc_uuid=eioc_uuid,
+            old_score=old_score,
+            new_score=result.score.score,
+            sighting=sighting)
+
+    def to_stix_sightings(self) -> List["object"]:
+        """Export every recorded sighting as a STIX ``sighting`` SRO.
+
+        Each sighting references the STIX object the eIoC's primary
+        attribute exports to, with the sighting node carried as a custom
+        property — ready to push over TAXII so partners learn the
+        indicator was confirmed in the wild.
+        """
+        from ..clock import format_timestamp
+        from ..ids import content_stix_id
+        from ..misp import to_stix2_bundle
+        from ..stix import Sighting
+
+        out: List[object] = []
+        for record in self.sightings:
+            event = self._misp.store.get_event(record.eioc_uuid)
+            if event is None:
+                continue
+            bundle = to_stix2_bundle(event)
+            target = None
+            for obj in bundle:
+                if obj["type"] in ("vulnerability", "indicator"):
+                    target = obj
+                    break
+            if target is None:
+                continue
+            stamp = format_timestamp(record.observed_at)
+            out.append(Sighting(
+                id=content_stix_id("sighting", record.eioc_uuid,
+                                   record.value, stamp),
+                sighting_of_ref=target["id"],
+                first_seen=stamp,
+                last_seen=stamp,
+                count=1,
+                created=stamp,
+                modified=stamp,
+                x_caop_node=record.node,
+                x_caop_value=record.value,
+            ))
+        return out
+
+    @staticmethod
+    def _strip_enrichment(event: MispEvent) -> None:
+        """Remove score/breakdown attributes and the enriched tag in place."""
+        from .ioc import TAG_EIOC
+        event.attributes = [
+            attribute for attribute in event.attributes
+            if attribute.comment not in (THREAT_SCORE_COMMENT, BREAKDOWN_COMMENT)
+        ]
+        event.tags = [tag for tag in event.tags if tag.name != TAG_EIOC]
+
+
+def _misp_type_for(value: str) -> str:
+    """Classify a sighted raw value onto its MISP attribute type."""
+    from ..feeds.parsers import classify_indicator
+    return {
+        "ipv4": "ip-src", "url": "url", "md5": "md5", "sha256": "sha256",
+        "cve": "vulnerability", "domain": "domain",
+    }[classify_indicator(value)]

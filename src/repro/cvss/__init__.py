@@ -1,0 +1,16 @@
+"""CVSS v3.x scoring and CVE database substrate."""
+
+from .cve import CVE_ID_RE, CveDatabase, CveRecord, KNOWN_CVES, generate_synthetic_cves
+from .vector import SEVERITY_BANDS, CvssVector, score, severity
+
+__all__ = [
+    "CVE_ID_RE",
+    "CveDatabase",
+    "CveRecord",
+    "KNOWN_CVES",
+    "generate_synthetic_cves",
+    "SEVERITY_BANDS",
+    "CvssVector",
+    "score",
+    "severity",
+]

@@ -1,0 +1,229 @@
+"""CVE records and a synthetic NVD-style database.
+
+The paper's use case keys on CVE-2017-9805 (Apache Struts RCE, CVSS 8.1).
+This module carries a small transcription of real, well-known CVE entries —
+enough for the examples and tables — plus a generator for synthetic entries
+that the scaling benchmarks use.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..clock import parse_timestamp
+from ..errors import ValidationError
+from .vector import CvssVector, severity
+
+CVE_ID_RE = re.compile(r"^CVE-\d{4}-\d{4,}$")
+
+
+@dataclass(frozen=True)
+class CveRecord:
+    """One CVE entry: id, summary, affected products, CVSS vector."""
+
+    cve_id: str
+    summary: str
+    published: str
+    cvss_vector: Optional[str] = None
+    affected_products: Tuple[str, ...] = ()
+    references: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not CVE_ID_RE.match(self.cve_id):
+            raise ValidationError(f"malformed CVE id: {self.cve_id!r}")
+        parse_timestamp(self.published)  # validate eagerly
+
+    def base_score(self) -> Optional[float]:
+        """The CVSS base score, or None without a vector."""
+        if self.cvss_vector is None:
+            return None
+        return CvssVector.parse(self.cvss_vector).base_score()
+
+    def severity(self) -> Optional[str]:
+        """The qualitative severity band."""
+        base = self.base_score()
+        return None if base is None else severity(base)
+
+
+#: Transcribed well-known CVEs (vectors from NVD).  CVE-2017-9805 is the
+#: paper's use-case vulnerability; its NVD v3.0 vector scores exactly 8.1.
+KNOWN_CVES: Tuple[CveRecord, ...] = (
+    CveRecord(
+        cve_id="CVE-2017-9805",
+        summary=(
+            "The REST Plugin in Apache Struts 2.1.2 through 2.3.33 and 2.5.x "
+            "before 2.5.13 uses an XStreamHandler with an instance of XStream "
+            "for deserialization without any type filtering, which can lead "
+            "to Remote Code Execution when deserializing XML payloads."
+        ),
+        published="2017-09-13T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        affected_products=("apache struts", "apache"),
+        references=("CAPEC-586", "https://struts.apache.org/docs/s2-052.html"),
+    ),
+    CveRecord(
+        cve_id="CVE-2017-5638",
+        summary=(
+            "The Jakarta Multipart parser in Apache Struts 2 has incorrect "
+            "exception handling and error-message generation, allowing remote "
+            "attackers to execute arbitrary commands via a crafted "
+            "Content-Type header (S2-045)."
+        ),
+        published="2017-03-10T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+        affected_products=("apache struts", "apache"),
+        references=("https://struts.apache.org/docs/s2-045.html",),
+    ),
+    CveRecord(
+        cve_id="CVE-2014-0160",
+        summary=(
+            "The TLS/DTLS heartbeat extension in OpenSSL 1.0.1 before 1.0.1g "
+            "allows remote attackers to read process memory (Heartbleed)."
+        ),
+        published="2014-04-07T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N",
+        affected_products=("openssl",),
+        references=("https://heartbleed.com/",),
+    ),
+    CveRecord(
+        cve_id="CVE-2017-0144",
+        summary=(
+            "The SMBv1 server in Microsoft Windows allows remote attackers to "
+            "execute arbitrary code via crafted packets (EternalBlue)."
+        ),
+        published="2017-03-16T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        affected_products=("windows", "smb"),
+        references=("MS17-010",),
+    ),
+    CveRecord(
+        cve_id="CVE-2016-10033",
+        summary=(
+            "The mail transport in PHPMailer before 5.2.18 allows remote "
+            "attackers to execute arbitrary code via a crafted Sender "
+            "property."
+        ),
+        published="2016-12-30T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        affected_products=("phpmailer", "php"),
+        references=(),
+    ),
+    CveRecord(
+        cve_id="CVE-2018-7600",
+        summary=(
+            "Drupal before 7.58, 8.x before 8.3.9 allows remote attackers to "
+            "execute arbitrary code because of an issue affecting multiple "
+            "subsystems with default configurations (Drupalgeddon2)."
+        ),
+        published="2018-03-28T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+        affected_products=("drupal", "php"),
+        references=("SA-CORE-2018-002",),
+    ),
+    CveRecord(
+        cve_id="CVE-2015-1635",
+        summary=(
+            "HTTP.sys in Microsoft Windows allows remote attackers to execute "
+            "arbitrary code via crafted HTTP requests."
+        ),
+        published="2015-04-14T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        affected_products=("windows", "iis"),
+        references=("MS15-034",),
+    ),
+    CveRecord(
+        cve_id="CVE-2016-5195",
+        summary=(
+            "Race condition in mm/gup.c in the Linux kernel allows local "
+            "users to gain privileges (Dirty COW)."
+        ),
+        published="2016-11-10T00:00:00Z",
+        cvss_vector="CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+        affected_products=("linux", "ubuntu", "debian"),
+        references=(),
+    ),
+)
+
+
+class CveDatabase:
+    """In-memory NVD stand-in: lookup by id, search by product, add records."""
+
+    def __init__(self, records: Iterable[CveRecord] = KNOWN_CVES) -> None:
+        self._records: Dict[str, CveRecord] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: CveRecord) -> None:
+        """Add one entry."""
+        self._records[record.cve_id] = record
+
+    def get(self, cve_id: str) -> Optional[CveRecord]:
+        """Look up an entry by key; None when absent."""
+        return self._records.get(cve_id.upper())
+
+    def __contains__(self, cve_id: str) -> bool:
+        return cve_id.upper() in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> List[CveRecord]:
+        """Every stored entry."""
+        return list(self._records.values())
+
+    def search_product(self, product: str) -> List[CveRecord]:
+        """All CVEs affecting a product (case-insensitive substring match)."""
+        needle = product.lower()
+        return [
+            record for record in self._records.values()
+            if any(needle in p or p in needle for p in record.affected_products)
+        ]
+
+
+_SYNTH_PRODUCTS = (
+    "apache", "nginx", "openssl", "linux", "windows", "mysql", "postgresql",
+    "wordpress", "drupal", "gitlab", "owncloud", "php", "java", "docker",
+)
+
+_SYNTH_FLAWS = (
+    "buffer overflow", "SQL injection", "cross-site scripting",
+    "deserialization of untrusted data", "path traversal",
+    "improper authentication", "use-after-free", "integer overflow",
+    "command injection", "XML external entity processing",
+)
+
+_SYNTH_VECTORS = (
+    "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",   # critical 9.8
+    "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",   # high 8.1
+    "CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:N",   # medium 5.4
+    "CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N",   # low 2.0ish
+    None,                                               # no CVSS assigned
+)
+
+
+def generate_synthetic_cves(count: int, seed: int = 7,
+                            year_range: Tuple[int, int] = (2014, 2018)) -> List[CveRecord]:
+    """Deterministically fabricate CVE records for load benchmarks."""
+    if count < 0:
+        raise ValidationError("count must be non-negative")
+    rng = random.Random(seed)
+    records: List[CveRecord] = []
+    for index in range(count):
+        year = rng.randint(*year_range)
+        product = rng.choice(_SYNTH_PRODUCTS)
+        flaw = rng.choice(_SYNTH_FLAWS)
+        vector = rng.choice(_SYNTH_VECTORS)
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+        records.append(CveRecord(
+            cve_id=f"CVE-{year}-{10_000 + index}",
+            summary=f"A {flaw} issue in {product} allows attackers to compromise the host.",
+            published=f"{year}-{month:02d}-{day:02d}T00:00:00Z",
+            cvss_vector=vector,
+            affected_products=(product,),
+            references=(f"https://vuln.example/{year}/{10_000 + index}",),
+        ))
+    return records

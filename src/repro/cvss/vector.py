@@ -1,0 +1,246 @@
+"""CVSS v3.0/v3.1 base-score computation from first principles.
+
+The vulnerability heuristic's ``cve`` feature scores an IoC by its CVSS
+severity band (Table IV: "CVE with low CVSS (2) ... CVE with critical
+CVSS (5)"), so we need a real scorer.  The formulas below are transcribed
+from the CVSS v3.0 specification (section 8.1); v3.1 differs only in the
+roundup function's float handling, which we implement the v3.1 way since it
+is strictly more robust and agrees with v3.0 on all published vectors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..errors import ParseError, ValidationError
+
+# Metric value weights (CVSS v3.0 spec, table 8).
+_AV = {"N": 0.85, "A": 0.62, "L": 0.55, "P": 0.2}
+_AC = {"L": 0.77, "H": 0.44}
+# PR weights depend on Scope.
+_PR_UNCHANGED = {"N": 0.85, "L": 0.62, "H": 0.27}
+_PR_CHANGED = {"N": 0.85, "L": 0.68, "H": 0.5}
+_UI = {"N": 0.85, "R": 0.62}
+_CIA = {"H": 0.56, "L": 0.22, "N": 0.0}
+
+_REQUIRED_METRICS = ("AV", "AC", "PR", "UI", "S", "C", "I", "A")
+
+# Temporal metric weights (spec table 8; X = not defined = 1.0).
+_EXPLOIT_MATURITY = {"X": 1.0, "U": 0.91, "P": 0.94, "F": 0.97, "H": 1.0}
+_REMEDIATION_LEVEL = {"X": 1.0, "O": 0.95, "T": 0.96, "W": 0.97, "U": 1.0}
+_REPORT_CONFIDENCE = {"X": 1.0, "U": 0.92, "R": 0.96, "C": 1.0}
+# Environmental security requirements.
+_REQUIREMENT = {"X": 1.0, "L": 0.5, "M": 1.0, "H": 1.5}
+
+_ALLOWED: Dict[str, Tuple[str, ...]] = {
+    "AV": ("N", "A", "L", "P"),
+    "AC": ("L", "H"),
+    "PR": ("N", "L", "H"),
+    "UI": ("N", "R"),
+    "S": ("U", "C"),
+    "C": ("H", "L", "N"),
+    "I": ("H", "L", "N"),
+    "A": ("H", "L", "N"),
+    # temporal
+    "E": ("X", "U", "P", "F", "H"),
+    "RL": ("X", "O", "T", "W", "U"),
+    "RC": ("X", "U", "R", "C"),
+    # environmental requirements + modified base metrics
+    "CR": ("X", "L", "M", "H"),
+    "IR": ("X", "L", "M", "H"),
+    "AR": ("X", "L", "M", "H"),
+    "MAV": ("X", "N", "A", "L", "P"),
+    "MAC": ("X", "L", "H"),
+    "MPR": ("X", "N", "L", "H"),
+    "MUI": ("X", "N", "R"),
+    "MS": ("X", "U", "C"),
+    "MC": ("X", "H", "L", "N"),
+    "MI": ("X", "H", "L", "N"),
+    "MA": ("X", "H", "L", "N"),
+}
+
+#: Severity bands from the CVSS v3.0 spec, section 5 ("Qualitative Severity
+#: Rating Scale").
+SEVERITY_BANDS = (
+    ("none", 0.0, 0.0),
+    ("low", 0.1, 3.9),
+    ("medium", 4.0, 6.9),
+    ("high", 7.0, 8.9),
+    ("critical", 9.0, 10.0),
+)
+
+
+def severity(score: float) -> str:
+    """Map a base score onto its qualitative severity rating."""
+    if score < 0.0 or score > 10.0:
+        raise ValidationError(f"CVSS score out of range: {score}")
+    for name, low, high in SEVERITY_BANDS:
+        if low <= score <= high:
+            return name
+    # Scores between bands (e.g. 3.95) cannot occur for rounded scores, but
+    # guard against unrounded input by snapping upward.
+    for name, low, high in SEVERITY_BANDS:
+        if score <= high:
+            return name
+    return "critical"
+
+
+def _roundup(value: float) -> float:
+    """CVSS v3.1 Roundup: smallest number with one decimal >= value."""
+    int_input = round(value * 100_000)
+    if int_input % 10_000 == 0:
+        return int_input / 100_000.0
+    return (math.floor(int_input / 10_000) + 1) / 10.0
+
+
+@dataclass(frozen=True)
+class CvssVector:
+    """A parsed CVSS v3.x base vector with its computed score."""
+
+    metrics: Mapping[str, str]
+    version: str
+
+    @classmethod
+    def parse(cls, text: str) -> "CvssVector":
+        """Parse ``CVSS:3.0/AV:N/AC:L/...`` (prefix optional)."""
+        if not text or not text.strip():
+            raise ParseError("empty CVSS vector")
+        parts = text.strip().split("/")
+        version = "3.0"
+        if parts[0].upper().startswith("CVSS:"):
+            version = parts[0].split(":", 1)[1]
+            if version not in ("3.0", "3.1"):
+                raise ParseError(f"unsupported CVSS version {version!r}")
+            parts = parts[1:]
+        metrics: Dict[str, str] = {}
+        for part in parts:
+            if ":" not in part:
+                raise ParseError(f"malformed CVSS metric {part!r}")
+            key, _, value = part.partition(":")
+            key = key.upper()
+            value = value.upper()
+            if key in metrics:
+                raise ParseError(f"duplicate CVSS metric {key!r}")
+            if key in _ALLOWED and value not in _ALLOWED[key]:
+                raise ParseError(f"invalid value {value!r} for CVSS metric {key}")
+            metrics[key] = value
+        missing = [m for m in _REQUIRED_METRICS if m not in metrics]
+        if missing:
+            raise ParseError(f"CVSS vector missing metrics: {', '.join(missing)}")
+        return cls(metrics=metrics, version=version)
+
+    @property
+    def scope_changed(self) -> bool:
+        """Whether the Scope metric is C (changed)."""
+        return self.metrics["S"] == "C"
+
+    def impact_subscore(self) -> float:
+        """ISC as defined in spec section 8.1."""
+        isc_base = 1.0 - (
+            (1.0 - _CIA[self.metrics["C"]])
+            * (1.0 - _CIA[self.metrics["I"]])
+            * (1.0 - _CIA[self.metrics["A"]])
+        )
+        if self.scope_changed:
+            return 7.52 * (isc_base - 0.029) - 3.25 * (isc_base - 0.02) ** 15
+        return 6.42 * isc_base
+
+    def exploitability_subscore(self) -> float:
+        """The CVSS exploitability sub-score (spec 8.1)."""
+        pr_table = _PR_CHANGED if self.scope_changed else _PR_UNCHANGED
+        return (
+            8.22
+            * _AV[self.metrics["AV"]]
+            * _AC[self.metrics["AC"]]
+            * pr_table[self.metrics["PR"]]
+            * _UI[self.metrics["UI"]]
+        )
+
+    def base_score(self) -> float:
+        """The CVSS base score, rounded up to one decimal."""
+        isc = self.impact_subscore()
+        if isc <= 0:
+            return 0.0
+        esc = self.exploitability_subscore()
+        if self.scope_changed:
+            return _roundup(min(1.08 * (isc + esc), 10.0))
+        return _roundup(min(isc + esc, 10.0))
+
+    def severity(self) -> str:
+        """The qualitative severity band."""
+        return severity(self.base_score())
+
+    # -- temporal (spec section 8.2) -----------------------------------------
+
+    def _temporal_factor(self) -> float:
+        return (
+            _EXPLOIT_MATURITY[self.metrics.get("E", "X")]
+            * _REMEDIATION_LEVEL[self.metrics.get("RL", "X")]
+            * _REPORT_CONFIDENCE[self.metrics.get("RC", "X")]
+        )
+
+    def temporal_score(self) -> float:
+        """TemporalScore = Roundup(BaseScore * E * RL * RC)."""
+        return _roundup(self.base_score() * self._temporal_factor())
+
+    # -- environmental (spec section 8.3) ---------------------------------------
+
+    def _modified(self, name: str) -> str:
+        """Modified metric value, falling back to the base metric."""
+        value = self.metrics.get("M" + name, "X")
+        if value == "X":
+            return self.metrics[name]
+        return value
+
+    def environmental_score(self) -> float:
+        """The environmental score with modified metrics + requirements.
+
+        With every optional metric left at X this equals the temporal
+        score, which itself equals the base score when E/RL/RC are X.
+        """
+        miss_base = min(
+            1.0 - (
+                (1.0 - _CIA[self._modified("C")] * _REQUIREMENT[self.metrics.get("CR", "X")])
+                * (1.0 - _CIA[self._modified("I")] * _REQUIREMENT[self.metrics.get("IR", "X")])
+                * (1.0 - _CIA[self._modified("A")] * _REQUIREMENT[self.metrics.get("AR", "X")])
+            ),
+            0.915,
+        )
+        scope_changed = self._modified("S") == "C"
+        if scope_changed:
+            misc = 7.52 * (miss_base - 0.029) - 3.25 * (miss_base - 0.02) ** 15
+        else:
+            misc = 6.42 * miss_base
+        if misc <= 0:
+            return 0.0
+        pr_table = _PR_CHANGED if scope_changed else _PR_UNCHANGED
+        mesc = (
+            8.22
+            * _AV[self._modified("AV")]
+            * _AC[self._modified("AC")]
+            * pr_table[self._modified("PR")]
+            * _UI[self._modified("UI")]
+        )
+        if scope_changed:
+            inner = _roundup(min(1.08 * (misc + mesc), 10.0))
+        else:
+            inner = _roundup(min(misc + mesc, 10.0))
+        return _roundup(inner * self._temporal_factor())
+
+    def to_string(self) -> str:
+        """Render the vector in its canonical string form."""
+        optional = [k for k in self.metrics
+                    if k not in _REQUIRED_METRICS and self.metrics[k] != "X"]
+        body = "/".join(f"{k}:{self.metrics[k]}"
+                        for k in list(_REQUIRED_METRICS) + optional)
+        return f"CVSS:{self.version}/{body}"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def score(vector_text: str) -> float:
+    """Convenience: parse and score in one call."""
+    return CvssVector.parse(vector_text).base_score()

@@ -1,0 +1,40 @@
+"""Output module: dashboard state, renderers, views, sessions, server."""
+
+from .geo import GeoHit, GeoSummaryView, LOCATION_INDEX
+from .render import render_html, render_issue_details, render_node_details, render_topology
+from .sessions import Action, AnalystSession, SessionEvent, SessionRecorder
+from .server import EVENT_ALARM, EVENT_RIOC, ROOM_ANALYSTS, DashboardServer
+from .state import DashboardState, NodeBadge, NodeDetails
+from .views import (
+    CorrelationGraphView,
+    KeywordSummaryView,
+    TimelineBucket,
+    TimelineView,
+    sparkline,
+)
+
+__all__ = [
+    "GeoHit",
+    "GeoSummaryView",
+    "LOCATION_INDEX",
+    "Action",
+    "AnalystSession",
+    "SessionEvent",
+    "SessionRecorder",
+    "render_html",
+    "render_issue_details",
+    "render_node_details",
+    "render_topology",
+    "EVENT_ALARM",
+    "EVENT_RIOC",
+    "ROOM_ANALYSTS",
+    "DashboardServer",
+    "DashboardState",
+    "NodeBadge",
+    "NodeDetails",
+    "CorrelationGraphView",
+    "KeywordSummaryView",
+    "TimelineBucket",
+    "TimelineView",
+    "sparkline",
+]

@@ -1,0 +1,171 @@
+"""Spatial visualization model (§II-B: "spatial" data).
+
+OSINT text often names countries/cities; the gazetteer extracts them and
+this view aggregates threat activity by world region — "the provenance of
+an attack" rendering the paper asks visualizations to communicate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..misp import MispEvent, MispStore
+from ..nlp import GazetteerExtractor
+
+#: location name (lowercase) -> (region, latitude, longitude).
+LOCATION_INDEX: Mapping[str, Tuple[str, float, float]] = {
+    "spain": ("Europe", 40.4, -3.7),
+    "portugal": ("Europe", 38.7, -9.1),
+    "france": ("Europe", 48.9, 2.4),
+    "germany": ("Europe", 52.5, 13.4),
+    "italy": ("Europe", 41.9, 12.5),
+    "united kingdom": ("Europe", 51.5, -0.1),
+    "netherlands": ("Europe", 52.4, 4.9),
+    "poland": ("Europe", 52.2, 21.0),
+    "lisbon": ("Europe", 38.7, -9.1),
+    "madrid": ("Europe", 40.4, -3.7),
+    "barcelona": ("Europe", 41.4, 2.2),
+    "europe": ("Europe", 50.0, 10.0),
+    "ukraine": ("Europe", 50.4, 30.5),
+    "russia": ("Asia", 55.8, 37.6),
+    "china": ("Asia", 39.9, 116.4),
+    "japan": ("Asia", 35.7, 139.7),
+    "india": ("Asia", 28.6, 77.2),
+    "north korea": ("Asia", 39.0, 125.8),
+    "iran": ("Asia", 35.7, 51.4),
+    "united states": ("North America", 38.9, -77.0),
+    "canada": ("North America", 45.4, -75.7),
+    "mexico": ("North America", 19.4, -99.1),
+    "brazil": ("South America", -15.8, -47.9),
+    "argentina": ("South America", -34.6, -58.4),
+    "nigeria": ("Africa", 9.1, 7.5),
+    "south africa": ("Africa", -25.7, 28.2),
+    "egypt": ("Africa", 30.0, 31.2),
+    "australia": ("Oceania", -35.3, 149.1),
+}
+
+#: ISO country code (as used by galaxy cluster meta) -> location-index key.
+COUNTRY_CODE_INDEX: Mapping[str, str] = {
+    "RU": "russia", "CN": "china", "KP": "north korea", "IR": "iran",
+    "US": "united states", "DE": "germany", "FR": "france", "ES": "spain",
+    "PT": "portugal", "UA": "ukraine", "GB": "united kingdom",
+    "BR": "brazil", "NG": "nigeria", "AU": "australia", "JP": "japan",
+    "IN": "india",
+}
+
+REGIONS = ("Europe", "North America", "South America", "Asia", "Africa",
+           "Oceania")
+
+
+@dataclass(frozen=True)
+class GeoHit:
+    """One located mention: where, and on which event."""
+
+    location: str
+    region: str
+    latitude: float
+    longitude: float
+    event_uuid: str
+
+
+class GeoSummaryView:
+    """Aggregates located threat mentions by region."""
+
+    def __init__(self, gazetteer: Optional[GazetteerExtractor] = None,
+                 index: Mapping[str, Tuple[str, float, float]] = LOCATION_INDEX
+                 ) -> None:
+        self._gazetteer = gazetteer or GazetteerExtractor()
+        self._index = dict(index)
+        self._hits: List[GeoHit] = []
+
+    def ingest_event(self, event: MispEvent) -> List[GeoHit]:
+        """Extract locations from one event's text; returns new hits."""
+        text = event.info + " " + " ".join(
+            attribute.value for attribute in event.attributes
+            if attribute.type == "text")
+        found = self._gazetteer.extract(text).get("location", [])
+        new_hits: List[GeoHit] = []
+        for location in found:
+            entry = self._index.get(location)
+            if entry is None:
+                continue
+            region, latitude, longitude = entry
+            hit = GeoHit(location=location, region=region,
+                         latitude=latitude, longitude=longitude,
+                         event_uuid=event.uuid)
+            self._hits.append(hit)
+            new_hits.append(hit)
+        return new_hits
+
+    def ingest_store(self, store: MispStore) -> int:
+        """Scan a whole store; returns the number of located mentions."""
+        total = 0
+        for event in store.list_events():
+            total += len(self.ingest_event(event))
+        return total
+
+    def ingest_attribution(self, event: MispEvent) -> List[GeoHit]:
+        """Place an event by its galaxy clusters' ``country`` metadata.
+
+        Events tagged with a threat-actor cluster (``misp-galaxy:...``)
+        whose cluster declares a country are mapped onto that country —
+        "the provenance of an attack" view even when the event text names
+        no location itself.
+        """
+        from ..misp.galaxy import BUILTIN_GALAXIES, clusters_of
+
+        new_hits: List[GeoHit] = []
+        for value in clusters_of(event):
+            cluster = None
+            for galaxy in BUILTIN_GALAXIES:
+                cluster = galaxy.find(value)
+                if cluster is not None:
+                    break
+            if cluster is None:
+                continue
+            country_code = cluster.meta.get("country")
+            location = COUNTRY_CODE_INDEX.get(country_code or "")
+            entry = self._index.get(location or "")
+            if entry is None:
+                continue
+            region, latitude, longitude = entry
+            hit = GeoHit(location=location, region=region,
+                         latitude=latitude, longitude=longitude,
+                         event_uuid=event.uuid)
+            self._hits.append(hit)
+            new_hits.append(hit)
+        return new_hits
+
+    @property
+    def hits(self) -> List[GeoHit]:
+        """Every located mention recorded so far."""
+        return list(self._hits)
+
+    def by_region(self) -> Dict[str, int]:
+        """Mention counts grouped by world region."""
+        return dict(Counter(hit.region for hit in self._hits))
+
+    def by_location(self) -> Dict[str, int]:
+        """Mention counts grouped by location name."""
+        return dict(Counter(hit.location for hit in self._hits))
+
+    def render(self, width: int = 30) -> str:
+        """Render this view as printable text."""
+        regions = self.by_region()
+        if not regions:
+            return "Geo summary: no located mentions"
+        peak = max(regions.values())
+        lines = ["Threat mentions by region"]
+        for region in REGIONS:
+            count = regions.get(region, 0)
+            if count == 0:
+                continue
+            bar = "#" * max(1, round(count / peak * width))
+            lines.append(f"  {region:<15} {bar} {count}")
+        top = sorted(self.by_location().items(), key=lambda p: -p[1])[:5]
+        if top:
+            lines.append("  top locations: " +
+                         ", ".join(f"{name} ({count})" for name, count in top))
+        return "\n".join(lines)

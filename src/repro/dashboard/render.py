@@ -1,0 +1,127 @@
+"""Dashboard renderers: ASCII (terminal), HTML, and detail views.
+
+These are the reproductions of the paper's figures:
+
+- :func:`render_topology` — Fig. 2 (topology + alarm circles + rIoC stars);
+- :func:`render_node_details` — Fig. 3 (node visualization data);
+- :func:`render_issue_details` — Fig. 4 (security-issue detail: CVE,
+  description, threat score, affected infrastructure).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.ioc import ReducedIoc
+from ..infra import Severity
+from .state import DashboardState
+
+_SEVERITY_GLYPH = {
+    Severity.GREEN: "o",
+    Severity.YELLOW: "!",
+    Severity.RED: "X",
+}
+
+
+def render_topology(state: DashboardState) -> str:
+    """ASCII rendering of Fig. 2: one box per node with its two badges."""
+    lines: List[str] = ["Infrastructure topology", "=" * 52]
+    for badge in state.badges():
+        glyph = _SEVERITY_GLYPH[badge.alarm_severity]
+        details = state.node_details(badge.node)
+        lines.append(
+            f"({glyph}{badge.alarm_count:>3})  [{badge.node:<10}]"
+            f"  *{badge.rioc_count:<3}"
+            f"  {details.operating_system:<8} {details.node_type}"
+        )
+    lines.append("-" * 52)
+    lines.append("legend: (o/!/X n) alarms+severity   *n rIoCs")
+    return "\n".join(lines)
+
+
+def render_node_details(state: DashboardState, node: str) -> str:
+    """ASCII rendering of Fig. 3: the node-details tab plus its issues."""
+    details = state.node_details(node)
+    badge = state.badge(node)
+    lines = [
+        f"Node: {details.name}",
+        "=" * 52,
+        f"  type:             {details.node_type}",
+        f"  operating system: {details.operating_system}",
+        f"  networks:         {', '.join(details.networks)}",
+        f"  IP addresses:     {', '.join(details.ip_addresses) or '-'}",
+        f"  known remote IPs: {', '.join(details.known_remote_ips[:5]) or '-'}"
+        + (" ..." if len(details.known_remote_ips) > 5 else ""),
+        f"  applications:     {', '.join(details.applications)}",
+        f"  alarms:           {badge.alarm_count} (worst: {badge.alarm_severity})",
+        f"  rIoCs:            {badge.rioc_count}",
+    ]
+    alarms = state.alarms_for(node)
+    if alarms:
+        lines.append("  recent alarms:")
+        for alarm in alarms[-5:]:
+            lines.append(
+                f"    [{alarm.severity:<6}] {alarm.ip_src} -> {alarm.ip_dst}: "
+                f"{alarm.description[:60]}")
+    return "\n".join(lines)
+
+
+def render_issue_details(rioc: ReducedIoc) -> str:
+    """ASCII rendering of Fig. 4: one rIoC's security-issue card."""
+    lines = [
+        "Security issue (rIoC)",
+        "=" * 52,
+        f"  vulnerabilities:      {rioc.vulnerability_count}",
+        f"  CVE:                  {rioc.cve or '-'}",
+        f"  threat score:         {rioc.threat_score:.4f} / 5",
+        f"  affected application: {rioc.affected_application or '-'}",
+        f"  affected nodes:       {', '.join(rioc.nodes)}"
+        + ("  (common keyword)" if rioc.via_common_keyword else ""),
+        f"  description:          {rioc.description[:160]}",
+        f"  eIoC link:            misp://events/{rioc.eioc_uuid}",
+    ]
+    return "\n".join(lines)
+
+
+_SEVERITY_COLOUR = {
+    Severity.GREEN: "#2e7d32",
+    Severity.YELLOW: "#f9a825",
+    Severity.RED: "#c62828",
+}
+
+
+def render_html(state: DashboardState, title: str = "CAOP Dashboard") -> str:
+    """Self-contained HTML snapshot of the dashboard (Fig. 2 web view)."""
+    rows: List[str] = []
+    for badge in state.badges():
+        details = state.node_details(badge.node)
+        colour = _SEVERITY_COLOUR[badge.alarm_severity]
+        riocs = state.riocs_for(badge.node)
+        rioc_items = "".join(
+            f"<li>{r.cve or 'n/a'} (TS {r.threat_score:.2f}) — "
+            f"{r.affected_application}</li>"
+            for r in riocs[:10]
+        )
+        rows.append(
+            "<div class='node'>"
+            f"<span class='alarm' style='background:{colour}'>{badge.alarm_count}</span>"
+            f"<h3>{badge.node}</h3>"
+            f"<span class='star'>&#9733; {badge.rioc_count}</span>"
+            f"<p>{details.operating_system} · {details.node_type} · "
+            f"{', '.join(details.networks)}</p>"
+            f"<ul>{rioc_items}</ul>"
+            "</div>"
+        )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{title}</title>"
+        "<style>"
+        ".node{border:1px solid #ccc;border-radius:8px;padding:8px;margin:8px;"
+        "display:inline-block;min-width:220px;position:relative}"
+        ".alarm{color:#fff;border-radius:50%;padding:4px 9px;position:absolute;"
+        "top:-10px;left:-10px;font-weight:bold}"
+        ".star{color:#f9a825;position:absolute;bottom:4px;right:8px}"
+        "h3{margin:4px 0}"
+        "</style></head><body>"
+        f"<h1>{title}</h1>{''.join(rows)}</body></html>"
+    )

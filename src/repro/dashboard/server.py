@@ -1,0 +1,82 @@
+"""Dashboard server: the socket.io endpoint the platform pushes rIoCs to.
+
+"this related information is extracted and used to build the rIoC, which
+will be sent directly to the Dashboard through specific web sockets,
+developed relying on the socket.io library" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..bus import MessageBroker, SocketIOClient, SocketIOServer
+from ..core.ioc import ReducedIoc
+from ..infra import Alarm, Inventory
+from .state import DashboardState
+
+EVENT_RIOC = "rioc"
+EVENT_ALARM = "alarm"
+ROOM_ANALYSTS = "analysts"
+
+
+class DashboardServer:
+    """Owns the dashboard state and its socket.io transport."""
+
+    def __init__(self, inventory: Inventory,
+                 broker: Optional[MessageBroker] = None) -> None:
+        self.state = DashboardState(inventory)
+        self.sio = SocketIOServer(broker=broker)
+        # The dashboard web app itself is one socket.io client.
+        self._app_client = self.sio.connect()
+        self.sio.enter_room(self._app_client, ROOM_ANALYSTS)
+        self._app_client.on(EVENT_RIOC, self._on_rioc)
+        self._app_client.on(EVENT_ALARM, self._on_alarm)
+
+    # -- push API used by the platform ------------------------------------------
+
+    def push_rioc(self, rioc: ReducedIoc) -> int:
+        """Emit an rIoC to every connected analyst client."""
+        return self.sio.emit(EVENT_RIOC, rioc.to_dict(), room=ROOM_ANALYSTS)
+
+    def push_alarm(self, alarm: Alarm) -> int:
+        """Emit an alarm to every analyst client."""
+        payload = {
+            "node": alarm.node,
+            "severity": alarm.severity,
+            "description": alarm.description,
+            "ip_src": alarm.ip_src,
+            "ip_dst": alarm.ip_dst,
+            "signature": alarm.signature,
+            "application": alarm.application,
+            "count": alarm.count,
+            "timestamp": alarm.timestamp.isoformat() if alarm.timestamp else None,
+        }
+        return self.sio.emit(EVENT_ALARM, payload, room=ROOM_ANALYSTS)
+
+    def connect_client(self) -> SocketIOClient:
+        """Attach an extra analyst browser session."""
+        client = self.sio.connect()
+        self.sio.enter_room(client, ROOM_ANALYSTS)
+        return client
+
+    # -- event handlers keeping the state current --------------------------------
+
+    def _on_rioc(self, data: Any) -> None:
+        self.state.ingest_rioc_dict(data)
+
+    def _on_alarm(self, data: Any) -> None:
+        import datetime as _dt
+        timestamp = None
+        if data.get("timestamp"):
+            timestamp = _dt.datetime.fromisoformat(data["timestamp"])
+        self.state.ingest_alarm(Alarm(
+            node=data["node"],
+            severity=data["severity"],
+            description=data.get("description", ""),
+            ip_src=data.get("ip_src", ""),
+            ip_dst=data.get("ip_dst", ""),
+            signature=data.get("signature", ""),
+            application=data.get("application", ""),
+            count=int(data.get("count", 1)),
+            timestamp=timestamp,
+        ))

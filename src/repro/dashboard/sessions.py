@@ -1,0 +1,180 @@
+"""Analyst-session visual summary (§II-B, fourth bullet).
+
+"Develop a visual summary of user activities that reveals common/abnormal
+patterns in a large set of user sessions, compares multiple sessions of
+interest, and investigates in depth of individual sessions."
+
+An analyst session is a sequence of dashboard actions; the summarizer
+mines action-bigram frequencies across all sessions, scores each session by
+how *typical* its transitions are, and renders the comparison.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..errors import ValidationError
+
+
+class Action:
+    """Dashboard actions an analyst session can contain."""
+
+    VIEW_TOPOLOGY = "view_topology"
+    VIEW_NODE = "view_node"
+    VIEW_ISSUE = "view_issue"
+    ACK_ALARM = "ack_alarm"
+    SEARCH = "search"
+    EXPORT = "export"
+    SHARE = "share"
+
+    ALL = (VIEW_TOPOLOGY, VIEW_NODE, VIEW_ISSUE, ACK_ALARM, SEARCH,
+           EXPORT, SHARE)
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One recorded dashboard action."""
+    action: str
+    target: str
+    timestamp: _dt.datetime
+
+
+@dataclass
+class AnalystSession:
+    """One analyst's interaction trace."""
+
+    analyst: str
+    session_id: str
+    events: List[SessionEvent] = field(default_factory=list)
+
+    def record(self, action: str, target: str,
+               timestamp: _dt.datetime) -> None:
+        """Append one action to the session."""
+        if action not in Action.ALL:
+            raise ValidationError(f"unknown dashboard action {action!r}")
+        self.events.append(SessionEvent(action, target, timestamp))
+
+    def actions(self) -> List[str]:
+        """The session's action names, in order."""
+        return [event.action for event in self.events]
+
+    def bigrams(self) -> List[Tuple[str, str]]:
+        """Consecutive action pairs of the session."""
+        actions = self.actions()
+        return list(zip(actions, actions[1:]))
+
+    def duration(self) -> _dt.timedelta:
+        """Wall-clock span between first and last action."""
+        if len(self.events) < 2:
+            return _dt.timedelta(0)
+        return self.events[-1].timestamp - self.events[0].timestamp
+
+
+class SessionRecorder:
+    """Collects sessions and provides the summary analytics."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SimulatedClock()
+        self._sessions: Dict[str, AnalystSession] = {}
+        self._next_id = 0
+
+    def start_session(self, analyst: str) -> AnalystSession:
+        """Open a new analyst session."""
+        self._next_id += 1
+        session = AnalystSession(analyst=analyst,
+                                 session_id=f"session-{self._next_id}")
+        self._sessions[session.session_id] = session
+        return session
+
+    def record(self, session: AnalystSession, action: str,
+               target: str = "") -> None:
+        """Append one action to the session."""
+        session.record(action, target, self._clock.now())
+
+    @property
+    def sessions(self) -> List[AnalystSession]:
+        """Every recorded session."""
+        return list(self._sessions.values())
+
+    # -- pattern mining ------------------------------------------------------
+
+    def common_bigrams(self, top: int = 5) -> List[Tuple[Tuple[str, str], int]]:
+        """The most frequent action transitions across all sessions."""
+        counter: Counter = Counter()
+        for session in self._sessions.values():
+            counter.update(session.bigrams())
+        return counter.most_common(top)
+
+    def typicality(self, session: AnalystSession) -> float:
+        """Mean *support* of the session's transitions, in [0, 1].
+
+        Support of a transition = the fraction of OTHER sessions that also
+        contain it (leave-one-out, so a session cannot vouch for its own
+        pattern).  1.0 = every other analyst follows every one of this
+        session's transitions; 0.0 = nobody else does.
+        """
+        others = [other for other in self._sessions.values()
+                  if other.session_id != session.session_id]
+        bigrams = session.bigrams()
+        if not others or not bigrams:
+            return 1.0
+        other_sets = [set(other.bigrams()) for other in others]
+        support = 0.0
+        for bigram in bigrams:
+            support += sum(1 for s in other_sets if bigram in s) / len(others)
+        return support / len(bigrams)
+
+    def abnormal_sessions(self, threshold: float = 0.3) -> List[AnalystSession]:
+        """Sessions whose transition patterns are rare in the corpus."""
+        return [session for session in self._sessions.values()
+                if session.bigrams()
+                and self.typicality(session) < threshold]
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_summary(self) -> str:
+        """Render the cross-session pattern summary."""
+        lines = [f"Analyst sessions: {len(self._sessions)}"]
+        for (a, b), count in self.common_bigrams():
+            lines.append(f"  common flow: {a} -> {b}  (x{count})")
+        abnormal = self.abnormal_sessions()
+        for session in abnormal:
+            lines.append(
+                f"  ABNORMAL {session.session_id} ({session.analyst}): "
+                f"typicality {self.typicality(session):.2f}, "
+                f"{len(session.events)} actions")
+        if not abnormal:
+            lines.append("  no abnormal sessions")
+        return "\n".join(lines)
+
+    def render_session(self, session: AnalystSession) -> str:
+        """In-depth view of one session (the paper's third requirement)."""
+        lines = [
+            f"Session {session.session_id} — analyst {session.analyst}",
+            f"  actions: {len(session.events)}  "
+            f"duration: {session.duration()}  "
+            f"typicality: {self.typicality(session):.2f}",
+        ]
+        for event in session.events:
+            lines.append(f"  {event.timestamp.strftime('%H:%M:%S')}  "
+                         f"{event.action:<14} {event.target}")
+        return "\n".join(lines)
+
+    def compare(self, first: AnalystSession,
+                second: AnalystSession) -> str:
+        """Side-by-side comparison of two sessions of interest."""
+        shared = set(first.bigrams()) & set(second.bigrams())
+        lines = [
+            f"Comparing {first.session_id} vs {second.session_id}",
+            f"  actions:    {len(first.events)} vs {len(second.events)}",
+            f"  typicality: {self.typicality(first):.2f} vs "
+            f"{self.typicality(second):.2f}",
+            f"  shared transitions: {len(shared)}",
+        ]
+        for a, b in sorted(shared):
+            lines.append(f"    {a} -> {b}")
+        return "\n".join(lines)

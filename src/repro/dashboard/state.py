@@ -1,0 +1,151 @@
+"""Dashboard state: topology, per-node badges, detail tabs.
+
+Fig. 2 semantics: the dashboard shows the infrastructure topology; each node
+carries an alarm circle (count + worst severity colour) in its upper-left
+and an rIoC star (count) in its lower-right.  A separate tab shows node
+details: type, IP addresses, operating system, connected networks (§III-C1).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import ValidationError
+from ..infra import Alarm, Inventory, Severity
+from ..core.ioc import ReducedIoc
+
+
+@dataclass(frozen=True)
+class NodeBadge:
+    """What Fig. 2 draws on one node."""
+
+    node: str
+    alarm_count: int
+    alarm_severity: str  # badge colour
+    rioc_count: int
+
+
+@dataclass(frozen=True)
+class NodeDetails:
+    """The node-details tab (Fig. 3b)."""
+
+    name: str
+    node_type: str
+    ip_addresses: Tuple[str, ...]
+    known_remote_ips: Tuple[str, ...]
+    operating_system: str
+    networks: Tuple[str, ...]
+    applications: Tuple[str, ...]
+
+
+class DashboardState:
+    """The dashboard's model: a topology graph + live alarms and rIoCs."""
+
+    def __init__(self, inventory: Inventory) -> None:
+        self._inventory = inventory
+        self.graph = nx.Graph()
+        # Star topology around the monitored network's switch — all nodes in
+        # the use case share one LAN.
+        self.graph.add_node("LAN")
+        for node in inventory.nodes:
+            self.graph.add_node(node.name)
+            self.graph.add_edge("LAN", node.name)
+        self._alarms: Dict[str, List[Alarm]] = {n.name: [] for n in inventory.nodes}
+        self._riocs: Dict[str, List[ReducedIoc]] = {n.name: [] for n in inventory.nodes}
+        self._remote_ips: Dict[str, List[str]] = {n.name: [] for n in inventory.nodes}
+
+    @property
+    def inventory(self) -> Inventory:
+        """The monitored infrastructure inventory."""
+        return self._inventory
+
+    # -- ingestion -------------------------------------------------------------
+
+    def ingest_alarm(self, alarm: Alarm) -> None:
+        """Record one alarm against its node."""
+        if alarm.node not in self._alarms:
+            raise ValidationError(f"alarm for unknown node {alarm.node!r}")
+        self._alarms[alarm.node].append(alarm)
+        if alarm.ip_src and alarm.ip_src not in self._remote_ips[alarm.node]:
+            self._remote_ips[alarm.node].append(alarm.ip_src)
+
+    def ingest_rioc(self, rioc: ReducedIoc) -> None:
+        """Record an rIoC on every node it references."""
+        for node in rioc.nodes:
+            if node not in self._riocs:
+                raise ValidationError(f"rIoC references unknown node {node!r}")
+            self._riocs[node].append(rioc)
+
+    def ingest_rioc_dict(self, data: Mapping) -> None:
+        """socket.io payloads arrive as dicts; revive and ingest."""
+        self.ingest_rioc(ReducedIoc.from_dict(data))
+
+    # -- queries ------------------------------------------------------------------
+
+    def badge(self, node: str) -> NodeBadge:
+        """The alarm/rIoC badge of one node (Fig. 2)."""
+        alarms = self._alarms.get(node, [])
+        return NodeBadge(
+            node=node,
+            alarm_count=sum(a.count for a in alarms),
+            alarm_severity=Severity.worst(a.severity for a in alarms),
+            rioc_count=len(self._riocs.get(node, [])),
+        )
+
+    def badges(self) -> List[NodeBadge]:
+        """Badges for every inventory node."""
+        return [self.badge(name) for name in self._inventory.node_names]
+
+    def alarms_for(self, node: str) -> List[Alarm]:
+        """Alarms recorded against one node."""
+        return list(self._alarms.get(node, []))
+
+    def riocs_for(self, node: str) -> List[ReducedIoc]:
+        """rIoCs recorded against one node."""
+        return list(self._riocs.get(node, []))
+
+    def all_riocs(self) -> List[ReducedIoc]:
+        """Every distinct rIoC on the dashboard."""
+        seen: Dict[Tuple[str, Optional[str]], ReducedIoc] = {}
+        for riocs in self._riocs.values():
+            for rioc in riocs:
+                seen[(rioc.eioc_uuid, rioc.cve)] = rioc
+        return list(seen.values())
+
+    def node_details(self, node: str) -> NodeDetails:
+        """The node-details tab content (Fig. 3)."""
+        entry = self._inventory.get(node)
+        if entry is None:
+            raise ValidationError(f"unknown node {node!r}")
+        return NodeDetails(
+            name=entry.name,
+            node_type=entry.node_type,
+            ip_addresses=entry.ip_addresses,
+            known_remote_ips=tuple(self._remote_ips.get(node, [])),
+            operating_system=entry.operating_system,
+            networks=entry.networks,
+            applications=entry.applications,
+        )
+
+    def snapshot(self) -> Dict:
+        """JSON-ready snapshot of the whole dashboard."""
+        return {
+            "topology": {
+                "nodes": sorted(self.graph.nodes),
+                "edges": sorted((min(u, v), max(u, v)) for u, v in self.graph.edges),
+            },
+            "badges": [
+                {
+                    "node": b.node,
+                    "alarms": b.alarm_count,
+                    "severity": b.alarm_severity,
+                    "riocs": b.rioc_count,
+                }
+                for b in self.badges()
+            ],
+            "riocs": [r.to_dict() for r in self.all_riocs()],
+        }

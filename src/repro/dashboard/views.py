@@ -1,0 +1,191 @@
+"""Specialized visualization models (§II-B).
+
+The paper calls for "a rich set of specialized visualization models that
+handle diverse types of data e.g., high-dimensional, temporal, textual,
+relational, spatial" and for views of "data that is under constant change".
+Three such models over the platform's live data:
+
+- :class:`TimelineView` — *temporal*: alarms/rIoCs bucketed over time with
+  an ASCII sparkline (streaming-friendly: ingest as events arrive);
+- :class:`CorrelationGraphView` — *relational*: the MISP correlation graph
+  between events, with connected-component analysis;
+- :class:`KeywordSummaryView` — *textual*: threat-category keyword
+  frequencies across stored intelligence, as a bar summary.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..clock import ensure_utc
+from ..core.ioc import ReducedIoc
+from ..errors import ValidationError
+from ..infra import Alarm
+from ..misp import MispStore
+from ..nlp import ThreatTagger
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(counts: Sequence[int]) -> str:
+    """Render counts as a density string (one glyph per bucket)."""
+    if not counts:
+        return ""
+    peak = max(counts)
+    if peak == 0:
+        return _SPARK_GLYPHS[0] * len(counts)
+    out = []
+    for count in counts:
+        index = round(count / peak * (len(_SPARK_GLYPHS) - 1))
+        out.append(_SPARK_GLYPHS[index])
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class TimelineBucket:
+    """One time bucket with its alarm/rIoC counts."""
+    start: _dt.datetime
+    alarms: int
+    riocs: int
+
+
+class TimelineView:
+    """Temporal view: events bucketed into fixed windows."""
+
+    def __init__(self, bucket: _dt.timedelta = _dt.timedelta(minutes=30)) -> None:
+        if bucket <= _dt.timedelta(0):
+            raise ValidationError("bucket width must be positive")
+        self._bucket = bucket
+        self._alarm_times: List[_dt.datetime] = []
+        self._rioc_times: List[_dt.datetime] = []
+
+    def ingest_alarm(self, alarm: Alarm) -> None:
+        """Record one alarm against its node."""
+        if alarm.timestamp is not None:
+            self._alarm_times.append(ensure_utc(alarm.timestamp))
+
+    def ingest_rioc(self, rioc: ReducedIoc) -> None:
+        """Record an rIoC on every node it references."""
+        if rioc.created_at is not None:
+            self._rioc_times.append(ensure_utc(rioc.created_at))
+
+    def buckets(self) -> List[TimelineBucket]:
+        """The time buckets with their event counts."""
+        times = self._alarm_times + self._rioc_times
+        if not times:
+            return []
+        start = min(times)
+        end = max(times)
+        width = self._bucket
+        count = int((end - start) / width) + 1
+        alarm_counts = [0] * count
+        rioc_counts = [0] * count
+        for stamp in self._alarm_times:
+            alarm_counts[int((stamp - start) / width)] += 1
+        for stamp in self._rioc_times:
+            rioc_counts[int((stamp - start) / width)] += 1
+        return [
+            TimelineBucket(start=start + index * width,
+                           alarms=alarm_counts[index],
+                           riocs=rioc_counts[index])
+            for index in range(count)
+        ]
+
+    def render(self) -> str:
+        """Render this view as printable text."""
+        buckets = self.buckets()
+        if not buckets:
+            return "Timeline: no data"
+        alarms = [b.alarms for b in buckets]
+        riocs = [b.riocs for b in buckets]
+        lines = [
+            f"Timeline ({len(buckets)} buckets of {self._bucket})",
+            f"  alarms [{sparkline(alarms)}]  total {sum(alarms)}",
+            f"  riocs  [{sparkline(riocs)}]  total {sum(riocs)}",
+            f"  from {buckets[0].start.isoformat()} "
+            f"to {buckets[-1].start.isoformat()}",
+        ]
+        return "\n".join(lines)
+
+
+class CorrelationGraphView:
+    """Relational view: the event-correlation graph inside the MISP store."""
+
+    def __init__(self, store: MispStore) -> None:
+        self._store = store
+
+    def graph(self) -> nx.Graph:
+        """Events as nodes, value-correlations as labelled edges."""
+        graph = nx.Graph()
+        for event in self._store.list_events():
+            graph.add_node(event.uuid, info=event.info)
+            for correlation in self._store.correlations_for_event(event.uuid):
+                graph.add_edge(
+                    correlation["source_event"], correlation["target_event"],
+                    value=correlation["value"])
+        return graph
+
+    def components(self) -> List[List[str]]:
+        """Connected components (clusters of related intelligence)."""
+        graph = self.graph()
+        return [sorted(component)
+                for component in nx.connected_components(graph)]
+
+    def hubs(self, top: int = 5) -> List[Tuple[str, int]]:
+        """The most-correlated events (highest degree)."""
+        graph = self.graph()
+        ranked = sorted(graph.degree, key=lambda pair: -pair[1])
+        return [(uuid, degree) for uuid, degree in ranked[:top] if degree > 0]
+
+    def render(self, top: int = 5) -> str:
+        """Render this view as printable text."""
+        graph = self.graph()
+        clusters = [c for c in self.components() if len(c) > 1]
+        lines = [
+            "Correlation graph",
+            f"  events:        {graph.number_of_nodes()}",
+            f"  correlations:  {graph.number_of_edges()}",
+            f"  clusters (>1): {len(clusters)}",
+        ]
+        for uuid, degree in self.hubs(top):
+            info = graph.nodes[uuid].get("info", "")[:50]
+            lines.append(f"  hub {uuid[:8]} degree={degree}  {info}")
+        return "\n".join(lines)
+
+
+class KeywordSummaryView:
+    """Textual view: threat-category keyword frequencies across the store."""
+
+    def __init__(self, store: MispStore,
+                 tagger: Optional[ThreatTagger] = None) -> None:
+        self._store = store
+        self._tagger = tagger or ThreatTagger()
+
+    def frequencies(self) -> Dict[str, int]:
+        """Threat-category keyword counts across the store."""
+        counter: Counter = Counter()
+        for event in self._store.list_events():
+            text = event.info + " " + " ".join(
+                attribute.value for attribute in event.attributes
+                if attribute.type == "text")
+            for category, keywords in self._tagger.tag(text).items():
+                counter[category] += len(keywords)
+        return dict(counter)
+
+    def render(self, width: int = 40) -> str:
+        """Render this view as printable text."""
+        frequencies = self.frequencies()
+        if not frequencies:
+            return "Keyword summary: no threat keywords found"
+        peak = max(frequencies.values())
+        lines = ["Threat keyword summary"]
+        for category, count in sorted(frequencies.items(),
+                                      key=lambda pair: -pair[1]):
+            bar = "#" * max(1, round(count / peak * width))
+            lines.append(f"  {category:<28} {bar} {count}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Exception hierarchy shared by every CAOP subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base type at an integration boundary while still discriminating on the
+specific failure when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError):
+    """An object violates its schema (missing/typed-wrong/out-of-range field)."""
+
+
+class ParseError(ReproError):
+    """Raw input (feed line, STIX JSON, CVSS vector, pattern) could not be parsed."""
+
+
+class PatternError(ParseError):
+    """A STIX pattern expression is syntactically or semantically invalid."""
+
+
+class StorageError(ReproError):
+    """A storage backend rejected an operation (duplicate key, missing row...)."""
+
+
+class FeedError(ReproError):
+    """An OSINT feed could not be fetched or decoded."""
+
+
+class SharingError(ReproError):
+    """An exchange with an external entity (MISP sync, TAXII, SIEM) failed."""
+
+
+class ConfigurationError(ReproError):
+    """A component was wired with an invalid or incomplete configuration."""

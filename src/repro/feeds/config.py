@@ -1,0 +1,140 @@
+"""Feed configuration files.
+
+"the component is configured with different types of OSINT feeds ...
+provided by several sources" (§III-A1).  This module makes that
+configuration a declarative JSON document::
+
+    {
+      "feeds": [
+        {"name": "circl-domains", "category": "malware-domains",
+         "format": "plaintext", "source_type": "osint-collaborative",
+         "generator": "malware-domains", "entries": 80, "seed": 3,
+         "overlap": 0.5},
+        ...
+      ]
+    }
+
+Each entry yields a :class:`FeedDescriptor`; entries with a ``generator``
+key also register a synthetic generator on the simulated transport (the
+offline stand-in for the live URL).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .generators import GENERATOR_CLASSES, FeedGenerator, GeneratorConfig, IndicatorPool
+from .fetcher import SimulatedTransport
+from .model import FeedDescriptor, FeedFormat, SourceType
+
+
+@dataclass(frozen=True)
+class FeedConfigEntry:
+    """One parsed configuration entry."""
+
+    descriptor: FeedDescriptor
+    generator_name: Optional[str] = None
+    entries: int = 100
+    seed: int = 1
+    overlap: float = 0.5
+
+
+def parse_feed_config(document: Mapping[str, Any]) -> List[FeedConfigEntry]:
+    """Parse an already-decoded config document."""
+    raw_feeds = document.get("feeds")
+    if not isinstance(raw_feeds, list) or not raw_feeds:
+        raise ConfigurationError("feed config needs a non-empty 'feeds' list")
+    entries: List[FeedConfigEntry] = []
+    seen_names = set()
+    for index, raw in enumerate(raw_feeds):
+        if not isinstance(raw, Mapping):
+            raise ConfigurationError(f"feed entry {index} must be an object")
+        missing = [key for key in ("name", "category", "format") if key not in raw]
+        if missing:
+            raise ConfigurationError(
+                f"feed entry {index} is missing: {', '.join(missing)}")
+        name = str(raw["name"])
+        if name in seen_names:
+            raise ConfigurationError(f"duplicate feed name {name!r}")
+        seen_names.add(name)
+        generator_name = raw.get("generator")
+        if generator_name is not None and generator_name not in GENERATOR_CLASSES:
+            raise ConfigurationError(
+                f"feed {name!r}: unknown generator {generator_name!r} "
+                f"(known: {sorted(GENERATOR_CLASSES)})")
+        descriptor = FeedDescriptor(
+            name=name,
+            url=str(raw.get("url", f"https://feeds.example/{name}")),
+            format=str(raw["format"]),
+            category=str(raw["category"]),
+            source_type=str(raw.get("source_type", SourceType.OSINT_FREE)),
+            provider=str(raw.get("provider", "")),
+            refresh_seconds=int(raw.get("refresh_seconds", 3600)),
+        )
+        entries.append(FeedConfigEntry(
+            descriptor=descriptor,
+            generator_name=generator_name,
+            entries=int(raw.get("entries", 100)),
+            seed=int(raw.get("seed", 1)),
+            overlap=float(raw.get("overlap", 0.5)),
+        ))
+    return entries
+
+
+def load_feed_config(path: str) -> List[FeedConfigEntry]:
+    """Load and parse a feed config JSON file."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read feed config {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON in {path}: {exc}") from exc
+    return parse_feed_config(document)
+
+
+def register_configured_feeds(
+        entries: List[FeedConfigEntry],
+        transport: SimulatedTransport,
+        pool: Optional[IndicatorPool] = None) -> List[FeedDescriptor]:
+    """Register every generator-backed entry on the transport.
+
+    Entries without a generator are assumed to be reachable through the
+    transport already (e.g. registered by the caller); their descriptors
+    are still returned so the collector polls them.
+    """
+    pool = pool or IndicatorPool()
+    descriptors: List[FeedDescriptor] = []
+    for entry in entries:
+        if entry.generator_name is not None:
+            generator_cls = GENERATOR_CLASSES[entry.generator_name]
+            generator = generator_cls(pool, GeneratorConfig(
+                entries=entry.entries, seed=entry.seed, overlap=entry.overlap))
+            if generator.format != entry.descriptor.format:
+                raise ConfigurationError(
+                    f"feed {entry.descriptor.name!r}: generator "
+                    f"{entry.generator_name!r} emits {generator.format}, "
+                    f"config says {entry.descriptor.format}")
+            transport.register_generator(entry.descriptor, generator)
+        descriptors.append(entry.descriptor)
+    return descriptors
+
+
+def default_feed_config() -> Dict[str, Any]:
+    """A ready-to-edit config document covering every generator."""
+    feeds = []
+    for category, cls in sorted(GENERATOR_CLASSES.items()):
+        feeds.append({
+            "name": f"{category}-feed",
+            "category": category,
+            "format": cls.format,
+            "source_type": SourceType.OSINT_FREE,
+            "generator": category,
+            "entries": 60,
+            "seed": 1,
+            "overlap": 0.5,
+        })
+    return {"feeds": feeds}

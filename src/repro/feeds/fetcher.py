@@ -1,0 +1,109 @@
+"""Feed fetching over a simulated transport.
+
+The real platform polls HTTP endpoints; here a :class:`SimulatedTransport`
+maps URLs to generator-backed documents with configurable latency and
+failure injection, so collector retry behaviour is testable offline.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..errors import FeedError
+from .generators import FeedGenerator
+from .model import FeedDescriptor, FeedDocument
+
+
+@dataclass
+class TransportStats:
+    """Counters describing a transport's request history."""
+    requests: int = 0
+    failures: int = 0
+    retries: int = 0
+    total_latency_seconds: float = 0.0
+
+
+class SimulatedTransport:
+    """URL -> document source with latency + fault injection."""
+
+    def __init__(self, clock: Optional[Clock] = None, seed: int = 0,
+                 failure_rate: float = 0.0,
+                 latency_range: Tuple[float, float] = (0.05, 0.4)) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise FeedError("failure_rate must be within [0, 1)")
+        self._sources: Dict[str, Callable[[_dt.datetime], str]] = {}
+        self._clock = clock or SimulatedClock()
+        self._rng = random.Random(seed)
+        self._failure_rate = failure_rate
+        self._latency_range = latency_range
+        self.stats = TransportStats()
+
+    def register(self, url: str, body_fn: Callable[[_dt.datetime], str]) -> None:
+        """Map a URL to a body-producing callable."""
+        self._sources[url] = body_fn
+
+    def register_generator(self, descriptor: FeedDescriptor,
+                           generator: FeedGenerator) -> None:
+        """Map a descriptor's URL to a feed generator."""
+        self.register(descriptor.url, generator.body)
+
+    def get(self, url: str) -> Tuple[str, float]:
+        """Fetch a body; returns (body, simulated_latency_seconds)."""
+        self.stats.requests += 1
+        latency = self._rng.uniform(*self._latency_range)
+        self.stats.total_latency_seconds += latency
+        if self._rng.random() < self._failure_rate:
+            self.stats.failures += 1
+            raise FeedError(f"transient transport failure fetching {url}")
+        source = self._sources.get(url)
+        if source is None:
+            self.stats.failures += 1
+            raise FeedError(f"unknown feed URL {url}")
+        return source(self._clock.now()), latency
+
+
+class FeedFetcher:
+    """Fetches configured feeds through a transport, with bounded retries."""
+
+    def __init__(self, transport: SimulatedTransport, clock: Optional[Clock] = None,
+                 max_retries: int = 2) -> None:
+        if max_retries < 0:
+            raise FeedError("max_retries must be non-negative")
+        self._transport = transport
+        self._clock = clock or SimulatedClock()
+        self._max_retries = max_retries
+
+    def fetch(self, descriptor: FeedDescriptor) -> FeedDocument:
+        """Fetch one feed snapshot, retrying transient failures."""
+        last_error: Optional[FeedError] = None
+        for attempt in range(self._max_retries + 1):
+            try:
+                body, _latency = self._transport.get(descriptor.url)
+                return FeedDocument(
+                    descriptor=descriptor,
+                    body=body,
+                    fetched_at=self._clock.now(),
+                )
+            except FeedError as exc:
+                last_error = exc
+                if attempt < self._max_retries:
+                    self._transport.stats.retries += 1
+        raise FeedError(
+            f"feed {descriptor.name} failed after {self._max_retries + 1} attempts"
+        ) from last_error
+
+    def fetch_all(self, descriptors: List[FeedDescriptor],
+                  skip_failed: bool = True) -> List[FeedDocument]:
+        """Fetch every feed; failed feeds are skipped (and counted) or raised."""
+        documents: List[FeedDocument] = []
+        for descriptor in descriptors:
+            try:
+                documents.append(self.fetch(descriptor))
+            except FeedError:
+                if not skip_failed:
+                    raise
+        return documents

@@ -1,0 +1,411 @@
+"""Deterministic synthetic OSINT feed generators.
+
+This is the substitution for live feeds (DESIGN.md §2): each generator
+renders a feed *document body* in its native wire format.  Generators share
+an :class:`IndicatorPool`, so two feeds configured with overlapping pools
+emit duplicate indicators at a controllable rate — the property that
+exercises the deduplicator exactly the way real aggregated OSINT does.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clock import PAPER_NOW
+from ..cvss.cve import CveRecord, generate_synthetic_cves
+from ..errors import ValidationError
+from .model import FeedDescriptor, FeedDocument, FeedFormat, SourceType
+
+_WORDS = (
+    "alpha", "bravo", "crimson", "delta", "ember", "falcon", "glacier",
+    "harbor", "ivory", "jackal", "krypton", "lumen", "mosaic", "nimbus",
+    "onyx", "pylon", "quartz", "raven", "sierra", "tundra", "umbra",
+    "vortex", "wraith", "xenon", "yonder", "zephyr",
+)
+
+_MALWARE_FAMILIES = (
+    "emotet", "trickbot", "qakbot", "dridex", "lokibot", "agenttesla",
+    "formbook", "remcos", "njrat", "nanocore", "ursnif", "icedid",
+)
+
+_PHISH_TARGETS = (
+    "bank-of-example", "globalpay", "mail-provider", "cloud-storage",
+    "social-network", "parcel-service", "tax-agency", "crypto-exchange",
+)
+
+
+class IndicatorPool:
+    """A deterministic universe of indicators feeds can draw from.
+
+    The pool pre-generates ``size`` indicators of each type from a seeded
+    RNG; feeds sample from the pool, so the *overlap* between two samples —
+    and therefore the duplicate rate the deduplicator sees — is governed by
+    pool size vs sample size.
+    """
+
+    def __init__(self, seed: int = 42, size: int = 2000) -> None:
+        if size <= 0:
+            raise ValidationError("pool size must be positive")
+        rng = random.Random(seed)
+        self.size = size
+        self.domains = [self._domain(rng) for _ in range(size)]
+        self.ipv4 = [self._ip(rng) for _ in range(size)]
+        self.urls = [self._url(rng, self.domains) for _ in range(size)]
+        self.md5 = [self._hash(rng, "md5") for _ in range(size)]
+        self.sha256 = [self._hash(rng, "sha256") for _ in range(size)]
+        self.cves: List[CveRecord] = generate_synthetic_cves(size, seed=seed)
+
+    @staticmethod
+    def _domain(rng: random.Random) -> str:
+        parts = [rng.choice(_WORDS) for _ in range(rng.randint(1, 2))]
+        tld = rng.choice(("example", "com", "net", "org", "info", "xyz"))
+        return "-".join(parts) + f"{rng.randint(0, 999)}." + tld
+
+    @staticmethod
+    def _ip(rng: random.Random) -> str:
+        # Documentation + test ranges, so no real host is ever referenced.
+        prefix = rng.choice(("198.51.100", "203.0.113", "192.0.2"))
+        return f"{prefix}.{rng.randint(1, 254)}"
+
+    @staticmethod
+    def _url(rng: random.Random, domains: Sequence[str]) -> str:
+        domain = rng.choice(domains)
+        path = "/".join(rng.choice(_WORDS) for _ in range(rng.randint(1, 3)))
+        return f"http://{domain}/{path}"
+
+    @staticmethod
+    def _hash(rng: random.Random, algorithm: str) -> str:
+        blob = str(rng.getrandbits(128)).encode()
+        if algorithm == "md5":
+            return hashlib.md5(blob).hexdigest()
+        return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs shared by every feed generator."""
+
+    entries: int = 100
+    seed: int = 1
+    #: Fraction of entries drawn from the pool's *head* (shared region).
+    #: Higher overlap across feeds -> more duplicates for the deduplicator.
+    overlap: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.entries < 0:
+            raise ValidationError("entries must be non-negative")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise ValidationError("overlap must be within [0, 1]")
+
+
+class FeedGenerator:
+    """Base class: subclasses render one document body per call."""
+
+    format: str = FeedFormat.PLAINTEXT
+    category: str = ""
+
+    def __init__(self, pool: IndicatorPool, config: Optional[GeneratorConfig] = None) -> None:
+        self.pool = pool
+        self.config = config or GeneratorConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def descriptor(self, name: str,
+                   source_type: str = SourceType.OSINT_FREE) -> FeedDescriptor:
+        """Build the FeedDescriptor for this generator."""
+        return FeedDescriptor(
+            name=name,
+            url=f"https://feeds.example/{name}",
+            format=self.format,
+            category=self.category,
+            source_type=source_type,
+            provider="synthetic",
+        )
+
+    def _sample(self, items: Sequence, count: int) -> List:
+        """Sample with the configured head-overlap bias."""
+        head = max(1, int(len(items) * 0.25))
+        chosen = []
+        for _ in range(count):
+            if self._rng.random() < self.config.overlap:
+                chosen.append(items[self._rng.randrange(head)])
+            else:
+                chosen.append(items[self._rng.randrange(len(items))])
+        return chosen
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        raise NotImplementedError
+
+    def document(self, name: str, now: Optional[_dt.datetime] = None,
+                 source_type: str = SourceType.OSINT_FREE) -> FeedDocument:
+        """Render a fetched FeedDocument snapshot."""
+        now = now or PAPER_NOW
+        return FeedDocument(
+            descriptor=self.descriptor(name, source_type=source_type),
+            body=self.body(now),
+            fetched_at=now,
+        )
+
+
+class MalwareDomainFeed(FeedGenerator):
+    """abuse.ch-style plaintext list of malware distribution domains."""
+
+    format = FeedFormat.PLAINTEXT
+    category = "malware-domains"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        now = now or PAPER_NOW
+        lines = [
+            "# Malware domain list (synthetic)",
+            f"# Generated: {now.date().isoformat()}",
+        ]
+        lines.extend(self._sample(self.pool.domains, self.config.entries))
+        return "\n".join(lines) + "\n"
+
+
+class IpBlocklistFeed(FeedGenerator):
+    """Plaintext blocklist of attacking/scanning IP addresses."""
+
+    format = FeedFormat.PLAINTEXT
+    category = "ip-blocklist"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        lines = ["# IP blocklist (synthetic)"]
+        lines.extend(self._sample(self.pool.ipv4, self.config.entries))
+        return "\n".join(lines) + "\n"
+
+
+class PhishingUrlFeed(FeedGenerator):
+    """CSV feed of phishing URLs with target brand and discovery date."""
+
+    format = FeedFormat.CSV
+    category = "phishing"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        now = now or PAPER_NOW
+        rows = ["url,target,date"]
+        for url in self._sample(self.pool.urls, self.config.entries):
+            target = self._rng.choice(_PHISH_TARGETS)
+            age_days = self._rng.randint(0, 30)
+            date = (now - _dt.timedelta(days=age_days)).date().isoformat()
+            rows.append(f"{url},{target},{date}")
+        return "\n".join(rows) + "\n"
+
+
+class MalwareHashFeed(FeedGenerator):
+    """CSV feed of malware sample hashes with family labels."""
+
+    format = FeedFormat.CSV
+    category = "malware-hashes"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        rows = ["sha256,md5,family"]
+        sha_sample = self._sample(self.pool.sha256, self.config.entries)
+        md5_sample = self._sample(self.pool.md5, self.config.entries)
+        for sha, md5 in zip(sha_sample, md5_sample):
+            family = self._rng.choice(_MALWARE_FAMILIES)
+            rows.append(f"{sha},{md5},{family}")
+        return "\n".join(rows) + "\n"
+
+
+class VulnerabilityAdvisoryFeed(FeedGenerator):
+    """JSON feed of vulnerability advisories (CVE, summary, CVSS, products)."""
+
+    format = FeedFormat.JSON
+    category = "vulnerability-exploitation"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        entries = []
+        for record in self._sample(self.pool.cves, self.config.entries):
+            entries.append({
+                "cve": record.cve_id,
+                "summary": record.summary,
+                "cvss_vector": record.cvss_vector,
+                "products": list(record.affected_products),
+                "published": record.published,
+                "references": list(record.references),
+            })
+        return json.dumps({"entries": entries}, indent=1)
+
+
+class ThreatNewsFeed(FeedGenerator):
+    """JSON feed of free-text security news articles (NLP workload).
+
+    A configurable fraction of articles is benign noise, which is what the
+    relevance classifier is there to filter out (§II-A).
+    """
+
+    format = FeedFormat.JSON
+    category = "threat-news"
+
+    BENIGN_HEADLINES = (
+        "Vendor announces partnership to expand regional data centers",
+        "Annual developer conference opens registration for workshops",
+        "Industry survey shows growth in remote collaboration tools",
+        "New office campus unveiled with sustainability certifications",
+        "Quarterly report highlights subscription revenue growth",
+    )
+
+    THREAT_TEMPLATES = (
+        "Massive ddos attack disrupts {target} services for hours",
+        "Ransomware gang leaks data stolen from {target}",
+        "New phishing campaign impersonates {target} login portal",
+        "Security breach at {target} exposes customer records",
+        "Exploit published for remote code execution flaw in {product}",
+        "Botnet abuses unpatched {product} servers for crypto mining",
+    )
+
+    TARGETS = ("a bank in Spain", "a hospital network in Germany",
+               "a logistics firm in Portugal", "a university in France",
+               "an energy provider in Ukraine", "a retail chain")
+    PRODUCTS = ("apache struts", "owncloud", "gitlab", "openssl", "drupal", "php")
+
+    def __init__(self, pool: IndicatorPool, config: Optional[GeneratorConfig] = None,
+                 benign_fraction: float = 0.4) -> None:
+        super().__init__(pool, config)
+        if not 0.0 <= benign_fraction <= 1.0:
+            raise ValidationError("benign_fraction must be within [0, 1]")
+        self.benign_fraction = benign_fraction
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        now = now or PAPER_NOW
+        entries = []
+        for index in range(self.config.entries):
+            age_hours = self._rng.randint(0, 72)
+            published = (now - _dt.timedelta(hours=age_hours)).isoformat()
+            if self._rng.random() < self.benign_fraction:
+                title = self._rng.choice(self.BENIGN_HEADLINES)
+                text = title + ". Further details will be shared next quarter."
+                relevant = False
+            else:
+                template = self._rng.choice(self.THREAT_TEMPLATES)
+                title = template.format(
+                    target=self._rng.choice(self.TARGETS),
+                    product=self._rng.choice(self.PRODUCTS),
+                )
+                ioc = self._rng.choice(self.pool.domains)
+                text = (f"{title}. Investigators linked the activity to "
+                        f"infrastructure at {ioc}.")
+                relevant = True
+            entries.append({
+                "title": title,
+                "text": text,
+                "published": published,
+                # Ground-truth label used by the classifier benchmarks only;
+                # the pipeline never reads it.
+                "x_ground_truth_relevant": relevant,
+            })
+        return json.dumps({"entries": entries}, indent=1)
+
+
+class MispFeedExport(FeedGenerator):
+    """A MISP feed: events exported by another organization's instance.
+
+    Real-world equivalent: the MISP 'feed' mechanism (e.g. the CIRCL OSINT
+    feed) which serves one MISP JSON document per event.
+    """
+
+    format = FeedFormat.MISP_JSON
+    category = "malware-domains"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        from ..misp.model import MispAttribute, MispEvent
+
+        now = now or PAPER_NOW
+        events = []
+        per_event = 5
+        count = max(1, self.config.entries // per_event)
+        domains = self._sample(self.pool.domains, count * per_event)
+        for index in range(count):
+            event = MispEvent(
+                info=f"OSINT feed drop {index + 1}",
+                org="external-org",
+                timestamp=now,
+            )
+            for domain in domains[index * per_event:(index + 1) * per_event]:
+                event.add_attribute(MispAttribute(
+                    type="domain", value=domain, timestamp=now))
+            events.append(event.to_dict())
+        return json.dumps(events, indent=1)
+
+
+class Stix2Feed(FeedGenerator):
+    """A STIX 2.0 bundle feed (indicators + vulnerabilities)."""
+
+    format = FeedFormat.STIX2
+    category = "vulnerability-exploitation"
+
+    def body(self, now: Optional[_dt.datetime] = None) -> str:
+        """Render one feed document body in this feed's wire format."""
+        from ..clock import format_timestamp
+        from ..ids import content_stix_id
+        from ..stix import Bundle, ExternalReference, Indicator, Vulnerability
+        from ..stix.pattern import equals_pattern
+
+        now = now or PAPER_NOW
+        stamp = format_timestamp(now)
+        from ..ids import IdGenerator
+        bundle = Bundle(id_generator=IdGenerator(seed=self.config.seed))
+        half = max(1, self.config.entries // 2)
+        for domain in self._sample(self.pool.domains, half):
+            bundle.add(Indicator(
+                id=content_stix_id("indicator", "feed", domain),
+                pattern=equals_pattern("domain-name:value", domain),
+                valid_from=stamp, labels=["malicious-activity"],
+                created=stamp, modified=stamp,
+            ))
+        for record in self._sample(self.pool.cves, self.config.entries - half):
+            bundle.add(Vulnerability(
+                id=content_stix_id("vulnerability", record.cve_id),
+                name=record.cve_id, description=record.summary,
+                external_references=[ExternalReference(
+                    source_name="cve", external_id=record.cve_id)],
+                created=stamp, modified=stamp,
+            ))
+        return bundle.to_json()
+
+
+#: Convenience registry used by examples and workloads.
+GENERATOR_CLASSES = {
+    "malware-domains": MalwareDomainFeed,
+    "ip-blocklist": IpBlocklistFeed,
+    "phishing": PhishingUrlFeed,
+    "malware-hashes": MalwareHashFeed,
+    "vulnerability-exploitation": VulnerabilityAdvisoryFeed,
+    "threat-news": ThreatNewsFeed,
+}
+
+
+def standard_feed_set(pool: Optional[IndicatorPool] = None,
+                      entries: int = 100, seed: int = 1,
+                      overlap: float = 0.5) -> List[Tuple[FeedGenerator, str]]:
+    """Two feeds per category (distinct names), sharing one indicator pool.
+
+    Returns ``(generator, feed_name)`` pairs — the standard workload that
+    guarantees cross-feed duplicates for the dedup stage.
+    """
+    pool = pool or IndicatorPool(seed=seed)
+    pairs: List[Tuple[FeedGenerator, str]] = []
+    # Derive per-feed seeds from an enumeration, not hash(): string hashing
+    # is randomized per process and would break run-to-run determinism.
+    for index, (category, cls) in enumerate(sorted(GENERATOR_CLASSES.items())):
+        for offset, replica in enumerate(("a", "b")):
+            config = GeneratorConfig(
+                entries=entries,
+                seed=seed + index * 10 + offset,
+                overlap=overlap,
+            )
+            pairs.append((cls(pool, config), f"{category}-{replica}"))
+    return pairs

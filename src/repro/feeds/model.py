@@ -1,0 +1,105 @@
+"""Feed descriptors and the raw/parsed record model.
+
+An OSINT feed is "events of security" in one of several wire formats
+(plaintext, CSV, JSON — §III-A1).  The collector is configured with
+:class:`FeedDescriptor` entries; fetching yields a :class:`FeedDocument`
+(raw text + metadata); parsing yields :class:`FeedRecord` values that the
+core normalizer turns into the platform's common event model.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import ValidationError
+
+
+class FeedFormat:
+    """Wire formats a feed can publish in."""
+
+    PLAINTEXT = "plaintext"
+    CSV = "csv"
+    JSON = "json"
+    MISP_JSON = "misp-json"
+    STIX2 = "stix2"
+
+    ALL = (PLAINTEXT, CSV, JSON, MISP_JSON, STIX2)
+
+
+class SourceType:
+    """Provenance classes used by the variety criterion (§III-B2b)."""
+
+    OSINT_FREE = "osint-free"
+    OSINT_COLLABORATIVE = "osint-collaborative"
+    OSINT_COMMERCIAL = "osint-commercial"
+    INFRASTRUCTURE = "infrastructure"
+
+    ALL = (OSINT_FREE, OSINT_COLLABORATIVE, OSINT_COMMERCIAL, INFRASTRUCTURE)
+
+
+#: Threat categories feeds are tagged with; aggregation groups by these.
+FEED_CATEGORIES = (
+    "malware-domains",
+    "ip-blocklist",
+    "phishing",
+    "malware-hashes",
+    "vulnerability-exploitation",
+    "threat-news",
+)
+
+
+@dataclass(frozen=True)
+class FeedDescriptor:
+    """Static configuration of one OSINT feed."""
+
+    name: str
+    url: str
+    format: str
+    category: str
+    source_type: str = SourceType.OSINT_FREE
+    provider: str = ""
+    refresh_seconds: int = 3600
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("feed name must not be empty")
+        if self.format not in FeedFormat.ALL:
+            raise ValidationError(f"unknown feed format {self.format!r}")
+        if self.source_type not in SourceType.ALL:
+            raise ValidationError(f"unknown source type {self.source_type!r}")
+        if self.refresh_seconds <= 0:
+            raise ValidationError("refresh_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class FeedDocument:
+    """One fetched snapshot of a feed: raw body + fetch metadata."""
+
+    descriptor: FeedDescriptor
+    body: str
+    fetched_at: _dt.datetime
+    etag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FeedRecord:
+    """One parsed entry of a feed document.
+
+    ``indicator_type``/``value`` describe the technical indicator when the
+    record carries one; free-text records (news) leave them empty and put
+    their content in ``fields``.
+    """
+
+    feed_name: str
+    category: str
+    source_type: str
+    indicator_type: str  # "domain" | "ipv4" | "url" | "md5" | "sha256" | "cve" | "text"
+    value: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    observed_at: Optional[_dt.datetime] = None
+
+    def key(self) -> Tuple[str, str]:
+        """The identity used for cross-feed duplicate detection."""
+        return (self.indicator_type, self.value.lower())

@@ -1,0 +1,80 @@
+"""Feed polling scheduler.
+
+Every :class:`FeedDescriptor` declares a ``refresh_seconds``; fetching a
+fast-moving IP blocklist every minute and a weekly advisory feed every
+minute are very different workloads.  The scheduler tracks per-feed
+due-times against the platform clock so each collection cycle only touches
+the feeds that are actually due — the behaviour a production poller has.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock
+from .model import FeedDescriptor
+
+
+@dataclass
+class ScheduleEntry:
+    """Book-keeping for one feed's fetch cadence."""
+    descriptor: FeedDescriptor
+    last_fetched: Optional[_dt.datetime] = None
+
+    def due(self, now: _dt.datetime) -> bool:
+        """Whether the refresh interval has elapsed."""
+        if self.last_fetched is None:
+            return True
+        interval = _dt.timedelta(seconds=self.descriptor.refresh_seconds)
+        return now - self.last_fetched >= interval
+
+    def next_due(self, now: _dt.datetime) -> _dt.datetime:
+        """The instant this feed next becomes due."""
+        if self.last_fetched is None:
+            return now
+        return self.last_fetched + _dt.timedelta(
+            seconds=self.descriptor.refresh_seconds)
+
+
+class FeedScheduler:
+    """Tracks which feeds are due for a fetch."""
+
+    def __init__(self, descriptors: Iterable[FeedDescriptor],
+                 clock: Optional[Clock] = None) -> None:
+        self._clock = clock or SimulatedClock()
+        self._entries: Dict[str, ScheduleEntry] = {
+            descriptor.name: ScheduleEntry(descriptor)
+            for descriptor in descriptors
+        }
+
+    def add(self, descriptor: FeedDescriptor) -> None:
+        """Add one entry."""
+        self._entries[descriptor.name] = ScheduleEntry(descriptor)
+
+    def due_feeds(self) -> List[FeedDescriptor]:
+        """Descriptors whose refresh interval has elapsed (or never fetched)."""
+        now = self._clock.now()
+        return [entry.descriptor for entry in self._entries.values()
+                if entry.due(now)]
+
+    def mark_fetched(self, descriptor: FeedDescriptor,
+                     when: Optional[_dt.datetime] = None) -> None:
+        """Record a successful fetch of a feed."""
+        entry = self._entries.get(descriptor.name)
+        if entry is not None:
+            entry.last_fetched = when or self._clock.now()
+
+    def next_wakeup(self) -> Optional[_dt.datetime]:
+        """The earliest instant at which any feed becomes due."""
+        if not self._entries:
+            return None
+        now = self._clock.now()
+        return min(entry.next_due(now) for entry in self._entries.values())
+
+    def status(self) -> List[Tuple[str, Optional[_dt.datetime], bool]]:
+        """(feed name, last fetched, currently due) per feed."""
+        now = self._clock.now()
+        return [(name, entry.last_fetched, entry.due(now))
+                for name, entry in sorted(self._entries.items())]

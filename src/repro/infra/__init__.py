@@ -1,0 +1,37 @@
+"""Infrastructure substrate: inventory, alarms, sensors, data collector."""
+
+from .alarms import Alarm, AlarmManager, Severity
+from .collector import (
+    INFRASTRUCTURE_TAG,
+    InfrastructureDataCollector,
+    InfrastructureSnapshot,
+)
+from .inventory import (
+    Inventory,
+    InventoryMatch,
+    NetworkKind,
+    Node,
+    NodeType,
+    paper_inventory,
+)
+from .sensors import HidsSensor, NidsSensor, Sensor, SensorNetwork, TelemetryObservation
+
+__all__ = [
+    "Alarm",
+    "AlarmManager",
+    "Severity",
+    "INFRASTRUCTURE_TAG",
+    "InfrastructureDataCollector",
+    "InfrastructureSnapshot",
+    "Inventory",
+    "InventoryMatch",
+    "NetworkKind",
+    "Node",
+    "NodeType",
+    "paper_inventory",
+    "HidsSensor",
+    "NidsSensor",
+    "Sensor",
+    "SensorNetwork",
+    "TelemetryObservation",
+]

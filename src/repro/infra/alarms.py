@@ -1,0 +1,119 @@
+"""Alarm model for the monitored infrastructure.
+
+Dashboard badge semantics (§III-C1): "Each node will have in its upper left
+side a circle indicating the number and severity of the alarms (in colors
+green, yellow and red)".  "Alarms will indicate the number of issues, IP
+source and destination, as well as a brief description of the issue."
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..clock import Clock, SimulatedClock, ensure_utc
+from ..errors import ValidationError
+
+
+class Severity:
+    """Alarm severity, ordered; maps onto the dashboard's badge colour."""
+
+    GREEN = "green"
+    YELLOW = "yellow"
+    RED = "red"
+
+    ALL = (GREEN, YELLOW, RED)
+    _ORDER = {GREEN: 0, YELLOW: 1, RED: 2}
+
+    @classmethod
+    def worst(cls, severities: Iterable[str]) -> str:
+        """The most severe of the given severities (GREEN when empty)."""
+        worst = cls.GREEN
+        for severity in severities:
+            if cls._ORDER[severity] > cls._ORDER[worst]:
+                worst = severity
+        return worst
+
+
+@dataclass
+class Alarm:
+    """One alarm raised against a node."""
+
+    node: str
+    severity: str
+    description: str
+    ip_src: str = ""
+    ip_dst: str = ""
+    signature: str = ""
+    application: str = ""
+    timestamp: Optional[_dt.datetime] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.severity not in Severity.ALL:
+            raise ValidationError(f"unknown severity {self.severity!r}")
+        if not self.node:
+            raise ValidationError("alarm must reference a node")
+        if self.count < 1:
+            raise ValidationError("alarm count must be >= 1")
+        if self.timestamp is not None:
+            self.timestamp = ensure_utc(self.timestamp)
+        self.application = self.application.lower()
+
+
+class AlarmManager:
+    """Holds the live alarm set and answers the dashboard's queries."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._alarms: List[Alarm] = []
+        self._clock = clock or SimulatedClock()
+
+    def raise_alarm(self, alarm: Alarm) -> Alarm:
+        """Record an alarm (stamping the clock when needed)."""
+        if alarm.timestamp is None:
+            alarm.timestamp = self._clock.now()
+        self._alarms.append(alarm)
+        return alarm
+
+    def all(self) -> List[Alarm]:
+        """Every stored entry."""
+        return list(self._alarms)
+
+    def for_node(self, node: str) -> List[Alarm]:
+        """Alarms raised against one node."""
+        return [a for a in self._alarms if a.node == node]
+
+    def count_for_node(self, node: str) -> int:
+        """Total alarm count (weighted) for one node."""
+        return sum(a.count for a in self.for_node(node))
+
+    def worst_severity_for_node(self, node: str) -> str:
+        """Most severe alarm level on one node."""
+        return Severity.worst(a.severity for a in self.for_node(node))
+
+    def alarms_for_application(self, application: str,
+                               window: Optional[_dt.timedelta] = None) -> List[Alarm]:
+        """Alarms mentioning an application, optionally within a recency window.
+
+        This is what the ``vuln_app_in_alarm`` feature consults: are there
+        alarms from the infrastructure related to the vulnerable application?
+        """
+        needle = application.lower()
+        now = self._clock.now()
+        out: List[Alarm] = []
+        for alarm in self._alarms:
+            mentioned = (needle == alarm.application
+                         or needle in alarm.description.lower()
+                         or needle in alarm.signature.lower())
+            if not mentioned:
+                continue
+            if window is not None and alarm.timestamp is not None:
+                if now - alarm.timestamp > window:
+                    continue
+            out.append(alarm)
+        return out
+
+    def clear(self) -> None:
+        """Drop every stored alarm."""
+        self._alarms.clear()

@@ -1,0 +1,190 @@
+"""Infrastructure inventory: nodes, applications, networks.
+
+"A system inventory containing the nodes, and their installed applications
+is required to perform the match" (§III-C1).  The rIoC generator checks
+every eIoC against this inventory; *common keywords* (Table III's
+"All Nodes: linux" row) match every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..errors import ValidationError
+
+
+class NodeType:
+    """Node type constants (Server / Workstation)."""
+    SERVER = "Server"
+    WORKSTATION = "Workstation"
+
+    ALL = (SERVER, WORKSTATION)
+
+
+class NetworkKind:
+    """Network kind constants (LAN / WAN)."""
+    LAN = "LAN"
+    WAN = "WAN"
+
+    ALL = (LAN, WAN)
+
+
+@dataclass
+class Node:
+    """One monitored host with its installed applications."""
+
+    name: str
+    node_type: str = NodeType.SERVER
+    ip_addresses: Tuple[str, ...] = ()
+    operating_system: str = ""
+    networks: Tuple[str, ...] = (NetworkKind.LAN,)
+    applications: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("node name must not be empty")
+        if self.node_type not in NodeType.ALL:
+            raise ValidationError(f"unknown node type {self.node_type!r}")
+        for network in self.networks:
+            if network not in NetworkKind.ALL:
+                raise ValidationError(f"unknown network kind {network!r}")
+        self.applications = tuple(app.lower() for app in self.applications)
+        self.operating_system = self.operating_system.lower()
+
+    def runs(self, term: str) -> bool:
+        """Does this node run the given application/OS (exact, lowercase)?"""
+        needle = term.lower()
+        return needle in self.applications or needle == self.operating_system
+
+    def software_terms(self) -> FrozenSet[str]:
+        """All matchable software terms on this node."""
+        terms = set(self.applications)
+        if self.operating_system:
+            terms.add(self.operating_system)
+        return frozenset(terms)
+
+
+@dataclass(frozen=True)
+class InventoryMatch:
+    """Result of matching a term against the inventory."""
+
+    term: str
+    nodes: Tuple[str, ...]
+    via_common_keyword: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+
+class Inventory:
+    """The set of monitored nodes plus common keywords shared by all."""
+
+    def __init__(self, nodes: Optional[Iterable[Node]] = None,
+                 common_keywords: Iterable[str] = ()) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self.common_keywords: Set[str] = {k.lower() for k in common_keywords}
+        for node in nodes or ():
+            self.add_node(node)
+
+    def add_node(self, node: Node) -> None:
+        """Add a node; duplicate names are rejected."""
+        if node.name in self._nodes:
+            raise ValidationError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def add_common_keyword(self, keyword: str) -> None:
+        """Add a keyword that matches every node."""
+        self.common_keywords.add(keyword.lower())
+
+    def get(self, name: str) -> Optional[Node]:
+        """Look up an entry by key; None when absent."""
+        return self._nodes.get(name)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """Every node in the inventory."""
+        return list(self._nodes.values())
+
+    @property
+    def node_names(self) -> List[str]:
+        """The node names, in insertion order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def match(self, term: str) -> InventoryMatch:
+        """Match one software term against the inventory (§IV rule).
+
+        - exact application/OS match -> the specific nodes;
+        - common keyword (e.g. ``linux``) -> *all* nodes;
+        - no match -> empty.
+        """
+        needle = term.lower().strip()
+        if not needle:
+            return InventoryMatch(term=term, nodes=())
+        if needle in self.common_keywords:
+            return InventoryMatch(
+                term=term, nodes=tuple(self._nodes), via_common_keyword=True)
+        matched = tuple(
+            name for name, node in self._nodes.items() if node.runs(needle))
+        return InventoryMatch(term=term, nodes=matched)
+
+    def match_any(self, terms: Iterable[str]) -> Dict[str, InventoryMatch]:
+        """Match several terms; only hits are returned."""
+        out: Dict[str, InventoryMatch] = {}
+        for term in terms:
+            result = self.match(term)
+            if result:
+                out[term] = result
+        return out
+
+    def all_software_terms(self) -> Set[str]:
+        """Every matchable term across nodes and keywords."""
+        terms: Set[str] = set(self.common_keywords)
+        for node in self._nodes.values():
+            terms |= node.software_terms()
+        return terms
+
+    def find_by_ip(self, ip: str) -> Optional[Node]:
+        """The node owning an IP address, if any."""
+        for node in self._nodes.values():
+            if ip in node.ip_addresses:
+                return node
+        return None
+
+
+def paper_inventory() -> Inventory:
+    """The use-case infrastructure of Table III, verbatim."""
+    return Inventory(
+        nodes=[
+            Node(
+                name="Node 1", node_type=NodeType.SERVER,
+                ip_addresses=("10.0.0.11",), operating_system="ubuntu",
+                applications=("owncloud", "ossec", "snort", "suricata",
+                              "nids", "hids"),
+            ),
+            Node(
+                name="Node 2", node_type=NodeType.SERVER,
+                ip_addresses=("10.0.0.12",), operating_system="ubuntu",
+                applications=("gitlab", "ossec", "snort", "suricata",
+                              "nids", "hids"),
+            ),
+            Node(
+                name="Node 3", node_type=NodeType.SERVER,
+                ip_addresses=("10.0.0.13",), operating_system="ubuntu",
+                applications=("snort", "suricata", "nids", "php"),
+            ),
+            Node(
+                name="Node 4", node_type=NodeType.SERVER,
+                ip_addresses=("10.0.0.14",), operating_system="debian",
+                applications=("apache", "apache storm", "apache zookeeper",
+                              "server"),
+            ),
+        ],
+        common_keywords=("linux",),
+    )

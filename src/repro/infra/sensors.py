@@ -1,0 +1,144 @@
+"""Deterministic sensor simulators (NIDS/HIDS).
+
+The use-case nodes run snort/suricata (NIDS) and ossec (HIDS) — Table III.
+These simulators replay plausible alert streams against the inventory: each
+tick produces zero or more :class:`Alarm` values and raw telemetry
+observations the SIEM connector can match STIX patterns against.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..errors import ValidationError
+from .alarms import Alarm, AlarmManager, Severity
+from .inventory import Inventory, Node
+
+#: (signature, severity, affected application or "") templates per sensor kind.
+_NIDS_SIGNATURES: Tuple[Tuple[str, str, str], ...] = (
+    ("ET SCAN Nmap TCP scan detected", Severity.GREEN, ""),
+    ("ET POLICY SSH brute force attempt", Severity.YELLOW, ""),
+    ("ET WEB_SERVER SQL injection attempt in POST body", Severity.YELLOW, "apache"),
+    ("ET EXPLOIT Apache Struts REST plugin RCE (S2-052)", Severity.RED, "apache struts"),
+    ("ET MALWARE Known C2 beacon observed", Severity.RED, ""),
+    ("ET WEB_SERVER PHP remote file inclusion attempt", Severity.YELLOW, "php"),
+    ("ET DOS inbound SYN flood", Severity.RED, ""),
+)
+
+_HIDS_SIGNATURES: Tuple[Tuple[str, str, str], ...] = (
+    ("Integrity checksum changed for /etc/passwd", Severity.RED, ""),
+    ("Multiple failed logins followed by success", Severity.YELLOW, ""),
+    ("New package installed outside maintenance window", Severity.GREEN, ""),
+    ("Web server error burst in owncloud access log", Severity.YELLOW, "owncloud"),
+    ("GitLab repository hook modified", Severity.YELLOW, "gitlab"),
+    ("Rootkit signature match in kernel modules", Severity.RED, ""),
+)
+
+
+@dataclass(frozen=True)
+class TelemetryObservation:
+    """A raw observable a sensor saw (for STIX pattern matching)."""
+
+    node: str
+    observable: Dict[str, str]
+    timestamp: _dt.datetime
+
+
+class Sensor:
+    """Base simulator: picks signatures and source IPs deterministically."""
+
+    kind = "sensor"
+    signatures: Tuple[Tuple[str, str, str], ...] = ()
+
+    def __init__(self, node: Node, seed: int = 0,
+                 alarm_rate: float = 0.5) -> None:
+        if not 0.0 <= alarm_rate <= 1.0:
+            raise ValidationError("alarm_rate must be within [0, 1]")
+        self.node = node
+        self._rng = random.Random((seed, node.name).__repr__())
+        self._alarm_rate = alarm_rate
+
+    def tick(self, now: _dt.datetime) -> List[Alarm]:
+        """Possibly produce alarms for this instant."""
+        if self._rng.random() >= self._alarm_rate:
+            return []
+        signature, severity, application = self._rng.choice(self.signatures)
+        src = f"203.0.113.{self._rng.randint(1, 254)}"
+        dst = self.node.ip_addresses[0] if self.node.ip_addresses else "10.0.0.1"
+        return [Alarm(
+            node=self.node.name,
+            severity=severity,
+            description=f"{self.kind}: {signature}",
+            ip_src=src,
+            ip_dst=dst,
+            signature=signature,
+            application=application,
+            timestamp=now,
+        )]
+
+    def observe(self, now: _dt.datetime) -> List[TelemetryObservation]:
+        """Raw network/file observations, independent of alarm decisions."""
+        observations: List[TelemetryObservation] = []
+        src = f"203.0.113.{self._rng.randint(1, 254)}"
+        observations.append(TelemetryObservation(
+            node=self.node.name,
+            observable={"type": "ipv4-addr", "value": src},
+            timestamp=now,
+        ))
+        return observations
+
+
+class NidsSensor(Sensor):
+    """snort/suricata-flavoured network IDS."""
+
+    kind = "nids"
+    signatures = _NIDS_SIGNATURES
+
+
+class HidsSensor(Sensor):
+    """ossec-flavoured host IDS."""
+
+    kind = "hids"
+    signatures = _HIDS_SIGNATURES
+
+
+class SensorNetwork:
+    """All sensors over an inventory, driven by a shared clock."""
+
+    def __init__(self, inventory: Inventory, clock: Optional[Clock] = None,
+                 seed: int = 0, alarm_rate: float = 0.3) -> None:
+        self._inventory = inventory
+        self._clock = clock or SimulatedClock()
+        self.alarm_manager = AlarmManager(clock=self._clock)
+        self._sensors: List[Sensor] = []
+        for node in inventory.nodes:
+            terms = node.software_terms()
+            if "nids" in terms or "snort" in terms or "suricata" in terms:
+                self._sensors.append(NidsSensor(node, seed=seed, alarm_rate=alarm_rate))
+            if "hids" in terms or "ossec" in terms:
+                self._sensors.append(HidsSensor(node, seed=seed + 1, alarm_rate=alarm_rate))
+        self.telemetry: List[TelemetryObservation] = []
+
+    @property
+    def sensors(self) -> List[Sensor]:
+        """The instantiated sensors."""
+        return list(self._sensors)
+
+    def tick(self, steps: int = 1,
+             step: _dt.timedelta = _dt.timedelta(minutes=5)) -> List[Alarm]:
+        """Advance the simulation ``steps`` ticks; returns new alarms."""
+        produced: List[Alarm] = []
+        for _ in range(steps):
+            now = self._clock.now()
+            for sensor in self._sensors:
+                for alarm in sensor.tick(now):
+                    self.alarm_manager.raise_alarm(alarm)
+                    produced.append(alarm)
+                self.telemetry.extend(sensor.observe(now))
+            if isinstance(self._clock, SimulatedClock):
+                self._clock.advance(step)
+        return produced

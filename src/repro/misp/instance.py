@@ -1,0 +1,229 @@
+"""The MISP instance: store + correlation + real-time feed + sharing.
+
+This is the operational module's hub (§III-B1): it ingests cIoCs, performs
+"basic automated correlation steps" against stored data, publishes incoming
+OSINT events on the zeroMQ feed for the heuristic component, accepts the
+threat score back as a new attribute (eIoC), and syncs published events to
+remote instances according to their distribution level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..bus import MessageBroker, ZmqPublisher
+from ..errors import SharingError, StorageError
+from ..ids import IdGenerator
+from .export import EXPORT_MODULES, to_stix2_bundle
+from .model import Distribution, MispAttribute, MispEvent, MispTag
+from .sharing_groups import SharingGroup
+from .store import MispStore
+
+#: zeroMQ topics mirroring MISP's real feed names.
+TOPIC_EVENT = "misp_json"
+TOPIC_ATTRIBUTE = "misp_json_attribute"
+
+
+@dataclass
+class SyncStats:
+    """Counters describing instance-to-instance sync outcomes."""
+    pushed_events: int = 0
+    pulled_events: int = 0
+    skipped_distribution: int = 0
+    skipped_duplicates: int = 0
+
+
+class MispInstance:
+    """One MISP deployment: local store, correlation, feed, sync peers."""
+
+    def __init__(self, org: str = "CAOP", store: Optional[MispStore] = None,
+                 broker: Optional[MessageBroker] = None,
+                 id_generator: Optional[IdGenerator] = None) -> None:
+        self.org = org
+        self.store = store or MispStore()
+        self.broker = broker or MessageBroker()
+        self.zmq = ZmqPublisher(self.broker)
+        self._peers: List["MispInstance"] = []
+        self.sync_stats = SyncStats()
+        self._ids = id_generator or IdGenerator()
+        self.sharing_groups: Dict[str, SharingGroup] = {}
+
+    # -- ingestion ------------------------------------------------------------
+
+    def add_event(self, event: MispEvent, publish_feed: bool = True) -> MispEvent:
+        """Store an event, correlate it, and publish it on the zmq feed.
+
+        Re-adding the same uuid replaces the stored version (MISP edit
+        semantics).
+        """
+        self.store.save_event(event)
+        self._correlate(event)
+        if publish_feed:
+            self.zmq.send(TOPIC_EVENT, event.to_dict())
+        return event
+
+    def add_attribute(self, event_uuid: str, attribute: MispAttribute,
+                      publish_feed: bool = True) -> MispEvent:
+        """Append an attribute to a stored event (enrichment entry point)."""
+        event = self.store.get_event(event_uuid)
+        if event is None:
+            raise StorageError(f"no such event {event_uuid}")
+        event.add_attribute(attribute)
+        self.store.save_event(event)
+        self._correlate(event)
+        if publish_feed:
+            self.zmq.send(TOPIC_ATTRIBUTE, {
+                "event_uuid": event_uuid,
+                "Attribute": attribute.to_dict(),
+            })
+        return event
+
+    def tag_event(self, event_uuid: str, tag: str) -> MispEvent:
+        """Add a tag to a stored event."""
+        event = self.store.get_event(event_uuid)
+        if event is None:
+            raise StorageError(f"no such event {event_uuid}")
+        event.add_tag(tag)
+        self.store.save_event(event)
+        return event
+
+    def publish_event(self, event_uuid: str) -> MispEvent:
+        """Mark an event published (this is what sync distributes)."""
+        event = self.store.get_event(event_uuid)
+        if event is None:
+            raise StorageError(f"no such event {event_uuid}")
+        event.published = True
+        self.store.save_event(event)
+        self._push_to_peers(event)
+        return event
+
+    # -- correlation --------------------------------------------------------------
+
+    def _correlate(self, event: MispEvent) -> int:
+        """MISP-style value correlation: link equal correlatable values."""
+        created = 0
+        for attribute in event.all_attributes():
+            if not attribute.correlatable:
+                continue
+            for other_event, other_attribute in self.store.correlatable_attributes(
+                    attribute.value, exclude_event=event.uuid):
+                self.store.save_correlation(
+                    source_attribute=attribute.uuid,
+                    target_attribute=other_attribute,
+                    source_event=event.uuid,
+                    target_event=other_event,
+                    value=attribute.value,
+                )
+                created += 1
+        return created
+
+    def correlations(self, event_uuid: str) -> List[Dict[str, str]]:
+        """Correlation rows touching one event."""
+        return self.store.correlations_for_event(event_uuid)
+
+    # -- export ------------------------------------------------------------------
+
+    def export_event(self, event_uuid: str, export_format: str = "misp-json") -> str:
+        """Render a stored event through one of the export modules."""
+        event = self.store.get_event(event_uuid)
+        if event is None:
+            raise StorageError(f"no such event {event_uuid}")
+        module = EXPORT_MODULES.get(export_format)
+        if module is None:
+            raise SharingError(f"no export module for format {export_format!r}")
+        return module(event)
+
+    def export_stix2(self, event_uuid: str):
+        """Typed STIX 2.0 bundle export (what the heuristic component reads)."""
+        event = self.store.get_event(event_uuid)
+        if event is None:
+            raise StorageError(f"no such event {event_uuid}")
+        return to_stix2_bundle(event)
+
+    # -- instance-to-instance sync ---------------------------------------------------
+
+    def add_peer(self, peer: "MispInstance") -> None:
+        """Register a trusted remote instance (one-way push)."""
+        if peer is self:
+            raise SharingError("an instance cannot peer with itself")
+        if peer not in self._peers:
+            self._peers.append(peer)
+
+    @property
+    def peers(self) -> List["MispInstance"]:
+        """The registered sync peers."""
+        return list(self._peers)
+
+    def _push_to_peers(self, event: MispEvent) -> None:
+        for peer in self._peers:
+            self.push_event(event, peer)
+
+    def create_sharing_group(self, name: str,
+                             organisations: List[str]) -> SharingGroup:
+        """Create (and register) a sharing group owned by this instance."""
+        group = SharingGroup(name=name, organisations=set(organisations),
+                             uuid=self._ids.uuid())
+        self.sharing_groups[group.uuid] = group
+        return group
+
+    def push_event(self, event: MispEvent, peer: "MispInstance") -> bool:
+        """Push one event to a peer honouring MISP distribution semantics.
+
+        Distribution downgrade on hop: CONNECTED_COMMUNITIES becomes
+        COMMUNITY_ONLY at the receiver, so events stop propagating one hop
+        further, exactly like MISP.  Sharing-group events only reach peers
+        whose organisation is a group member (no downgrade: the group
+        definition itself bounds further propagation).
+        """
+        if event.distribution in (Distribution.ORGANISATION_ONLY,
+                                  Distribution.COMMUNITY_ONLY):
+            self.sync_stats.skipped_distribution += 1
+            return False
+        if event.distribution == Distribution.SHARING_GROUP:
+            group = self.sharing_groups.get(event.sharing_group_id or "")
+            if group is None or not group.releasable_to(peer.org):
+                self.sync_stats.skipped_distribution += 1
+                return False
+            # The receiving instance learns the group definition so it can
+            # enforce the same boundary on any onward push.
+            peer.sharing_groups.setdefault(group.uuid, group)
+        if peer.store.has_event(event.uuid):
+            stored = peer.store.get_event(event.uuid)
+            if stored is not None and stored.timestamp >= event.timestamp:
+                self.sync_stats.skipped_duplicates += 1
+                return False
+        copy = MispEvent.from_dict(event.to_dict())
+        if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
+            copy.distribution = Distribution.COMMUNITY_ONLY
+        peer.receive_event(copy)
+        self.sync_stats.pushed_events += 1
+        return True
+
+    def receive_event(self, event: MispEvent) -> None:
+        """Peer-facing ingestion endpoint (no re-publish on the zmq feed)."""
+        self.store.save_event(event)
+        self._correlate(event)
+        self.sync_stats.pulled_events += 1
+
+    def pull_from(self, peer: "MispInstance") -> int:
+        """Pull every shareable published event from a peer."""
+        pulled = 0
+        for event in peer.store.list_events(published_only=True):
+            if event.distribution in (Distribution.ORGANISATION_ONLY,
+                                      Distribution.COMMUNITY_ONLY):
+                continue
+            if event.distribution == Distribution.SHARING_GROUP:
+                group = peer.sharing_groups.get(event.sharing_group_id or "")
+                if group is None or not group.releasable_to(self.org):
+                    continue
+                self.sharing_groups.setdefault(group.uuid, group)
+            if self.store.has_event(event.uuid):
+                continue
+            copy = MispEvent.from_dict(event.to_dict())
+            if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
+                copy.distribution = Distribution.COMMUNITY_ONLY
+            self.store.save_event(copy)
+            self._correlate(copy)
+            pulled += 1
+        return pulled

@@ -1,0 +1,267 @@
+"""SQLite-backed relational store for MISP events.
+
+The paper's operational module keeps "a relational database to store locally
+information about IoCs and the monitored infrastructure" (§III-B1).  Events
+are stored both relationally (events/attributes/tags rows for querying and
+correlation) and as their canonical MISP JSON blob (for lossless export).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import StorageError
+from .model import MispAttribute, MispEvent
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS events (
+    uuid TEXT PRIMARY KEY,
+    info TEXT NOT NULL,
+    date TEXT NOT NULL,
+    org TEXT NOT NULL,
+    threat_level_id INTEGER NOT NULL,
+    analysis INTEGER NOT NULL,
+    distribution INTEGER NOT NULL,
+    published INTEGER NOT NULL,
+    timestamp INTEGER NOT NULL,
+    blob TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS attributes (
+    uuid TEXT PRIMARY KEY,
+    event_uuid TEXT NOT NULL REFERENCES events(uuid) ON DELETE CASCADE,
+    type TEXT NOT NULL,
+    category TEXT NOT NULL,
+    value TEXT NOT NULL,
+    to_ids INTEGER NOT NULL,
+    correlatable INTEGER NOT NULL,
+    timestamp INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_attributes_value ON attributes(value);
+CREATE INDEX IF NOT EXISTS idx_attributes_event ON attributes(event_uuid);
+CREATE TABLE IF NOT EXISTS event_tags (
+    event_uuid TEXT NOT NULL REFERENCES events(uuid) ON DELETE CASCADE,
+    name TEXT NOT NULL,
+    UNIQUE(event_uuid, name)
+);
+CREATE TABLE IF NOT EXISTS correlations (
+    source_attribute TEXT NOT NULL,
+    target_attribute TEXT NOT NULL,
+    source_event TEXT NOT NULL,
+    target_event TEXT NOT NULL,
+    value TEXT NOT NULL,
+    UNIQUE(source_attribute, target_attribute)
+);
+CREATE TABLE IF NOT EXISTS audit_log (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    event_uuid TEXT NOT NULL,
+    action TEXT NOT NULL,
+    detail TEXT NOT NULL DEFAULT '',
+    logged_at INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_audit_event ON audit_log(event_uuid);
+"""
+
+
+class MispStore:
+    """Relational persistence for events, attributes, tags and correlations."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        """Release the underlying resources."""
+        self._conn.close()
+
+    # -- events ----------------------------------------------------------------
+
+    def save_event(self, event: MispEvent, replace: bool = True) -> None:
+        """Insert or update an event with all its attributes and tags.
+
+        Every save (and delete) is recorded in the audit log, MISP-style.
+        """
+        blob = json.dumps(event.to_dict(), sort_keys=True)
+        exists = self.has_event(event.uuid)
+        if exists and not replace:
+            raise StorageError(f"event {event.uuid} already stored")
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO audit_log (event_uuid, action, detail, logged_at)"
+                " VALUES (?,?,?,?)",
+                (event.uuid, "updated" if exists else "created",
+                 f"{len(event.all_attributes())} attributes",
+                 int(event.timestamp.timestamp())),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO events "
+                "(uuid, info, date, org, threat_level_id, analysis, distribution,"
+                " published, timestamp, blob) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                (
+                    event.uuid, event.info, event.date.isoformat(), event.org,
+                    event.threat_level_id, event.analysis, event.distribution,
+                    int(event.published), int(event.timestamp.timestamp()), blob,
+                ),
+            )
+            self._conn.execute(
+                "DELETE FROM attributes WHERE event_uuid = ?", (event.uuid,))
+            self._conn.execute(
+                "DELETE FROM event_tags WHERE event_uuid = ?", (event.uuid,))
+            for attribute in event.all_attributes():
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO attributes "
+                    "(uuid, event_uuid, type, category, value, to_ids,"
+                    " correlatable, timestamp) VALUES (?,?,?,?,?,?,?,?)",
+                    (
+                        attribute.uuid, event.uuid, attribute.type,
+                        attribute.category, attribute.value,
+                        int(attribute.to_ids), int(attribute.correlatable),
+                        int(attribute.timestamp.timestamp()),
+                    ),
+                )
+            for tag in event.tags:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO event_tags (event_uuid, name) VALUES (?,?)",
+                    (event.uuid, tag.name),
+                )
+
+    def has_event(self, uuid: str) -> bool:
+        """Whether an event uuid is stored."""
+        row = self._conn.execute(
+            "SELECT 1 FROM events WHERE uuid = ?", (uuid,)).fetchone()
+        return row is not None
+
+    def get_event(self, uuid: str) -> Optional[MispEvent]:
+        """Fetch one event by uuid."""
+        row = self._conn.execute(
+            "SELECT blob FROM events WHERE uuid = ?", (uuid,)).fetchone()
+        if row is None:
+            return None
+        return MispEvent.from_dict(json.loads(row[0]))
+
+    def delete_event(self, uuid: str) -> bool:
+        """Delete an event (cascades to attributes)."""
+        with self._conn:
+            cursor = self._conn.execute("DELETE FROM events WHERE uuid = ?", (uuid,))
+            if cursor.rowcount > 0:
+                self._conn.execute(
+                    "INSERT INTO audit_log (event_uuid, action, detail,"
+                    " logged_at) VALUES (?,?,?,0)",
+                    (uuid, "deleted", ""),
+                )
+        return cursor.rowcount > 0
+
+    def event_history(self, uuid: str) -> List[Dict[str, Any]]:
+        """The audit trail of one event, oldest first."""
+        rows = self._conn.execute(
+            "SELECT seq, action, detail, logged_at FROM audit_log"
+            " WHERE event_uuid = ? ORDER BY seq", (uuid,)).fetchall()
+        return [{"seq": r[0], "action": r[1], "detail": r[2],
+                 "logged_at": r[3]} for r in rows]
+
+    def audit_count(self) -> int:
+        """Total audit-log rows."""
+        return self._conn.execute("SELECT COUNT(*) FROM audit_log").fetchone()[0]
+
+    def event_count(self) -> int:
+        """Number of stored events."""
+        return self._conn.execute("SELECT COUNT(*) FROM events").fetchone()[0]
+
+    def attribute_count(self) -> int:
+        """Number of stored attributes."""
+        return self._conn.execute("SELECT COUNT(*) FROM attributes").fetchone()[0]
+
+    def list_events(self, limit: Optional[int] = None,
+                    published_only: bool = False) -> List[MispEvent]:
+        """Stored events, newest first."""
+        query = "SELECT blob FROM events"
+        if published_only:
+            query += " WHERE published = 1"
+        query += " ORDER BY timestamp DESC"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        rows = self._conn.execute(query).fetchall()
+        return [MispEvent.from_dict(json.loads(row[0])) for row in rows]
+
+    # -- search -------------------------------------------------------------------
+
+    def search_value(self, value: str) -> List[Tuple[str, str]]:
+        """Exact value search: returns (event_uuid, attribute_uuid) pairs."""
+        rows = self._conn.execute(
+            "SELECT event_uuid, uuid FROM attributes WHERE value = ?", (value,)
+        ).fetchall()
+        return [(r[0], r[1]) for r in rows]
+
+    def search_events(self, info_substring: Optional[str] = None,
+                      tag: Optional[str] = None,
+                      attribute_type: Optional[str] = None,
+                      value: Optional[str] = None) -> List[MispEvent]:
+        """Filtered event search across the relational tables."""
+        query = "SELECT DISTINCT e.blob FROM events e"
+        clauses: List[str] = []
+        params: List[Any] = []
+        if tag is not None:
+            query += " JOIN event_tags t ON t.event_uuid = e.uuid"
+            clauses.append("t.name = ?")
+            params.append(tag)
+        if attribute_type is not None or value is not None:
+            query += " JOIN attributes a ON a.event_uuid = e.uuid"
+            if attribute_type is not None:
+                clauses.append("a.type = ?")
+                params.append(attribute_type)
+            if value is not None:
+                clauses.append("a.value = ?")
+                params.append(value)
+        if info_substring is not None:
+            clauses.append("e.info LIKE ?")
+            params.append(f"%{info_substring}%")
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY e.timestamp DESC"
+        rows = self._conn.execute(query, params).fetchall()
+        return [MispEvent.from_dict(json.loads(row[0])) for row in rows]
+
+    def correlatable_attributes(self, value: str,
+                                exclude_event: Optional[str] = None
+                                ) -> List[Tuple[str, str]]:
+        """(event_uuid, attribute_uuid) of correlatable rows matching value."""
+        query = ("SELECT event_uuid, uuid FROM attributes "
+                 "WHERE value = ? AND correlatable = 1")
+        params: List[Any] = [value]
+        if exclude_event is not None:
+            query += " AND event_uuid != ?"
+            params.append(exclude_event)
+        return [(r[0], r[1]) for r in self._conn.execute(query, params).fetchall()]
+
+    # -- correlations --------------------------------------------------------------
+
+    def save_correlation(self, source_attribute: str, target_attribute: str,
+                         source_event: str, target_event: str, value: str) -> None:
+        """Persist one correlation edge (idempotent)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO correlations VALUES (?,?,?,?,?)",
+                (source_attribute, target_attribute, source_event, target_event, value),
+            )
+
+    def correlations_for_event(self, event_uuid: str) -> List[Dict[str, str]]:
+        """Correlation rows touching one event."""
+        rows = self._conn.execute(
+            "SELECT source_attribute, target_attribute, source_event,"
+            " target_event, value FROM correlations"
+            " WHERE source_event = ? OR target_event = ?",
+            (event_uuid, event_uuid),
+        ).fetchall()
+        return [
+            {
+                "source_attribute": r[0], "target_attribute": r[1],
+                "source_event": r[2], "target_event": r[3], "value": r[4],
+            }
+            for r in rows
+        ]
+
+    def correlation_count(self) -> int:
+        """Total stored correlation edges."""
+        return self._conn.execute("SELECT COUNT(*) FROM correlations").fetchone()[0]

@@ -1,0 +1,159 @@
+"""MISP taxonomies and machine tags.
+
+MISP tags follow the *machine tag* convention
+``namespace:predicate="value"`` (value optional).  The platform already
+uses several (``caop:ioc="composed"``, ``tlp:amber``); this module gives
+them a real model: parsing, rendering, and a taxonomy registry that can
+validate tags against declared predicates/values — the same role MISP's
+taxonomy library plays.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import ValidationError
+
+_MACHINE_TAG_RE = re.compile(
+    r'^(?P<namespace>[a-z0-9._-]+):(?P<predicate>[a-zA-Z0-9._-]+)'
+    r'(?:="(?P<value>[^"]*)")?$'
+)
+
+
+@dataclass(frozen=True)
+class MachineTag:
+    """A parsed ``namespace:predicate="value"`` tag."""
+
+    namespace: str
+    predicate: str
+    value: Optional[str] = None
+
+    def render(self) -> str:
+        """Render this view as printable text."""
+        if self.value is None:
+            return f"{self.namespace}:{self.predicate}"
+        return f'{self.namespace}:{self.predicate}="{self.value}"'
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def parse_machine_tag(text: str) -> Optional[MachineTag]:
+    """Parse a tag string; returns None for free-form (non-machine) tags."""
+    match = _MACHINE_TAG_RE.match(text.strip())
+    if match is None:
+        return None
+    return MachineTag(
+        namespace=match.group("namespace"),
+        predicate=match.group("predicate"),
+        value=match.group("value"),
+    )
+
+
+@dataclass(frozen=True)
+class TaxonomyPredicate:
+    """One predicate of a taxonomy and its permitted values (open if empty)."""
+
+    name: str
+    values: Tuple[str, ...] = ()
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Taxonomy:
+    """A namespace with its declared predicates."""
+
+    namespace: str
+    description: str
+    predicates: Tuple[TaxonomyPredicate, ...]
+
+    def predicate(self, name: str) -> Optional[TaxonomyPredicate]:
+        """Look up a predicate by name."""
+        for predicate in self.predicates:
+            if predicate.name == name:
+                return predicate
+        return None
+
+    def validate(self, tag: MachineTag) -> bool:
+        """Is this machine tag well-formed under the taxonomy?"""
+        if tag.namespace != self.namespace:
+            return False
+        predicate = self.predicate(tag.predicate)
+        if predicate is None:
+            return False
+        if predicate.values and tag.value not in predicate.values:
+            return False
+        if not predicate.values and tag.value is None:
+            return True
+        return True
+
+
+#: The built-in taxonomies the platform stamps on events.
+BUILTIN_TAXONOMIES: Tuple[Taxonomy, ...] = (
+    Taxonomy(
+        namespace="tlp",
+        description="Traffic Light Protocol",
+        predicates=(
+            TaxonomyPredicate("red"), TaxonomyPredicate("amber"),
+            TaxonomyPredicate("green"), TaxonomyPredicate("white"),
+        ),
+    ),
+    Taxonomy(
+        namespace="caop",
+        description="Context-Aware OSINT Platform lifecycle markers",
+        predicates=(
+            TaxonomyPredicate("ioc", values=("composed", "enriched")),
+            TaxonomyPredicate("source", values=("osint", "infrastructure")),
+            TaxonomyPredicate("relevance", values=("relevant", "irrelevant")),
+            TaxonomyPredicate("category"),
+            TaxonomyPredicate("feed"),
+            TaxonomyPredicate("sighting", values=("infrastructure",)),
+        ),
+    ),
+)
+
+
+class TaxonomyRegistry:
+    """Known taxonomies; validates tags and classifies events' tag sets."""
+
+    def __init__(self, taxonomies: Iterable[Taxonomy] = BUILTIN_TAXONOMIES) -> None:
+        self._by_namespace: Dict[str, Taxonomy] = {}
+        for taxonomy in taxonomies:
+            self.register(taxonomy)
+
+    def register(self, taxonomy: Taxonomy) -> None:
+        """Register a new entry; rejects duplicates."""
+        if taxonomy.namespace in self._by_namespace:
+            raise ValidationError(
+                f"taxonomy {taxonomy.namespace!r} already registered")
+        self._by_namespace[taxonomy.namespace] = taxonomy
+
+    def get(self, namespace: str) -> Optional[Taxonomy]:
+        """Look up an entry by key; None when absent."""
+        return self._by_namespace.get(namespace)
+
+    def namespaces(self) -> List[str]:
+        """The registered taxonomy namespaces."""
+        return sorted(self._by_namespace)
+
+    def validate_tag(self, text: str) -> bool:
+        """True when the tag is free-form OR a valid known machine tag.
+
+        Machine tags in *unknown* namespaces are accepted (MISP behaviour:
+        taxonomies are advisory); machine tags in known namespaces must
+        validate.
+        """
+        tag = parse_machine_tag(text)
+        if tag is None:
+            return True
+        taxonomy = self._by_namespace.get(tag.namespace)
+        if taxonomy is None:
+            return True
+        return taxonomy.validate(tag)
+
+    def audit_event(self, event) -> List[str]:
+        """Return the event's tags that FAIL validation (empty = clean)."""
+        return [tag.name for tag in event.tags
+                if not self.validate_tag(tag.name)]

@@ -1,0 +1,161 @@
+"""Warninglists: known-benign values that would cause false positives.
+
+MISP ships the *misp-warninglists* project for exactly the problem the
+paper worries about ("the issue of false alarms", §II-A): OSINT feeds
+routinely contain RFC1918 addresses, well-known public resolvers, or
+top-site domains that must never become blocking indicators.
+
+A :class:`Warninglist` matches values by exact entry, CIDR containment or
+domain suffix; the :class:`WarninglistIndex` aggregates the built-in lists
+and answers "is this value known-benign, and per which list?".
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class WarninglistHit:
+    """Why a value was flagged as known-benign."""
+
+    list_name: str
+    entry: str
+    value: str
+
+
+class Warninglist:
+    """One named list of known-benign entries.
+
+    ``match_type``:
+
+    - ``exact``  — case-insensitive string equality;
+    - ``cidr``   — entries are networks, values are IPs (containment);
+    - ``suffix`` — entries are domain suffixes (``example.com`` matches
+      ``a.b.example.com`` and ``example.com`` itself).
+    """
+
+    MATCH_TYPES = ("exact", "cidr", "suffix")
+
+    def __init__(self, name: str, entries: Iterable[str],
+                 match_type: str = "exact", description: str = "") -> None:
+        if not name:
+            raise ValidationError("warninglist needs a name")
+        if match_type not in self.MATCH_TYPES:
+            raise ValidationError(f"unknown match type {match_type!r}")
+        self.name = name
+        self.match_type = match_type
+        self.description = description
+        self._entries = [entry.strip().lower() for entry in entries if entry.strip()]
+        if not self._entries:
+            raise ValidationError(f"warninglist {name!r} has no entries")
+        if match_type == "cidr":
+            self._networks = [ipaddress.ip_network(e, strict=False)
+                              for e in self._entries]
+
+    @property
+    def entries(self) -> List[str]:
+        """The normalized list entries."""
+        return list(self._entries)
+
+    def match(self, value: str) -> Optional[WarninglistHit]:
+        """Return the hit when ``value`` is on this list."""
+        needle = value.strip().lower()
+        if not needle:
+            return None
+        if self.match_type == "exact":
+            if needle in self._entries:
+                return WarninglistHit(self.name, needle, value)
+            return None
+        if self.match_type == "cidr":
+            try:
+                address = ipaddress.ip_address(needle)
+            except ValueError:
+                return None
+            for entry, network in zip(self._entries, self._networks):
+                if address in network:
+                    return WarninglistHit(self.name, entry, value)
+            return None
+        # suffix
+        for entry in self._entries:
+            if needle == entry or needle.endswith("." + entry):
+                return WarninglistHit(self.name, entry, value)
+        return None
+
+
+#: Built-in lists, condensed transcriptions of the real misp-warninglists.
+def builtin_warninglists() -> List[Warninglist]:
+    """The built-in known-benign lists."""
+    return [
+        Warninglist(
+            name="rfc1918-private-ranges",
+            description="RFC1918 / loopback / link-local ranges",
+            match_type="cidr",
+            entries=["10.0.0.0/8", "172.16.0.0/12", "192.168.0.0/16",
+                     "127.0.0.0/8", "169.254.0.0/16"],
+        ),
+        Warninglist(
+            name="public-dns-resolvers",
+            description="well-known public DNS resolver addresses",
+            match_type="exact",
+            entries=["8.8.8.8", "8.8.4.4", "1.1.1.1", "1.0.0.1",
+                     "9.9.9.9", "208.67.222.222"],
+        ),
+        Warninglist(
+            name="top-sites",
+            description="domains of major internet properties",
+            match_type="suffix",
+            entries=["google.com", "microsoft.com", "apple.com",
+                     "amazon.com", "cloudflare.com", "akamai.net",
+                     "windowsupdate.com", "github.com"],
+        ),
+        Warninglist(
+            name="empty-hashes",
+            description="hashes of the empty file / common placeholders",
+            match_type="exact",
+            entries=[
+                "d41d8cd98f00b204e9800998ecf8427e",                       # md5("")
+                "da39a3ee5e6b4b0d3255bfef95601890afd80709",               # sha1("")
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+                "7852b855",                                               # sha256("")
+            ],
+        ),
+    ]
+
+
+class WarninglistIndex:
+    """All active warninglists; the collector consults this per indicator."""
+
+    def __init__(self, lists: Optional[Iterable[Warninglist]] = None) -> None:
+        self._lists: List[Warninglist] = list(
+            builtin_warninglists() if lists is None else lists)
+        self.hits: List[WarninglistHit] = []
+
+    def add(self, warninglist: Warninglist) -> None:
+        """Add one entry."""
+        if any(w.name == warninglist.name for w in self._lists):
+            raise ValidationError(
+                f"warninglist {warninglist.name!r} already registered")
+        self._lists.append(warninglist)
+
+    @property
+    def list_names(self) -> List[str]:
+        """Names of the active warninglists."""
+        return [w.name for w in self._lists]
+
+    def check(self, value: str) -> Optional[WarninglistHit]:
+        """First matching list wins; hits are recorded for reporting."""
+        for warninglist in self._lists:
+            hit = warninglist.match(value)
+            if hit is not None:
+                self.hits.append(hit)
+                return hit
+        return None
+
+    def is_benign(self, value: str) -> bool:
+        """Whether a value is on any warninglist."""
+        return self.check(value) is not None

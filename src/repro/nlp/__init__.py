@@ -1,0 +1,36 @@
+"""NLP substrate: threat lexicon, relevance classification, entity extraction."""
+
+from .classifier import NaiveBayesClassifier, Prediction, RelevanceClassifier, tokenize
+from .extract import (
+    DEFAULT_GAZETTEER,
+    ExtractedEntities,
+    GazetteerExtractor,
+    extract_iocs,
+    refang,
+)
+from .lexicon import (
+    SUPPORTED_LANGUAGES,
+    THREAT_CATEGORIES,
+    THREAT_LEXICON,
+    ThreatTagger,
+    all_keywords,
+    keywords_for,
+)
+
+__all__ = [
+    "NaiveBayesClassifier",
+    "Prediction",
+    "RelevanceClassifier",
+    "tokenize",
+    "DEFAULT_GAZETTEER",
+    "ExtractedEntities",
+    "GazetteerExtractor",
+    "extract_iocs",
+    "refang",
+    "SUPPORTED_LANGUAGES",
+    "THREAT_CATEGORIES",
+    "THREAT_LEXICON",
+    "ThreatTagger",
+    "all_keywords",
+    "keywords_for",
+]

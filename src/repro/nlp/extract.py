@@ -1,0 +1,187 @@
+"""Entity extraction from OSINT text.
+
+§II-A: "In addition to the type of threat, other information from the OSINT
+sources such as location and entities involved could also be extracted".
+
+Two extractor families:
+
+- :func:`extract_iocs` pulls technical indicators (IPs, domains, URLs,
+  file hashes, CVE ids, email addresses) with defanging support
+  (``hxxp://``, ``1.2.3[.]4``);
+- :class:`GazetteerExtractor` finds locations/organizations from a
+  configurable gazetteer (a tiny built-in one covers the examples).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+# Common TLDs for conservative domain matching (avoids "e.g" style hits).
+_TLDS = (
+    "com|net|org|info|biz|io|co|ru|cn|de|fr|uk|es|pt|it|nl|eu|us|edu|gov|mil|"
+    "onion|xyz|top|site|online|club|example"
+)
+
+_DEFANG_REPLACEMENTS = (
+    ("hxxp://", "http://"),
+    ("hxxps://", "https://"),
+    ("[.]", "."),
+    ("(.)", "."),
+    ("[dot]", "."),
+    ("[@]", "@"),
+    ("[at]", "@"),
+)
+
+_IPV4_RE = re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}\b")
+_URL_RE = re.compile(r"\bhttps?://[^\s'\"<>\)\]]+", re.IGNORECASE)
+_DOMAIN_RE = re.compile(
+    r"\b(?:[a-z0-9](?:[a-z0-9-]{0,61}[a-z0-9])?\.)+(?:" + _TLDS + r")\b",
+    re.IGNORECASE,
+)
+_EMAIL_RE = re.compile(r"\b[a-z0-9._%+-]+@[a-z0-9.-]+\.[a-z]{2,}\b", re.IGNORECASE)
+_MD5_RE = re.compile(r"\b[a-f0-9]{32}\b", re.IGNORECASE)
+_SHA1_RE = re.compile(r"\b[a-f0-9]{40}\b", re.IGNORECASE)
+_SHA256_RE = re.compile(r"\b[a-f0-9]{64}\b", re.IGNORECASE)
+_CVE_RE = re.compile(r"\bCVE-\d{4}-\d{4,}\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ExtractedEntities:
+    """The typed result of :func:`extract_iocs`."""
+
+    ipv4: Tuple[str, ...] = ()
+    domains: Tuple[str, ...] = ()
+    urls: Tuple[str, ...] = ()
+    emails: Tuple[str, ...] = ()
+    md5: Tuple[str, ...] = ()
+    sha1: Tuple[str, ...] = ()
+    sha256: Tuple[str, ...] = ()
+    cves: Tuple[str, ...] = ()
+
+    def is_empty(self) -> bool:
+        """Whether nothing was extracted."""
+        return not any((self.ipv4, self.domains, self.urls, self.emails,
+                        self.md5, self.sha1, self.sha256, self.cves))
+
+    def as_dict(self) -> Dict[str, Tuple[str, ...]]:
+        """The extracted entities keyed by kind."""
+        return {
+            "ipv4": self.ipv4, "domains": self.domains, "urls": self.urls,
+            "emails": self.emails, "md5": self.md5, "sha1": self.sha1,
+            "sha256": self.sha256, "cves": self.cves,
+        }
+
+    def count(self) -> int:
+        """Total number of extracted entities."""
+        return sum(len(v) for v in self.as_dict().values())
+
+
+def refang(text: str) -> str:
+    """Undo common indicator defanging so the regexes can match."""
+    lowered_pairs = _DEFANG_REPLACEMENTS
+    for needle, replacement in lowered_pairs:
+        text = re.sub(re.escape(needle), replacement, text, flags=re.IGNORECASE)
+    return text
+
+
+def _valid_ipv4(candidate: str) -> bool:
+    try:
+        ipaddress.IPv4Address(candidate)
+        return True
+    except ValueError:
+        return False
+
+
+def _dedupe(values: Iterable[str]) -> Tuple[str, ...]:
+    seen: Set[str] = set()
+    out: List[str] = []
+    for value in values:
+        key = value.lower()
+        if key not in seen:
+            seen.add(key)
+            out.append(value)
+    return tuple(out)
+
+
+def extract_iocs(text: str) -> ExtractedEntities:
+    """Extract technical indicators from (possibly defanged) free text."""
+    cleaned = refang(text)
+
+    urls = _dedupe(_URL_RE.findall(cleaned))
+    emails = _dedupe(_EMAIL_RE.findall(cleaned))
+    # Hashes: longest first so a sha256 is not also reported as two md5s.
+    sha256 = _dedupe(_SHA256_RE.findall(cleaned))
+    remainder = _SHA256_RE.sub(" ", cleaned)
+    sha1 = _dedupe(_SHA1_RE.findall(remainder))
+    remainder = _SHA1_RE.sub(" ", remainder)
+    md5 = _dedupe(_MD5_RE.findall(remainder))
+
+    ipv4 = _dedupe(c for c in _IPV4_RE.findall(cleaned) if _valid_ipv4(c))
+
+    # Domains: drop ones that only appear inside a URL or an email address.
+    inside = " ".join(urls) + " " + " ".join(emails)
+    domains = _dedupe(
+        d for d in _DOMAIN_RE.findall(cleaned)
+        if d.lower() not in inside.lower() and not _valid_ipv4(d)
+    )
+    cves = _dedupe(c.upper() for c in _CVE_RE.findall(cleaned))
+    return ExtractedEntities(
+        ipv4=ipv4, domains=domains, urls=urls, emails=emails,
+        md5=tuple(h.lower() for h in md5), sha1=tuple(h.lower() for h in sha1),
+        sha256=tuple(h.lower() for h in sha256), cves=cves,
+    )
+
+
+#: Minimal built-in gazetteer: name -> entity kind.
+DEFAULT_GAZETTEER: Mapping[str, str] = {
+    "spain": "location", "portugal": "location", "france": "location",
+    "germany": "location", "united states": "location", "lisbon": "location",
+    "madrid": "location", "barcelona": "location", "europe": "location",
+    "ukraine": "location", "russia": "location", "china": "location",
+    "italy": "location", "united kingdom": "location",
+    "netherlands": "location", "poland": "location", "japan": "location",
+    "india": "location", "north korea": "location", "iran": "location",
+    "canada": "location", "mexico": "location", "brazil": "location",
+    "argentina": "location", "nigeria": "location",
+    "south africa": "location", "egypt": "location", "australia": "location",
+    "microsoft": "organization", "apache": "organization",
+    "atos": "organization", "mitre": "organization", "oasis": "organization",
+    "anssi": "organization", "enisa": "organization", "europol": "organization",
+    "apt28": "threat-actor", "apt29": "threat-actor", "lazarus": "threat-actor",
+    "fin7": "threat-actor", "carbanak": "threat-actor",
+}
+
+
+class GazetteerExtractor:
+    """Finds known named entities (locations, orgs, actors) in text."""
+
+    def __init__(self, gazetteer: Optional[Mapping[str, str]] = None) -> None:
+        self._gazetteer = dict(DEFAULT_GAZETTEER if gazetteer is None else gazetteer)
+        self._ordered = sorted(self._gazetteer, key=len, reverse=True)
+
+    def add(self, name: str, kind: str) -> None:
+        """Add one entry."""
+        self._gazetteer[name.lower()] = kind
+        self._ordered = sorted(self._gazetteer, key=len, reverse=True)
+
+    def extract(self, text: str) -> Dict[str, List[str]]:
+        """Return kind -> [matched names] (deduplicated, lowercase)."""
+        lowered = text.lower()
+        found: Dict[str, List[str]] = {}
+        for name in self._ordered:
+            index = lowered.find(name)
+            while index != -1:
+                end = index + len(name)
+                before_ok = index == 0 or not lowered[index - 1].isalnum()
+                after_ok = end >= len(lowered) or not lowered[end].isalnum()
+                if before_ok and after_ok:
+                    kind = self._gazetteer[name]
+                    bucket = found.setdefault(kind, [])
+                    if name not in bucket:
+                        bucket.append(name)
+                    break
+                index = lowered.find(name, index + 1)
+        return found

@@ -1,0 +1,24 @@
+"""Sharing: TAXII-lite, external entities, SIEM connector + detection metrics."""
+
+from .external import ExternalEntity, SharingGateway, SharingRecord
+from .policy import DEFAULT_TLP, SharingPolicy, Tlp, mark_tlp, tlp_of
+from .siem import CorrelationRule, DetectionReport, SiemAlert, SiemConnector
+from .taxii import TaxiiClient, TaxiiCollection, TaxiiServer
+
+__all__ = [
+    "ExternalEntity",
+    "DEFAULT_TLP",
+    "SharingPolicy",
+    "Tlp",
+    "mark_tlp",
+    "tlp_of",
+    "SharingGateway",
+    "SharingRecord",
+    "CorrelationRule",
+    "DetectionReport",
+    "SiemAlert",
+    "SiemConnector",
+    "TaxiiClient",
+    "TaxiiCollection",
+    "TaxiiServer",
+]

@@ -1,0 +1,139 @@
+"""External-entity sharing orchestration (§III-C2).
+
+"The exchange of eIoCs is performed through MISP ... However, when sharing
+with external entities that do not use MISP ... the usage of other standards
+is preferable ... STIX 2.0 represents a good choice."
+
+An :class:`ExternalEntity` declares which transport it understands; the
+:class:`SharingGateway` routes each eIoC accordingly:
+
+- ``misp``  -> MISP-to-MISP sync (MISP JSON);
+- ``taxii`` -> STIX 2.0 bundle pushed to a TAXII collection;
+- ``stix-download`` -> rendered STIX 2.0 JSON handed over as a document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import SharingError
+from ..misp import MispEvent, MispInstance, to_stix2_bundle
+from .taxii import TaxiiClient, TaxiiServer
+
+
+@dataclass
+class ExternalEntity:
+    """A trusted partner and how to reach it."""
+
+    name: str
+    transport: str  # "misp" | "taxii" | "stix-download"
+    misp_instance: Optional[MispInstance] = None
+    taxii_server: Optional[TaxiiServer] = None
+    taxii_collection: str = "indicators"
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("misp", "taxii", "stix-download"):
+            raise SharingError(f"unknown transport {self.transport!r}")
+        if self.transport == "misp" and self.misp_instance is None:
+            raise SharingError(f"entity {self.name!r} needs a MISP instance")
+        if self.transport == "taxii" and self.taxii_server is None:
+            raise SharingError(f"entity {self.name!r} needs a TAXII server")
+
+
+@dataclass
+class SharingRecord:
+    """Audit trail entry for one share operation."""
+
+    entity: str
+    transport: str
+    event_uuid: str
+    payload_bytes: int
+    ok: bool
+    detail: str = ""
+
+
+class SharingGateway:
+    """Shares eIoCs from the local MISP instance with external entities.
+
+    When a :class:`~repro.sharing.policy.SharingPolicy` is attached, every
+    share is checked against the event's TLP marking and the entity's
+    clearance before any transport is invoked.
+    """
+
+    def __init__(self, local_misp: MispInstance, policy=None) -> None:
+        self._misp = local_misp
+        self._entities: List[ExternalEntity] = []
+        self._policy = policy
+        self.audit_log: List[SharingRecord] = []
+
+    def register(self, entity: ExternalEntity) -> None:
+        """Register a new entry; rejects duplicates."""
+        if any(e.name == entity.name for e in self._entities):
+            raise SharingError(f"entity {entity.name!r} already registered")
+        self._entities.append(entity)
+
+    @property
+    def entities(self) -> List[ExternalEntity]:
+        """The registered external entities."""
+        return list(self._entities)
+
+    def share_event(self, event_uuid: str) -> List[SharingRecord]:
+        """Share one stored eIoC with every registered entity."""
+        event = self._misp.store.get_event(event_uuid)
+        if event is None:
+            raise SharingError(f"no such event {event_uuid}")
+        records = [self._share_one(event, entity) for entity in self._entities]
+        self.audit_log.extend(records)
+        return records
+
+    def _share_one(self, event: MispEvent,
+                   entity: ExternalEntity) -> SharingRecord:
+        if self._policy is not None and not self._policy.allows(event, entity.name):
+            from .policy import tlp_of
+            return SharingRecord(
+                entity=entity.name, transport=entity.transport,
+                event_uuid=event.uuid, payload_bytes=0, ok=False,
+                detail=f"refused by TLP policy (marking: {tlp_of(event)})",
+            )
+        try:
+            if entity.transport == "misp":
+                pushed = self._misp.push_event(event, entity.misp_instance)
+                payload = len(self._misp.export_event(event.uuid, "misp-json"))
+                return SharingRecord(
+                    entity=entity.name, transport="misp",
+                    event_uuid=event.uuid, payload_bytes=payload,
+                    ok=pushed,
+                    detail="" if pushed else "skipped (distribution/duplicate)",
+                )
+            if entity.transport == "taxii":
+                bundle = to_stix2_bundle(event)
+                client = TaxiiClient(entity.taxii_server)
+                status = client.push_bundle(entity.taxii_collection, bundle)
+                payload = len(bundle.to_json())
+                ok = status["failure_count"] == 0 and status["success_count"] > 0
+                return SharingRecord(
+                    entity=entity.name, transport="taxii",
+                    event_uuid=event.uuid, payload_bytes=payload, ok=ok,
+                    detail=f"accepted {status['success_count']} objects",
+                )
+            # stix-download: render and hand over.
+            document = to_stix2_bundle(event).to_json()
+            return SharingRecord(
+                entity=entity.name, transport="stix-download",
+                event_uuid=event.uuid, payload_bytes=len(document), ok=True,
+            )
+        except SharingError as exc:
+            return SharingRecord(
+                entity=entity.name, transport=entity.transport,
+                event_uuid=event.uuid, payload_bytes=0, ok=False,
+                detail=str(exc),
+            )
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate counters over the audit log."""
+        out: Dict[str, int] = {"shared": 0, "failed": 0, "bytes": 0}
+        for record in self.audit_log:
+            out["shared" if record.ok else "failed"] += 1
+            out["bytes"] += record.payload_bytes
+        return out

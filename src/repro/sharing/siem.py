@@ -1,0 +1,251 @@
+"""SIEM connector: rIoCs -> correlation rules -> detections.
+
+§IV-C: the threat score "is used by (i) SIEMs, as an input to develop new
+correlation rules in order to improve incident detection and response"; §VI
+plans evaluation "in terms of detection, false positive and false negative
+rates".  This connector closes that loop: it converts rIoCs/eIoCs into
+value-match and STIX-pattern rules, replays infrastructure telemetry against
+them, and reports the confusion matrix.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ValidationError
+from ..misp import CORRELATABLE_TYPES, MispEvent
+from ..stix import CompiledPattern, Observation
+
+#: MISP attribute type -> the observable type its value matches.
+_ATTRIBUTE_OBSERVABLE_TYPE: Mapping[str, str] = {
+    "ip-src": "ipv4-addr", "ip-dst": "ipv4-addr",
+    "domain": "domain-name", "hostname": "domain-name",
+    "url": "url", "md5": "file", "sha1": "file", "sha256": "file",
+    "email-src": "email-addr",
+}
+
+
+@dataclass(frozen=True)
+class CorrelationRule:
+    """One SIEM rule: match a value (or a pattern) with a priority score."""
+
+    rule_id: str
+    description: str
+    threat_score: float
+    value: Optional[str] = None            # simple value-match rule
+    observable_type: Optional[str] = None
+    pattern: Optional[str] = None          # STIX pattern rule
+
+    def __post_init__(self) -> None:
+        if self.value is None and self.pattern is None:
+            raise ValidationError("a rule needs a value or a pattern")
+
+
+@dataclass(frozen=True)
+class SiemAlert:
+    """A rule firing on one observation."""
+
+    rule_id: str
+    matched_value: str
+    threat_score: float
+    timestamp: _dt.datetime
+
+
+@dataclass
+class DetectionReport:
+    """Confusion counts for a replayed telemetry stream."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        """Recall: TP / (TP + FN)."""
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN)."""
+        total = self.false_positives + self.true_negatives
+        return self.false_positives / total if total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP)."""
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and detection rate."""
+        p, r = self.precision, self.detection_rate
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+class SiemConnector:
+    """A minimal SIEM rule engine fed by the platform's output module."""
+
+    def __init__(self, min_threat_score: float = 0.0,
+                 warninglists: "Optional[object]" = None) -> None:
+        if not 0.0 <= min_threat_score <= 5.0:
+            raise ValidationError("min_threat_score must be within [0, 5]")
+        self.min_threat_score = min_threat_score
+        self._value_rules: Dict[Tuple[str, str], CorrelationRule] = {}
+        self._pattern_rules: List[Tuple[CompiledPattern, CorrelationRule]] = []
+        self._warninglists = warninglists
+        self._sequence_rules: List[Tuple[CompiledPattern, _dt.timedelta,
+                                         CorrelationRule]] = []
+        self._window_observations: List[Observation] = []
+        self.alerts: List[SiemAlert] = []
+        self.rejected_low_score = 0
+        self.rejected_benign = 0
+
+    # -- rule creation ------------------------------------------------------------
+
+    def rule_count(self) -> int:
+        """Number of active rules (value + pattern)."""
+        return len(self._value_rules) + len(self._pattern_rules)
+
+    def add_rules_from_eioc(self, eioc: MispEvent, threat_score: float) -> int:
+        """One value rule per correlatable attribute of the eIoC.
+
+        Events whose threat score falls below ``min_threat_score`` are
+        ignored — this is the knob the X4 benchmark sweeps.
+        """
+        if threat_score < self.min_threat_score:
+            self.rejected_low_score += 1
+            return 0
+        created = 0
+        for attribute in eioc.all_attributes():
+            if attribute.type not in CORRELATABLE_TYPES or not attribute.to_ids:
+                continue
+            observable_type = _ATTRIBUTE_OBSERVABLE_TYPE.get(attribute.type)
+            if observable_type is None:
+                continue
+            if (self._warninglists is not None
+                    and self._warninglists.is_benign(attribute.value)):
+                # A blocking rule on a known-benign value (public resolver,
+                # top-site domain...) is a guaranteed false-positive machine.
+                self.rejected_benign += 1
+                continue
+            key = (observable_type, attribute.value.lower())
+            existing = self._value_rules.get(key)
+            if existing is None or existing.threat_score < threat_score:
+                self._value_rules[key] = CorrelationRule(
+                    rule_id=f"rule-{attribute.uuid}",
+                    description=f"{attribute.type}={attribute.value} "
+                                f"(from eIoC {eioc.uuid[:8]})",
+                    threat_score=threat_score,
+                    value=attribute.value.lower(),
+                    observable_type=observable_type,
+                )
+                created += 1
+        return created
+
+    def add_pattern_rule(self, rule_id: str, pattern: str,
+                         threat_score: float, description: str = "") -> None:
+        """Register a single-observation STIX-pattern rule."""
+        compiled = CompiledPattern(pattern)
+        self._pattern_rules.append((compiled, CorrelationRule(
+            rule_id=rule_id, description=description,
+            threat_score=threat_score, pattern=pattern,
+        )))
+
+    # -- detection ------------------------------------------------------------------
+
+    def match(self, observable: Mapping[str, str],
+              timestamp: _dt.datetime) -> Optional[SiemAlert]:
+        """Match one observable against every rule; returns the best alert."""
+        obs_type = observable.get("type", "")
+        value = str(observable.get("value", "")).lower()
+        best: Optional[SiemAlert] = None
+        rule = self._value_rules.get((obs_type, value))
+        if rule is not None:
+            best = SiemAlert(rule.rule_id, value, rule.threat_score, timestamp)
+        if self._pattern_rules:
+            observation = Observation.single(dict(observable), timestamp)
+            for compiled, pattern_rule in self._pattern_rules:
+                if compiled.matches([observation]):
+                    candidate = SiemAlert(
+                        pattern_rule.rule_id, value,
+                        pattern_rule.threat_score, timestamp)
+                    if best is None or candidate.threat_score > best.threat_score:
+                        best = candidate
+        if best is not None:
+            self.alerts.append(best)
+        return best
+
+    # -- multi-event sequence rules ------------------------------------------
+
+    def add_sequence_rule(self, rule_id: str, pattern: str,
+                          threat_score: float,
+                          window: _dt.timedelta = _dt.timedelta(minutes=10),
+                          description: str = "") -> None:
+        """A rule over an observation *sequence* (FOLLOWEDBY / REPEATS...).
+
+        Sequence rules are evaluated by :meth:`observe`, which keeps a
+        sliding window of recent observations — the stateful correlation
+        real SIEM directives (e.g. "brute force then success") need.
+        """
+        compiled = CompiledPattern(pattern)
+        self._sequence_rules.append((compiled, window, CorrelationRule(
+            rule_id=rule_id, description=description,
+            threat_score=threat_score, pattern=pattern)))
+
+    def observe(self, observable: Mapping[str, str],
+                timestamp: _dt.datetime) -> List[SiemAlert]:
+        """Feed one observation into the sequence engine (and point rules).
+
+        Returns every alert raised: point-rule matches plus any sequence
+        rule satisfied by the observations inside its window.
+        """
+        alerts: List[SiemAlert] = []
+        point = self.match(observable, timestamp)
+        if point is not None:
+            alerts.append(point)
+        if not self._sequence_rules:
+            return alerts
+        self._window_observations.append(
+            Observation.single(dict(observable), timestamp))
+        # Trim to the widest window among the rules.
+        widest = max(window for _c, window, _r in self._sequence_rules)
+        cutoff = timestamp - widest
+        self._window_observations = [
+            obs for obs in self._window_observations
+            if obs.timestamp >= cutoff]
+        for compiled, window, rule in self._sequence_rules:
+            in_window = [obs for obs in self._window_observations
+                         if obs.timestamp >= timestamp - window]
+            if compiled.matches(in_window):
+                alert = SiemAlert(rule.rule_id,
+                                  str(observable.get("value", "")),
+                                  rule.threat_score, timestamp)
+                self.alerts.append(alert)
+                alerts.append(alert)
+                # One firing per satisfaction: drop the consumed window.
+                self._window_observations = [
+                    obs for obs in self._window_observations
+                    if obs not in in_window]
+        return alerts
+
+    def replay(self, telemetry: Sequence[Tuple[Mapping[str, str], bool]],
+               timestamp: Optional[_dt.datetime] = None) -> DetectionReport:
+        """Replay labelled telemetry: (observable, is_malicious) pairs."""
+        timestamp = timestamp or _dt.datetime(2018, 6, 15, tzinfo=_dt.timezone.utc)
+        report = DetectionReport()
+        for observable, is_malicious in telemetry:
+            alert = self.match(observable, timestamp)
+            if alert is not None and is_malicious:
+                report.true_positives += 1
+            elif alert is not None:
+                report.false_positives += 1
+            elif is_malicious:
+                report.false_negatives += 1
+            else:
+                report.true_negatives += 1
+        return report

@@ -1,0 +1,71 @@
+"""STIX 2.0 substrate: objects, bundle, vocabularies and patterning."""
+
+from .base import ExternalReference, KillChainPhase, StixObject
+from .bundle import Bundle, parse_object
+from .markings import (
+    TLP_MARKING_IDS,
+    marking_ref_for,
+    tlp_from_marking_refs,
+    tlp_marking_definition,
+)
+from .pattern import (
+    CompiledPattern,
+    Observation,
+    equals_pattern,
+    match,
+    parse_pattern,
+    validate_pattern,
+)
+from .sdo import (
+    SDO_CLASSES,
+    AttackPattern,
+    Campaign,
+    CourseOfAction,
+    Identity,
+    Indicator,
+    IntrusionSet,
+    Malware,
+    ObservedData,
+    Report,
+    StixDomainObject,
+    ThreatActor,
+    Tool,
+    Vulnerability,
+)
+from .sro import SRO_CLASSES, Relationship, Sighting, StixRelationshipObject
+
+__all__ = [
+    "ExternalReference",
+    "KillChainPhase",
+    "StixObject",
+    "Bundle",
+    "parse_object",
+    "TLP_MARKING_IDS",
+    "marking_ref_for",
+    "tlp_from_marking_refs",
+    "tlp_marking_definition",
+    "CompiledPattern",
+    "Observation",
+    "equals_pattern",
+    "match",
+    "parse_pattern",
+    "validate_pattern",
+    "SDO_CLASSES",
+    "SRO_CLASSES",
+    "AttackPattern",
+    "Campaign",
+    "CourseOfAction",
+    "Identity",
+    "Indicator",
+    "IntrusionSet",
+    "Malware",
+    "ObservedData",
+    "Report",
+    "StixDomainObject",
+    "StixRelationshipObject",
+    "ThreatActor",
+    "Tool",
+    "Vulnerability",
+    "Relationship",
+    "Sighting",
+]

@@ -1,0 +1,200 @@
+"""The twelve STIX 2.0 Domain Objects.
+
+Six of these (attack-pattern, identity, indicator, malware, tool,
+vulnerability) are the heuristics the paper's scoring engine evaluates
+(§III-B2a); the rest are implemented so bundles from external entities can be
+ingested without loss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .base import KillChainPhase, StixObject, common_properties
+from .properties import (
+    BooleanProperty,
+    EmbeddedObjectProperty,
+    IdProperty,
+    IntegerProperty,
+    ListProperty,
+    OpenVocabProperty,
+    Property,
+    StringProperty,
+    TimestampProperty,
+)
+from . import vocab
+
+
+class StixDomainObject(StixObject):
+    """Marker base class for the SDOs."""
+
+
+def _sdo_properties(object_type: str, extra: Dict[str, Property]) -> Dict[str, Property]:
+    props = common_properties(object_type)
+    props.update(extra)
+    return props
+
+
+class AttackPattern(StixDomainObject):
+    """A TTP describing how adversaries attempt to compromise targets."""
+
+    object_type = "attack-pattern"
+    properties = _sdo_properties("attack-pattern", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "kill_chain_phases": ListProperty(EmbeddedObjectProperty(KillChainPhase)),
+    })
+
+
+class Campaign(StixDomainObject):
+    """A grouping of adversarial behaviours over time against specific targets."""
+
+    object_type = "campaign"
+    properties = _sdo_properties("campaign", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "aliases": ListProperty(StringProperty()),
+        "first_seen": TimestampProperty(),
+        "last_seen": TimestampProperty(),
+        "objective": StringProperty(),
+    })
+
+
+class CourseOfAction(StixDomainObject):
+    """An action taken to prevent or respond to an attack."""
+
+    object_type = "course-of-action"
+    properties = _sdo_properties("course-of-action", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+    })
+
+
+class Identity(StixDomainObject):
+    """Individuals, organizations or groups involved in a security event."""
+
+    object_type = "identity"
+    properties = _sdo_properties("identity", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "identity_class": OpenVocabProperty(vocab.IDENTITY_CLASS, required=True),
+        "sectors": ListProperty(OpenVocabProperty(vocab.INDUSTRY_SECTOR)),
+        "contact_information": StringProperty(),
+    })
+
+
+class Indicator(StixDomainObject):
+    """A pattern used to detect suspicious or malicious cyber activity."""
+
+    object_type = "indicator"
+    properties = _sdo_properties("indicator", {
+        "name": StringProperty(),
+        "description": StringProperty(),
+        "pattern": StringProperty(required=True, allow_empty=False),
+        "valid_from": TimestampProperty(required=True),
+        "valid_until": TimestampProperty(),
+        "kill_chain_phases": ListProperty(EmbeddedObjectProperty(KillChainPhase)),
+    })
+
+
+class IntrusionSet(StixDomainObject):
+    """A grouped set of adversarial behaviours/resources with common properties."""
+
+    object_type = "intrusion-set"
+    properties = _sdo_properties("intrusion-set", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "aliases": ListProperty(StringProperty()),
+        "first_seen": TimestampProperty(),
+        "last_seen": TimestampProperty(),
+        "goals": ListProperty(StringProperty()),
+        "resource_level": OpenVocabProperty(vocab.ATTACK_RESOURCE_LEVEL),
+        "primary_motivation": OpenVocabProperty(vocab.ATTACK_MOTIVATION),
+        "secondary_motivations": ListProperty(OpenVocabProperty(vocab.ATTACK_MOTIVATION)),
+    })
+
+
+class Malware(StixDomainObject):
+    """Malicious code used to compromise confidentiality/integrity/availability."""
+
+    object_type = "malware"
+    properties = _sdo_properties("malware", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "kill_chain_phases": ListProperty(EmbeddedObjectProperty(KillChainPhase)),
+    })
+
+
+class ObservedData(StixDomainObject):
+    """Raw observations (cyber observables) seen on systems and networks."""
+
+    object_type = "observed-data"
+    properties = _sdo_properties("observed-data", {
+        "first_observed": TimestampProperty(required=True),
+        "last_observed": TimestampProperty(required=True),
+        "number_observed": IntegerProperty(required=True, minimum=1),
+        "objects": Property(required=True),
+    })
+
+
+class Report(StixDomainObject):
+    """A collection of threat intelligence focused on one or more topics."""
+
+    object_type = "report"
+    properties = _sdo_properties("report", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "published": TimestampProperty(required=True),
+        "object_refs": ListProperty(IdProperty(), required=True),
+    })
+
+
+class ThreatActor(StixDomainObject):
+    """Individuals or groups believed to operate with malicious intent."""
+
+    object_type = "threat-actor"
+    properties = _sdo_properties("threat-actor", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "aliases": ListProperty(StringProperty()),
+        "roles": ListProperty(OpenVocabProperty(vocab.THREAT_ACTOR_ROLE)),
+        "goals": ListProperty(StringProperty()),
+        "sophistication": OpenVocabProperty(vocab.THREAT_ACTOR_SOPHISTICATION),
+        "resource_level": OpenVocabProperty(vocab.ATTACK_RESOURCE_LEVEL),
+        "primary_motivation": OpenVocabProperty(vocab.ATTACK_MOTIVATION),
+        "secondary_motivations": ListProperty(OpenVocabProperty(vocab.ATTACK_MOTIVATION)),
+        "personal_motivations": ListProperty(OpenVocabProperty(vocab.ATTACK_MOTIVATION)),
+    })
+
+
+class Tool(StixDomainObject):
+    """Legitimate software that can be used by threat actors to perform attacks."""
+
+    object_type = "tool"
+    properties = _sdo_properties("tool", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "kill_chain_phases": ListProperty(EmbeddedObjectProperty(KillChainPhase)),
+        "tool_version": StringProperty(),
+    })
+
+
+class Vulnerability(StixDomainObject):
+    """A software mistake directly usable to gain access to a system/network."""
+
+    object_type = "vulnerability"
+    properties = _sdo_properties("vulnerability", {
+        "name": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+    })
+
+
+#: type name -> class, used by bundle parsing and the MISP export modules.
+SDO_CLASSES: Dict[str, type] = {
+    cls.object_type: cls
+    for cls in (
+        AttackPattern, Campaign, CourseOfAction, Identity, Indicator,
+        IntrusionSet, Malware, ObservedData, Report, ThreatActor, Tool,
+        Vulnerability,
+    )
+}

@@ -1,0 +1,54 @@
+"""STIX 2.0 Relationship Objects: relationship and sighting."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import StixObject, common_properties
+from .properties import (
+    IdProperty,
+    IntegerProperty,
+    ListProperty,
+    Property,
+    StringProperty,
+    TimestampProperty,
+)
+
+
+class StixRelationshipObject(StixObject):
+    """Marker base class for the SROs."""
+
+
+class Relationship(StixRelationshipObject):
+    """A typed link between two SDOs (e.g. indicator *indicates* malware)."""
+
+    object_type = "relationship"
+    properties = {
+        **common_properties("relationship"),
+        "relationship_type": StringProperty(required=True, allow_empty=False),
+        "description": StringProperty(),
+        "source_ref": IdProperty(required=True),
+        "target_ref": IdProperty(required=True),
+    }
+
+
+class Sighting(StixRelationshipObject):
+    """A belief that an element of CTI was seen (by whom, where, how often)."""
+
+    object_type = "sighting"
+    properties = {
+        **common_properties("sighting"),
+        "first_seen": TimestampProperty(),
+        "last_seen": TimestampProperty(),
+        "count": IntegerProperty(minimum=0),
+        "sighting_of_ref": IdProperty(required=True),
+        "observed_data_refs": ListProperty(IdProperty(object_type="observed-data")),
+        "where_sighted_refs": ListProperty(IdProperty(object_type="identity")),
+        "summary": Property(),
+    }
+
+
+SRO_CLASSES: Dict[str, type] = {
+    Relationship.object_type: Relationship,
+    Sighting.object_type: Sighting,
+}

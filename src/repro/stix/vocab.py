@@ -1,0 +1,98 @@
+"""STIX 2.0 open vocabularies (STIX 2.0 Part 1, section 6).
+
+Only the vocabularies the platform's heuristics consume are transcribed in
+full; they are module-level tuples so tests can assert against the spec
+wording directly.
+"""
+
+from __future__ import annotations
+
+ATTACK_MOTIVATION = (
+    "accidental", "coercion", "dominance", "ideology", "notoriety",
+    "organizational-gain", "personal-gain", "personal-satisfaction",
+    "revenge", "unpredictable",
+)
+
+ATTACK_RESOURCE_LEVEL = (
+    "individual", "club", "contest", "team", "organization", "government",
+)
+
+IDENTITY_CLASS = (
+    "individual", "group", "organization", "class", "unknown",
+)
+
+INDICATOR_LABEL = (
+    "anomalous-activity", "anonymization", "benign", "compromised",
+    "malicious-activity", "attribution",
+)
+
+INDUSTRY_SECTOR = (
+    "agriculture", "aerospace", "automotive", "communications",
+    "construction", "defence", "education", "energy", "entertainment",
+    "financial-services", "government-national", "government-regional",
+    "government-local", "government-public-services", "healthcare",
+    "hospitality-leisure", "infrastructure", "insurance", "manufacturing",
+    "mining", "non-profit", "pharmaceuticals", "retail", "technology",
+    "telecommunications", "transportation", "utilities",
+)
+
+MALWARE_LABEL = (
+    "adware", "backdoor", "bot", "ddos", "dropper", "exploit-kit",
+    "keylogger", "ransomware", "remote-access-trojan", "resource-exploitation",
+    "rogue-security-software", "rootkit", "screen-capture", "spyware",
+    "trojan", "virus", "worm",
+)
+
+REPORT_LABEL = (
+    "threat-report", "attack-pattern", "campaign", "identity", "indicator",
+    "intrusion-set", "malware", "observed-data", "threat-actor", "tool",
+    "vulnerability",
+)
+
+THREAT_ACTOR_LABEL = (
+    "activist", "competitor", "crime-syndicate", "criminal", "hacker",
+    "insider-accidental", "insider-disgruntled", "nation-state", "sensationalist",
+    "spy", "terrorist",
+)
+
+THREAT_ACTOR_ROLE = (
+    "agent", "director", "independent", "infrastructure-architect",
+    "infrastructure-operator", "malware-author", "sponsor",
+)
+
+THREAT_ACTOR_SOPHISTICATION = (
+    "none", "minimal", "intermediate", "advanced", "expert", "innovator",
+    "strategic",
+)
+
+TOOL_LABEL = (
+    "denial-of-service", "exploitation", "information-gathering",
+    "network-capture", "credential-exploitation", "remote-access",
+    "vulnerability-scanning",
+)
+
+#: Kill chain used throughout the platform's examples: the Lockheed Martin
+#: Cyber Kill Chain, the de-facto default in MISP and STIX tooling.
+LOCKHEED_MARTIN_KILL_CHAIN = "lockheed-martin-cyber-kill-chain"
+
+KILL_CHAIN_PHASES = (
+    "reconnaissance", "weaponization", "delivery", "exploitation",
+    "installation", "command-and-control", "actions-on-objectives",
+)
+
+#: The twelve STIX 2.0 Domain Object type names.
+SDO_TYPES = (
+    "attack-pattern", "campaign", "course-of-action", "identity",
+    "indicator", "intrusion-set", "malware", "observed-data", "report",
+    "threat-actor", "tool", "vulnerability",
+)
+
+#: The STIX 2.0 Relationship Object type names.
+SRO_TYPES = ("relationship", "sighting")
+
+#: Relationship types from the STIX 2.0 SDO relationship tables.
+COMMON_RELATIONSHIP_TYPES = (
+    "uses", "targets", "indicates", "mitigates", "attributed-to",
+    "variant-of", "impersonates", "duplicate-of", "derived-from",
+    "related-to",
+)

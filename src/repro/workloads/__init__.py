@@ -1,0 +1,29 @@
+"""Workloads and canonical scenarios for tests, examples and benchmarks."""
+
+from .scenarios import (
+    campaign_feeds,
+    RCE_CREATED,
+    RCE_CVE,
+    RCE_DESCRIPTION,
+    RCE_EXPECTED_SCORE,
+    RCE_PAPER_SCORE,
+    RceScenario,
+    rce_cioc,
+    rce_use_case,
+    siem_telemetry,
+    single_feed_collector,
+)
+
+__all__ = [
+    "campaign_feeds",
+    "RCE_CREATED",
+    "RCE_CVE",
+    "RCE_DESCRIPTION",
+    "RCE_EXPECTED_SCORE",
+    "RCE_PAPER_SCORE",
+    "RceScenario",
+    "rce_cioc",
+    "rce_use_case",
+    "siem_telemetry",
+    "single_feed_collector",
+]

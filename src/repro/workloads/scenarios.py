@@ -1,0 +1,164 @@
+"""Canonical scenarios shared by tests, examples and benchmarks.
+
+The most important one is :func:`rce_use_case`, the paper's §IV case study:
+the CVE-2017-9805 Apache Struts remote-code-execution IoC evaluated against
+the Table III inventory, reproducing Table V's threat score of 2.7406.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import PAPER_NOW, SimulatedClock
+from ..cvss import CveDatabase
+from ..core import (
+    HeuristicComponent,
+    OsintDataCollector,
+    RIocGenerator,
+    TAG_CIOC,
+)
+from ..core.compose import OSINT_SOURCE_TAG, category_tag, feed_tag
+from ..dashboard import DashboardServer
+from ..feeds import FeedDescriptor, FeedFetcher, FeedFormat, SimulatedTransport
+from ..infra import AlarmManager, Inventory, SensorNetwork, paper_inventory
+from ..misp import MispAttribute, MispEvent, MispInstance
+
+#: The creation/modification timestamp of the paper's RCE IoC.
+RCE_CREATED = "2017-09-13T00:00:00Z"
+RCE_CVE = "CVE-2017-9805"
+RCE_DESCRIPTION = (
+    "Critical remote code execution in Apache Struts: attackers can execute "
+    "arbitrary code via a vulnerable field of a POST request body on "
+    "debian servers running the REST plugin."
+)
+#: The expected Table V outcome (exact-fraction arithmetic; the paper prints
+#: 2.7406 because it rounds the weights to four decimals first).
+RCE_EXPECTED_SCORE = 8.0 / 9.0 * (259.0 / 84.0)
+RCE_PAPER_SCORE = 2.7406
+
+
+def rce_cioc(clock: Optional[SimulatedClock] = None) -> MispEvent:
+    """The §IV cIoC: one vulnerability event as the OSINT collector built it."""
+    clock = clock or SimulatedClock()
+    created = _dt.datetime(2017, 9, 13, tzinfo=_dt.timezone.utc)
+    event = MispEvent(
+        info=f"cIoC [vulnerability-exploitation]: {RCE_CVE}",
+        timestamp=created,
+        date=created.date(),
+    )
+    event.add_tag(TAG_CIOC)
+    event.add_tag(category_tag("vulnerability-exploitation"))
+    event.add_tag(OSINT_SOURCE_TAG)
+    event.add_tag(feed_tag("vuln-advisories"))
+    event.add_attribute(MispAttribute(
+        type="vulnerability", value=RCE_CVE,
+        comment=RCE_DESCRIPTION, timestamp=created,
+    ))
+    event.add_attribute(MispAttribute(
+        type="text", value="CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+        comment="cvss vector", to_ids=False, timestamp=created,
+    ))
+    event.add_attribute(MispAttribute(
+        type="text", value="apache struts",
+        comment="affected product", to_ids=False, timestamp=created,
+    ))
+    # The paper's IoC carries external references from both CAPEC and CVE.
+    event.add_attribute(MispAttribute(
+        type="link", value="CAPEC-586 https://capec.mitre.org/data/definitions/586.html",
+        comment="external reference", to_ids=False, timestamp=created,
+    ))
+    return event
+
+
+@dataclass
+class RceScenario:
+    """Everything wired for the §IV walk-through."""
+
+    clock: SimulatedClock
+    inventory: Inventory
+    misp: MispInstance
+    alarm_manager: AlarmManager
+    heuristics: HeuristicComponent
+    rioc_generator: RIocGenerator
+    dashboard: DashboardServer
+    cioc: MispEvent
+
+
+def rce_use_case() -> RceScenario:
+    """Build the paper's use case end to end (deterministic)."""
+    clock = SimulatedClock(PAPER_NOW)
+    inventory = paper_inventory()
+    misp = MispInstance()
+    alarm_manager = AlarmManager(clock=clock)
+    heuristics = HeuristicComponent(
+        misp, inventory=inventory, alarm_manager=alarm_manager,
+        cve_db=CveDatabase(), clock=clock,
+    )
+    cioc = rce_cioc(clock)
+    misp.add_event(cioc)
+    return RceScenario(
+        clock=clock,
+        inventory=inventory,
+        misp=misp,
+        alarm_manager=alarm_manager,
+        heuristics=heuristics,
+        rioc_generator=RIocGenerator(inventory, clock=clock),
+        dashboard=DashboardServer(inventory),
+        cioc=cioc,
+    )
+
+
+def single_feed_collector(
+        body: str, feed_format: str = FeedFormat.PLAINTEXT,
+        category: str = "malware-domains",
+        misp: Optional[MispInstance] = None,
+        clock: Optional[SimulatedClock] = None) -> OsintDataCollector:
+    """A collector over exactly one feed with a fixed body (test helper)."""
+    clock = clock or SimulatedClock()
+    descriptor = FeedDescriptor(
+        name="fixed-feed", url="https://feeds.example/fixed",
+        format=feed_format, category=category,
+    )
+    transport = SimulatedTransport(clock=clock)
+    transport.register(descriptor.url, lambda _now: body)
+    fetcher = FeedFetcher(transport, clock=clock)
+    return OsintDataCollector(fetcher, [descriptor], misp=misp, clock=clock)
+
+
+def campaign_feeds(seed: int = 17) -> Tuple[str, str, str]:
+    """Three feed bodies describing ONE coordinated campaign.
+
+    The same actor infrastructure shows up as a domain list, a phishing-URL
+    CSV hosted on those domains, and a news article naming a domain — so
+    the correlator should fuse everything into a single multi-event cIoC.
+    Returns (plaintext_body, csv_body, json_body).
+    """
+    domains = [f"campaign-c2-{i}.example" for i in range(1, 4)]
+    plaintext = "# campaign domain list\n" + "\n".join(domains) + "\n"
+    csv_rows = ["url,target,date"]
+    for domain in domains:
+        csv_rows.append(f"http://{domain}/login,globalpay,2018-06-10")
+    csv_body = "\n".join(csv_rows) + "\n"
+    import json as _json
+    json_body = _json.dumps({"entries": [{
+        "title": "Phishing campaign abuses fresh C2 infrastructure",
+        "text": ("Researchers tied the credential-harvesting wave to "
+                 f"{domains[0]} and sibling hosts."),
+        "published": "2018-06-12T00:00:00Z",
+    }]})
+    return plaintext, csv_body, json_body
+
+
+def siem_telemetry(pool_values: List[str], benign_values: List[str],
+                   malicious_repeats: int = 1
+                   ) -> List[Tuple[Dict[str, str], bool]]:
+    """Labelled telemetry stream: malicious pool values + benign noise."""
+    telemetry: List[Tuple[Dict[str, str], bool]] = []
+    for _ in range(malicious_repeats):
+        for value in pool_values:
+            telemetry.append(({"type": "ipv4-addr", "value": value}, True))
+    for value in benign_values:
+        telemetry.append(({"type": "ipv4-addr", "value": value}, False))
+    return telemetry

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.cvss import CveDatabase
+from repro.infra import AlarmManager, paper_inventory
+from repro.misp import MispInstance
+
+
+@pytest.fixture
+def clock():
+    """A simulated clock pinned to the paper's analysis instant."""
+    return SimulatedClock(PAPER_NOW)
+
+
+@pytest.fixture
+def inventory():
+    """The Table III use-case inventory."""
+    return paper_inventory()
+
+
+@pytest.fixture
+def misp():
+    """A fresh in-memory MISP instance."""
+    return MispInstance(org="TestOrg")
+
+
+@pytest.fixture
+def alarm_manager(clock):
+    return AlarmManager(clock=clock)
+
+
+@pytest.fixture
+def cve_db():
+    return CveDatabase()
+
+
+def utc(*args) -> dt.datetime:
+    return dt.datetime(*args, tzinfo=dt.timezone.utc)

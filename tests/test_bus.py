@@ -1,0 +1,169 @@
+"""Tests for the messaging substrate (broker, zmq, socket.io)."""
+
+import pytest
+
+from repro.bus import MessageBroker, SocketIOServer, ZmqPublisher, ZmqSubscriber
+
+
+class TestBroker:
+    def test_publish_reaches_matching_subscription(self):
+        broker = MessageBroker()
+        sub = broker.subscribe("osint.*")
+        broker.publish("osint.cioc", {"x": 1})
+        message = sub.poll()
+        assert message is not None
+        assert message.topic == "osint.cioc"
+        assert message.payload == {"x": 1}
+
+    def test_non_matching_topic_is_not_delivered(self):
+        broker = MessageBroker()
+        sub = broker.subscribe("osint.*")
+        broker.publish("infra.alarm", {})
+        assert sub.poll() is None
+
+    def test_fanout_to_multiple_subscribers(self):
+        broker = MessageBroker()
+        subs = [broker.subscribe("t") for _ in range(3)]
+        broker.publish("t", "payload")
+        assert all(s.poll() is not None for s in subs)
+
+    def test_messages_are_ordered_with_sequence(self):
+        broker = MessageBroker()
+        sub = broker.subscribe("*")
+        for i in range(5):
+            broker.publish("t", i)
+        payloads = [m.payload for m in sub.drain()]
+        assert payloads == [0, 1, 2, 3, 4]
+
+    def test_callback_fires_synchronously(self):
+        broker = MessageBroker()
+        seen = []
+        broker.on("a.*", lambda m: seen.append(m.payload))
+        broker.publish("a.b", 1)
+        broker.publish("c.d", 2)
+        assert seen == [1]
+
+    def test_high_water_mark_drops_oldest(self):
+        broker = MessageBroker()
+        sub = broker.subscribe("t", max_pending=2)
+        for i in range(4):
+            broker.publish("t", i)
+        assert sub.dropped == 2
+        assert [m.payload for m in sub.drain()] == [2, 3]
+
+    def test_unsubscribe_stops_delivery(self):
+        broker = MessageBroker()
+        sub = broker.subscribe("t")
+        broker.unsubscribe(sub)
+        broker.publish("t", 1)
+        assert sub.poll() is None
+        assert sub.closed
+
+    def test_stats_counters(self):
+        broker = MessageBroker()
+        broker.subscribe("t")
+        broker.publish("t", 1)
+        broker.publish("other", 2)
+        assert broker.stats.published == 2
+        assert broker.stats.delivered == 1
+        assert broker.stats.topics == {"t": 1, "other": 1}
+
+    def test_invalid_max_pending_rejected(self):
+        broker = MessageBroker()
+        with pytest.raises(ValueError):
+            broker.subscribe("t", max_pending=0)
+
+
+class TestZmq:
+    def test_prefix_subscription_matches_like_zeromq(self):
+        broker = MessageBroker()
+        pub = ZmqPublisher(broker)
+        sub = ZmqSubscriber(broker)
+        sub.subscribe("misp_json")  # prefix: matches misp_json_attribute too
+        pub.send("misp_json", {"event": 1})
+        pub.send("misp_json_attribute", {"attr": 2})
+        topics = [t for t, _ in sub.drain()]
+        assert topics == ["misp_json", "misp_json_attribute"]
+
+    def test_empty_prefix_matches_everything(self):
+        broker = MessageBroker()
+        pub = ZmqPublisher(broker)
+        sub = ZmqSubscriber(broker)
+        sub.subscribe("")
+        pub.send("anything", [1, 2])
+        topic, payload = sub.recv()
+        assert topic == "anything"
+        assert payload == [1, 2]
+
+    def test_payload_is_json_roundtripped(self):
+        broker = MessageBroker()
+        pub = ZmqPublisher(broker)
+        sub = ZmqSubscriber(broker)
+        sub.subscribe("t")
+        document = {"nested": {"list": [1, "two"]}}
+        pub.send("t", document)
+        _, received = sub.recv()
+        assert received == document
+
+    def test_recv_returns_none_when_empty(self):
+        sub = ZmqSubscriber(MessageBroker())
+        sub.subscribe("x")
+        assert sub.recv() is None
+
+    def test_close_unsubscribes(self):
+        broker = MessageBroker()
+        pub = ZmqPublisher(broker)
+        sub = ZmqSubscriber(broker)
+        sub.subscribe("t")
+        sub.close()
+        pub.send("t", 1)
+        assert sub.pending() == 0
+
+
+class TestSocketIO:
+    def test_emit_reaches_connected_client(self):
+        server = SocketIOServer()
+        client = server.connect()
+        received = []
+        client.on("update", received.append)
+        count = server.emit("update", {"a": 1})
+        assert count == 1
+        assert received == [{"a": 1}]
+
+    def test_room_scoping(self):
+        server = SocketIOServer()
+        inside = server.connect()
+        outside = server.connect()
+        server.enter_room(inside, "analysts")
+        count = server.emit("rioc", "data", room="analysts")
+        assert count == 1
+        assert inside.received == [("rioc", "data")]
+        assert outside.received == []
+
+    def test_disconnect_stops_delivery(self):
+        server = SocketIOServer()
+        client = server.connect()
+        server.disconnect(client)
+        assert server.emit("e", 1) == 0
+
+    def test_leave_room(self):
+        server = SocketIOServer()
+        client = server.connect()
+        server.enter_room(client, "r")
+        server.leave_room(client, "r")
+        assert server.emit("e", 1, room="r") == 0
+
+    def test_enter_room_requires_connected_client(self):
+        server = SocketIOServer()
+        client = server.connect()
+        server.disconnect(client)
+        with pytest.raises(KeyError):
+            server.enter_room(client, "r")
+
+    def test_emits_mirrored_on_broker(self):
+        server = SocketIOServer()
+        sub = server.broker.subscribe("socketio.*")
+        server.connect()
+        server.emit("rioc", {"v": 1})
+        message = sub.poll()
+        assert message.topic == "socketio.rioc"

@@ -1,0 +1,80 @@
+"""Integration test: a coordinated campaign across three feed types.
+
+The same actor infrastructure arrives as a plaintext domain list, a
+phishing-URL CSV and a news article.  Within a category the correlator
+fuses interconnected events into one cIoC; across categories the MISP
+correlation engine links the resulting cIoCs by shared values — so the
+analyst sees one connected cluster, not scattered fragments.
+"""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import OsintDataCollector, tags_to_category
+from repro.dashboard import CorrelationGraphView
+from repro.feeds import FeedDescriptor, FeedFetcher, FeedFormat, SimulatedTransport
+from repro.misp import MispInstance
+from repro.workloads import campaign_feeds
+
+
+@pytest.fixture
+def campaign_run():
+    misp = MispInstance()
+    clock = SimulatedClock()
+    plaintext, csv_body, json_body = campaign_feeds()
+    transport = SimulatedTransport(clock=clock)
+    descriptors = []
+    for name, fmt, category, body in [
+            ("c2-list", FeedFormat.PLAINTEXT, "malware-domains", plaintext),
+            ("phish-urls", FeedFormat.CSV, "phishing", csv_body),
+            ("news", FeedFormat.JSON, "threat-news", json_body)]:
+        descriptor = FeedDescriptor(
+            name=name, url=f"https://feeds.example/{name}",
+            format=fmt, category=category)
+        transport.register(descriptor.url, (lambda b: lambda _now: b)(body))
+        descriptors.append(descriptor)
+    collector = OsintDataCollector(
+        FeedFetcher(transport, clock=clock), descriptors,
+        misp=misp, clock=clock)
+    ciocs, report = collector.collect()
+    return misp, ciocs, report
+
+
+class TestCampaignCorrelation:
+    def test_phishing_urls_fuse_by_shared_target(self, campaign_run):
+        _misp, ciocs, _report = campaign_run
+        phishing = [c for c in ciocs
+                    if tags_to_category(c) == "phishing"]
+        # Three URLs sharing target=globalpay compose into ONE cIoC.
+        assert len(phishing) == 1
+        assert len(phishing[0].attributes_of_type("url")) == 3
+
+    def test_news_extracts_campaign_domain(self, campaign_run):
+        _misp, ciocs, _report = campaign_run
+        news = [c for c in ciocs if tags_to_category(c) == "threat-news"]
+        assert len(news) == 1
+        domains = [a.value for a in news[0].attributes_of_type("domain")]
+        assert "campaign-c2-1.example" in domains
+
+    def test_cross_category_cluster_in_misp(self, campaign_run):
+        misp, ciocs, _report = campaign_run
+        news = next(c for c in ciocs if tags_to_category(c) == "threat-news")
+        # The extracted domain correlates the news cIoC with the
+        # malware-domains cIoC that carries the same value.
+        correlations = misp.correlations(news.uuid)
+        assert correlations
+        assert any(c["value"] == "campaign-c2-1.example" for c in correlations)
+
+    def test_correlation_graph_shows_one_cluster(self, campaign_run):
+        misp, _ciocs, _report = campaign_run
+        view = CorrelationGraphView(misp.store)
+        clusters = [c for c in view.components() if len(c) > 1]
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 2  # news cIoC + the matching domain cIoC
+
+    def test_report_volumes(self, campaign_run):
+        _misp, _ciocs, report = campaign_run
+        assert report.feeds_fetched == 3
+        assert set(report.categories) == {"malware-domains", "phishing",
+                                          "threat-news"}
+        assert report.connections >= 2  # phishing target links

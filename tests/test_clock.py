@@ -1,0 +1,89 @@
+"""Tests for the clock abstraction."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import (
+    PAPER_NOW,
+    SimulatedClock,
+    SystemClock,
+    ensure_utc,
+    format_timestamp,
+    parse_timestamp,
+)
+
+
+def test_simulated_clock_defaults_to_paper_now():
+    assert SimulatedClock().now() == PAPER_NOW
+
+
+def test_simulated_clock_is_stable_without_tick():
+    clock = SimulatedClock()
+    assert clock.now() == clock.now()
+
+
+def test_simulated_clock_advance():
+    clock = SimulatedClock()
+    before = clock.now()
+    after = clock.advance(dt.timedelta(hours=3))
+    assert after - before == dt.timedelta(hours=3)
+    assert clock.now() == after
+
+
+def test_simulated_clock_refuses_backwards():
+    with pytest.raises(ValueError):
+        SimulatedClock().advance(dt.timedelta(seconds=-1))
+
+
+def test_simulated_clock_tick_autoadvances():
+    clock = SimulatedClock(tick=dt.timedelta(minutes=1))
+    first = clock.now()
+    second = clock.now()
+    assert second - first == dt.timedelta(minutes=1)
+
+
+def test_simulated_clock_set():
+    clock = SimulatedClock()
+    target = dt.datetime(2020, 1, 1, tzinfo=dt.timezone.utc)
+    clock.set(target)
+    assert clock.now() == target
+
+
+def test_system_clock_is_utc_aware():
+    now = SystemClock().now()
+    assert now.tzinfo is not None
+    assert now.utcoffset() == dt.timedelta(0)
+
+
+def test_ensure_utc_naive_is_interpreted_as_utc():
+    naive = dt.datetime(2018, 1, 1, 12, 0, 0)
+    aware = ensure_utc(naive)
+    assert aware.tzinfo == dt.timezone.utc
+    assert aware.hour == 12
+
+
+def test_ensure_utc_converts_other_zones():
+    plus_two = dt.timezone(dt.timedelta(hours=2))
+    aware = ensure_utc(dt.datetime(2018, 1, 1, 12, 0, 0, tzinfo=plus_two))
+    assert aware.hour == 10
+
+
+def test_parse_timestamp_z_suffix():
+    parsed = parse_timestamp("2017-09-13T00:00:00Z")
+    assert parsed == dt.datetime(2017, 9, 13, tzinfo=dt.timezone.utc)
+
+
+def test_parse_timestamp_offset():
+    parsed = parse_timestamp("2017-09-13T02:00:00+02:00")
+    assert parsed == dt.datetime(2017, 9, 13, tzinfo=dt.timezone.utc)
+
+
+def test_format_timestamp_stix_wire_format():
+    value = dt.datetime(2017, 9, 13, 1, 2, 3, 456_000, tzinfo=dt.timezone.utc)
+    assert format_timestamp(value) == "2017-09-13T01:02:03.456Z"
+
+
+def test_format_parse_roundtrip():
+    value = dt.datetime(2018, 6, 15, 12, 30, 45, 123_000, tzinfo=dt.timezone.utc)
+    assert parse_timestamp(format_timestamp(value)) == value

@@ -1,0 +1,119 @@
+"""Tests for the OSINT Data Collector pipeline."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import OsintDataCollector, is_cioc, tags_to_category
+from repro.feeds import (
+    FeedDescriptor,
+    FeedFetcher,
+    FeedFormat,
+    GeneratorConfig,
+    IndicatorPool,
+    MalwareDomainFeed,
+    SimulatedTransport,
+    standard_feed_set,
+)
+from repro.misp import MispInstance
+from repro.workloads import single_feed_collector
+
+
+class TestSingleFeed:
+    def test_plaintext_feed_produces_ciocs(self, misp):
+        collector = single_feed_collector(
+            "# list\nevil-a.example\nevil-b.example\n", misp=misp)
+        ciocs, report = collector.collect()
+        assert report.feeds_fetched == 1
+        assert report.records_parsed == 2
+        assert report.ciocs_created == 2
+        for cioc in ciocs:
+            assert is_cioc(cioc)
+            assert tags_to_category(cioc) == "malware-domains"
+            assert misp.store.has_event(cioc.uuid)
+
+    def test_second_cycle_is_fully_deduplicated(self, misp):
+        collector = single_feed_collector("evil.example\n", misp=misp)
+        first, _ = collector.collect()
+        second, report = collector.collect()
+        assert first and not second
+        assert report.duplicates_removed == 1
+        assert report.ciocs_created == 0
+
+    def test_failed_feed_counted_not_raised(self, clock):
+        descriptor = FeedDescriptor(
+            name="missing", url="https://feeds.example/missing",
+            format=FeedFormat.PLAINTEXT, category="malware-domains")
+        fetcher = FeedFetcher(SimulatedTransport(clock=clock), max_retries=0)
+        collector = OsintDataCollector(fetcher, [descriptor])
+        _, report = collector.collect()
+        assert report.feeds_failed == 1
+        assert report.ciocs_created == 0
+
+
+class TestMultiFeed:
+    @pytest.fixture
+    def collector(self, misp, clock):
+        pool = IndicatorPool(seed=11, size=300)
+        transport = SimulatedTransport(clock=clock, seed=11)
+        descriptors = []
+        for generator, name in standard_feed_set(pool, entries=40, seed=11,
+                                                 overlap=0.7):
+            descriptor = generator.descriptor(name)
+            transport.register_generator(descriptor, generator)
+            descriptors.append(descriptor)
+        return OsintDataCollector(
+            FeedFetcher(transport, clock=clock), descriptors,
+            misp=misp, clock=clock)
+
+    def test_cross_feed_duplicates_removed(self, collector):
+        _, report = collector.collect()
+        assert report.feeds_fetched == 12
+        assert report.duplicates_removed > 0
+        assert collector.deduplicator.stats.cross_feed_duplicates > 0
+
+    def test_every_category_aggregated(self, collector):
+        _, report = collector.collect()
+        assert set(report.categories) == {
+            "malware-domains", "ip-blocklist", "phishing", "malware-hashes",
+            "vulnerability-exploitation", "threat-news"}
+
+    def test_correlation_produces_multi_event_subsets(self, collector):
+        _, report = collector.collect()
+        # connections exist (hash feeds share families, news mentions domains)
+        assert report.connections > 0
+        assert report.subsets < report.events_normalized - report.duplicates_removed
+
+    def test_ciocs_are_stored_and_published(self, collector, misp):
+        ciocs, report = collector.collect()
+        assert misp.store.event_count() == report.ciocs_created
+        assert misp.zmq.sent == report.ciocs_created
+
+    def test_volume_reduction_metric(self, collector):
+        _, report = collector.collect()
+        assert 0.0 <= report.volume_reduction < 1.0
+
+
+class TestRelevanceFiltering:
+    def test_drop_irrelevant_text(self, clock):
+        body = (
+            '{"entries": ['
+            '{"title": "Ransomware cripples hospital network", '
+            '"text": "ransomware attack with data breach and extortion"},'
+            '{"title": "Annual charity bake sale raises funds", '
+            '"text": "cookies and community fun at the fair"}'
+            "]}"
+        )
+        keep_all = single_feed_collector(
+            body, feed_format=FeedFormat.JSON, category="threat-news",
+            clock=clock)
+        ciocs, _ = keep_all.collect()
+        assert len(ciocs) == 2
+
+        filtering = single_feed_collector(
+            body, feed_format=FeedFormat.JSON, category="threat-news",
+            clock=clock)
+        filtering._drop_irrelevant_text = True
+        ciocs, _ = filtering.collect()
+        titles = [c.info for c in ciocs]
+        assert len(ciocs) == 1
+        assert "Ransomware" in titles[0]

@@ -1,0 +1,250 @@
+"""Tests for normalize -> dedup -> aggregate -> correlate -> compose."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.core import (
+    Aggregator,
+    CiocComposer,
+    Deduplicator,
+    EventCorrelator,
+    Normalizer,
+    TAG_CIOC,
+    tags_to_category,
+    tags_to_feeds,
+)
+from repro.core.normalize import NormalizedEvent
+from repro.feeds import FeedRecord, SourceType
+
+
+def make_record(value="evil.example", indicator_type="domain",
+                feed_name="feed-a", category="malware-domains", fields=None):
+    return FeedRecord(
+        feed_name=feed_name, category=category,
+        source_type=SourceType.OSINT_FREE,
+        indicator_type=indicator_type, value=value,
+        fields=fields or {}, observed_at=PAPER_NOW,
+    )
+
+
+@pytest.fixture
+def normalizer():
+    return Normalizer()
+
+
+class TestNormalizer:
+    def test_same_indicator_from_two_feeds_shares_uid(self, normalizer):
+        a = normalizer.normalize(make_record(feed_name="feed-a"))
+        b = normalizer.normalize(make_record(feed_name="feed-b"))
+        assert a.uid == b.uid
+
+    def test_value_canonicalization(self, normalizer):
+        upper = normalizer.normalize(make_record(value="EVIL.example"))
+        lower = normalizer.normalize(make_record(value="evil.example"))
+        assert upper.uid == lower.uid
+        assert upper.value == "evil.example"
+
+    def test_cve_uppercased(self, normalizer):
+        event = normalizer.normalize(make_record(
+            value="cve-2017-9805", indicator_type="cve",
+            category="vulnerability-exploitation"))
+        assert event.value == "CVE-2017-9805"
+
+    def test_different_types_do_not_collide(self, normalizer):
+        domain = normalizer.normalize(make_record(value="x", indicator_type="domain"))
+        url = normalizer.normalize(make_record(value="x", indicator_type="url"))
+        assert domain.uid != url.uid
+
+    def test_text_record_gets_nlp_annotations(self, normalizer):
+        record = make_record(
+            value="Ransomware hits logistics firm",
+            indicator_type="text", category="threat-news",
+            fields={"title": "Ransomware hits logistics firm",
+                    "text": "The malware spread from evil-domain.example "
+                            "exploiting CVE-2017-9805."})
+        event = normalizer.normalize(record)
+        assert event.is_text
+        assert "malware" in event.threat_categories
+        assert event.relevant is True
+        assert 0.5 <= event.relevance_confidence <= 1.0
+        assert "CVE-2017-9805" in event.extracted.get("cves", ())
+
+    def test_benign_text_is_irrelevant(self, normalizer):
+        record = make_record(
+            value="Company opens new office",
+            indicator_type="text", category="threat-news",
+            fields={"title": "Company opens new office",
+                    "text": "The ribbon cutting ceremony was attended by staff."})
+        event = normalizer.normalize(record)
+        assert event.relevant is False
+
+    def test_text_dedup_on_title(self, normalizer):
+        a = normalizer.normalize(make_record(
+            value="Same headline", indicator_type="text",
+            fields={"title": "Same headline", "text": "body one"}))
+        b = normalizer.normalize(make_record(
+            value="Same headline", indicator_type="text", feed_name="other",
+            fields={"title": "Same headline", "text": "slightly different body"}))
+        assert a.uid == b.uid
+
+
+class TestDeduplicator:
+    def test_within_batch_duplicates_removed(self, normalizer):
+        events = normalizer.normalize_all(
+            [make_record(), make_record(), make_record(value="other.example")])
+        dedup = Deduplicator()
+        fresh, duplicates = dedup.filter(events)
+        assert len(fresh) == 2
+        assert len(duplicates) == 1
+
+    def test_across_batch_duplicates_removed(self, normalizer):
+        dedup = Deduplicator()
+        first, _ = dedup.filter(normalizer.normalize_all([make_record()]))
+        second, dups = dedup.filter(normalizer.normalize_all([make_record()]))
+        assert first and not second
+        assert len(dups) == 1
+
+    def test_cross_feed_sightings_remembered(self, normalizer):
+        dedup = Deduplicator()
+        dedup.filter(normalizer.normalize_all([make_record(feed_name="feed-a")]))
+        dedup.filter(normalizer.normalize_all([make_record(feed_name="feed-b")]))
+        event = normalizer.normalize(make_record())
+        assert dedup.feeds_for(event.uid) == {"feed-a", "feed-b"}
+        assert dedup.stats.cross_feed_duplicates == 1
+
+    def test_stats(self, normalizer):
+        dedup = Deduplicator()
+        dedup.filter(normalizer.normalize_all(
+            [make_record(), make_record(), make_record(value="b.example")]))
+        assert dedup.stats.received == 3
+        assert dedup.stats.unique == 2
+        assert dedup.stats.duplicates == 1
+        assert 0.0 < dedup.stats.reduction_ratio < 1.0
+        assert dedup.known_events() == 2
+
+
+class TestAggregator:
+    def test_groups_by_category(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(category="malware-domains"),
+            make_record(value="198.51.100.1", indicator_type="ipv4",
+                        category="ip-blocklist"),
+            make_record(value="other.example", category="malware-domains"),
+        ])
+        groups = Aggregator().aggregate(events)
+        assert list(groups) == ["malware-domains", "ip-blocklist"]
+        assert len(groups["malware-domains"]) == 2
+
+    def test_counts(self, normalizer):
+        events = normalizer.normalize_all([make_record()])
+        assert Aggregator().category_counts(events) == {"malware-domains": 1}
+
+
+class TestCorrelator:
+    def test_singletons_stay_singletons(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(value="a.example"),
+            make_record(value="b.example"),
+        ])
+        subsets, connections = EventCorrelator().correlate(events)
+        assert len(subsets) == 2
+        assert connections == []
+
+    def test_url_host_links_to_domain(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(value="evil.example"),
+            make_record(value="http://evil.example/gate", indicator_type="url",
+                        category="malware-domains"),
+        ])
+        subsets, connections = EventCorrelator().correlate(events)
+        assert len(subsets) == 1
+        assert any("url host" in c.reason for c in connections)
+
+    def test_shared_field_links(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(value="a" * 64, indicator_type="sha256",
+                        category="malware-hashes", fields={"family": "emotet"}),
+            make_record(value="b" * 64, indicator_type="sha256",
+                        category="malware-hashes", fields={"family": "emotet"}),
+            make_record(value="c" * 64, indicator_type="sha256",
+                        category="malware-hashes", fields={"family": "qakbot"}),
+        ])
+        subsets, _ = EventCorrelator().correlate(events)
+        assert sorted(len(s) for s in subsets) == [1, 2]
+
+    def test_text_mentions_link(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(value="evil-site.example"),
+            make_record(
+                value="Campaign update", indicator_type="text",
+                fields={"title": "Campaign update",
+                        "text": "Ransomware traced to evil-site.example."}),
+        ])
+        subsets, connections = EventCorrelator().correlate(events)
+        assert len(subsets) == 1
+        assert any("mentions" in c.reason for c in connections)
+
+    def test_empty_input(self):
+        assert EventCorrelator().correlate([]) == ([], [])
+
+    def test_deterministic_order(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(value=f"{i}.example") for i in range(5)])
+        a = [s[0].value for s, in zip(EventCorrelator().correlate(events)[0])]
+        b = [s[0].value for s, in zip(EventCorrelator().correlate(events)[0])]
+        assert a == b
+
+
+class TestComposer:
+    def test_compose_tags_and_attributes(self, normalizer):
+        events = normalizer.normalize_all([
+            make_record(feed_name="feed-a"),
+            make_record(value="http://evil.example/p", indicator_type="url",
+                        feed_name="feed-b"),
+        ])
+        composer = CiocComposer(clock=SimulatedClock())
+        cioc = composer.compose("malware-domains", events)
+        assert cioc.has_tag(TAG_CIOC)
+        assert tags_to_category(cioc) == "malware-domains"
+        assert tags_to_feeds(cioc) == {"feed-a", "feed-b"}
+        types = {a.type for a in cioc.attributes}
+        assert types == {"domain", "url"}
+
+    def test_compose_includes_dedup_feeds(self, normalizer):
+        dedup = Deduplicator()
+        dedup.filter(normalizer.normalize_all([make_record(feed_name="feed-a")]))
+        dedup.filter(normalizer.normalize_all([make_record(feed_name="feed-b")]))
+        composer = CiocComposer(clock=SimulatedClock(), deduplicator=dedup)
+        cioc = composer.compose(
+            "malware-domains", normalizer.normalize_all([make_record()]))
+        assert tags_to_feeds(cioc) == {"feed-a", "feed-b"}
+
+    def test_cve_record_becomes_vulnerability_attributes(self, normalizer):
+        record = make_record(
+            value="CVE-2017-9805", indicator_type="cve",
+            category="vulnerability-exploitation",
+            fields={"summary": "RCE in struts",
+                    "cvss_vector": "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+                    "products": ["apache struts"]})
+        composer = CiocComposer(clock=SimulatedClock())
+        cioc = composer.compose(
+            "vulnerability-exploitation", normalizer.normalize_all([record]))
+        assert cioc.get_attribute("vulnerability").value == "CVE-2017-9805"
+        texts = [a.value for a in cioc.attributes_of_type("text")]
+        assert any(v.startswith("CVSS:") for v in texts)
+        assert "apache struts" in texts
+
+    def test_relevance_tag_from_text(self, normalizer):
+        record = make_record(
+            value="Ransomware outbreak", indicator_type="text",
+            category="threat-news",
+            fields={"title": "Ransomware outbreak", "text": "malware spreading"})
+        composer = CiocComposer(clock=SimulatedClock())
+        cioc = composer.compose("threat-news", normalizer.normalize_all([record]))
+        assert cioc.has_tag('caop:relevance="relevant"')
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError):
+            CiocComposer(clock=SimulatedClock()).compose("c", [])

@@ -1,0 +1,117 @@
+"""Extensibility test: registering a custom heuristic at runtime.
+
+§III-B2: "The set of heuristics will be selected depending on what standard
+is used for representing cybersecurity events" — the registry is the
+extension point.  This test builds a *campaign* heuristic (an SDO the paper
+does not score) and runs it through the full heuristic component.
+"""
+
+import pytest
+
+from repro.clock import PAPER_NOW
+from repro.core import HeuristicComponent
+from repro.core.heuristics import (
+    CriteriaPoints,
+    EvaluationContext,
+    FeatureDefinition,
+    Heuristic,
+    default_registry,
+)
+from repro.core.heuristics import features as shared
+from repro.misp import MispAttribute, MispEvent
+from repro.stix import Campaign
+
+CAMPAIGN_OBJECTIVE_SCORES = {"stated": 3, "unstated": 0}
+CAMPAIGN_ALIAS_SCORES = {"aliased": 2, "no_aliases": 1}
+
+
+def campaign_objective(context: EvaluationContext):
+    if context.stix_object.get("objective"):
+        return CAMPAIGN_OBJECTIVE_SCORES["stated"], "stated"
+    return 0, "unstated"
+
+
+def campaign_aliases(context: EvaluationContext):
+    if context.stix_object.get("aliases"):
+        return CAMPAIGN_ALIAS_SCORES["aliased"], "aliased"
+    return CAMPAIGN_ALIAS_SCORES["no_aliases"], "no_aliases"
+
+
+def build_campaign_heuristic() -> Heuristic:
+    return Heuristic(
+        name="campaign",
+        stix_type="campaign",
+        features=[
+            FeatureDefinition("objective", "campaign objective stated",
+                              campaign_objective,
+                              CriteriaPoints(5, 1, 1, 1),
+                              CAMPAIGN_OBJECTIVE_SCORES),
+            FeatureDefinition("aliases", "known aliases",
+                              campaign_aliases,
+                              CriteriaPoints(2, 1, 1, 1),
+                              CAMPAIGN_ALIAS_SCORES),
+            FeatureDefinition("modified_created", "object recency",
+                              shared.modified_created,
+                              CriteriaPoints(1, 1, 1, 1),
+                              shared.MODIFIED_CREATED_SCORES),
+            FeatureDefinition("source_type", "source family variety",
+                              shared.source_type,
+                              CriteriaPoints(1, 1, 1, 5),
+                              shared.SOURCE_TYPE_SCORES),
+        ],
+    )
+
+
+class TestCustomHeuristic:
+    def test_registry_accepts_new_type(self):
+        registry = default_registry()
+        registry.register(build_campaign_heuristic())
+        assert "campaign" in registry
+        assert len(registry) == 7
+
+    def test_direct_evaluation(self):
+        heuristic = build_campaign_heuristic()
+        campaign = Campaign(
+            name="Operation Nightfall",
+            objective="credential theft against payment processors",
+            aliases=["nightfall", "darkdusk"],
+            created=PAPER_NOW, modified=PAPER_NOW)
+        context = EvaluationContext(
+            stix_object=campaign,
+            source_types=frozenset({"osint"}),
+            osint_feeds=frozenset({"feed"}))
+        result = heuristic.evaluate(context)
+        assert result.heuristic == "campaign"
+        assert result.feature("objective").value == 3
+        assert result.feature("aliases").value == 2
+        assert result.completeness == 1.0
+        assert 0.0 <= result.score <= 5.0
+
+    def test_empty_objective_drops_completeness(self):
+        heuristic = build_campaign_heuristic()
+        campaign = Campaign(name="Quiet Op", created=PAPER_NOW,
+                            modified=PAPER_NOW)
+        context = EvaluationContext(
+            stix_object=campaign,
+            source_types=frozenset({"osint"}))
+        result = heuristic.evaluate(context)
+        assert result.feature("objective").empty
+        assert result.completeness == pytest.approx(3 / 4)
+
+    def test_through_heuristic_component(self, misp, inventory, clock):
+        # The MISP->STIX export does not emit campaign objects, so a custom
+        # deployment would extend the exporter too; here we verify the
+        # component accepts a registry carrying the extra heuristic and
+        # still scores standard events correctly.
+        registry = default_registry()
+        registry.register(build_campaign_heuristic())
+        component = HeuristicComponent(
+            misp, inventory=inventory, registry=registry, clock=clock)
+        event = MispEvent(info="standard vulnerability event on debian apache")
+        event.add_attribute(MispAttribute(
+            type="vulnerability", value="CVE-2017-9805",
+            comment="struts RCE"))
+        misp.add_event(event)
+        results = component.process_pending()
+        assert len(results) == 1
+        assert results[0].score.heuristic == "vulnerability"

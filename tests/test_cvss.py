@@ -1,0 +1,148 @@
+"""Tests for CVSS v3 scoring and the CVE database."""
+
+import pytest
+
+from repro.cvss import (
+    CveDatabase,
+    CveRecord,
+    CvssVector,
+    KNOWN_CVES,
+    generate_synthetic_cves,
+    score,
+    severity,
+)
+from repro.errors import ParseError, ValidationError
+
+
+class TestVectorParsing:
+    def test_parse_with_prefix(self):
+        vector = CvssVector.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+        assert vector.version == "3.0"
+        assert vector.metrics["AV"] == "N"
+
+    def test_parse_without_prefix(self):
+        vector = CvssVector.parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+        assert vector.version == "3.0"
+
+    def test_parse_is_case_insensitive(self):
+        vector = CvssVector.parse("av:n/ac:l/pr:n/ui:n/s:u/c:h/i:h/a:h")
+        assert vector.base_score() == 9.8
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(ParseError):
+            CvssVector.parse("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H")
+
+    def test_duplicate_metric_rejected(self):
+        with pytest.raises(ParseError):
+            CvssVector.parse("AV:N/AV:L/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ParseError):
+            CvssVector.parse("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ParseError):
+            CvssVector.parse("CVSS:2.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ParseError):
+            CvssVector.parse("  ")
+
+    def test_to_string_roundtrip(self):
+        text = "CVSS:3.1/AV:N/AC:H/PR:L/UI:R/S:C/C:L/I:L/A:N"
+        assert CvssVector.parse(text).to_string() == text
+
+
+class TestScoring:
+    # (vector, NVD-published base score) — spot checks against real entries.
+    @pytest.mark.parametrize("vector,expected", [
+        ("CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", 8.1),   # CVE-2017-9805
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8),   # classic critical
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0),  # scope change
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5),   # Heartbleed
+        ("CVSS:3.0/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8),   # Dirty COW
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1),   # reflected XSS
+        ("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0),   # no impact
+        ("CVSS:3.0/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.8),
+        ("CVSS:3.0/AV:N/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:N", 5.4),
+    ])
+    def test_published_scores(self, vector, expected):
+        assert score(vector) == expected
+
+    def test_score_bounds(self):
+        assert 0.0 <= score("AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N") <= 10.0
+
+    def test_severity_bands(self):
+        assert severity(0.0) == "none"
+        assert severity(3.9) == "low"
+        assert severity(4.0) == "medium"
+        assert severity(6.9) == "medium"
+        assert severity(7.0) == "high"
+        assert severity(8.9) == "high"
+        assert severity(9.0) == "critical"
+        assert severity(10.0) == "critical"
+
+    def test_severity_out_of_range(self):
+        with pytest.raises(ValidationError):
+            severity(10.5)
+
+
+class TestCveDatabase:
+    def test_paper_cve_present_with_correct_score(self):
+        db = CveDatabase()
+        record = db.get("CVE-2017-9805")
+        assert record is not None
+        assert record.base_score() == 8.1
+        assert record.severity() == "high"
+
+    def test_lookup_is_case_insensitive(self):
+        db = CveDatabase()
+        assert db.get("cve-2017-9805") is not None
+        assert "cve-2017-9805" in db
+
+    def test_search_product(self):
+        db = CveDatabase()
+        struts = db.search_product("apache struts")
+        assert any(r.cve_id == "CVE-2017-9805" for r in struts)
+
+    def test_add_and_len(self):
+        db = CveDatabase(records=())
+        assert len(db) == 0
+        db.add(CveRecord(cve_id="CVE-2018-12345", summary="x",
+                         published="2018-01-01T00:00:00Z"))
+        assert len(db) == 1
+
+    def test_malformed_cve_id_rejected(self):
+        with pytest.raises(ValidationError):
+            CveRecord(cve_id="CVE-18-1", summary="x",
+                      published="2018-01-01T00:00:00Z")
+
+    def test_record_without_cvss_has_no_severity(self):
+        record = CveRecord(cve_id="CVE-2018-11111", summary="x",
+                           published="2018-01-01T00:00:00Z")
+        assert record.base_score() is None
+        assert record.severity() is None
+
+    def test_known_cves_all_valid(self):
+        for record in KNOWN_CVES:
+            if record.cvss_vector is not None:
+                assert 0.0 <= record.base_score() <= 10.0
+
+
+class TestSyntheticCves:
+    def test_deterministic(self):
+        assert generate_synthetic_cves(10, seed=3) == generate_synthetic_cves(10, seed=3)
+
+    def test_count_and_uniqueness(self):
+        records = generate_synthetic_cves(50)
+        assert len(records) == 50
+        assert len({r.cve_id for r in records}) == 50
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_synthetic_cves(-1)
+
+    def test_vectors_score_when_present(self):
+        for record in generate_synthetic_cves(30):
+            if record.cvss_vector is not None:
+                assert 0.0 <= record.base_score() <= 10.0

@@ -1,0 +1,76 @@
+"""Tests for CVSS v3 temporal and environmental scoring."""
+
+import pytest
+
+from repro.cvss import CvssVector
+from repro.errors import ParseError
+
+BASE_98 = "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"
+
+
+class TestTemporal:
+    def test_defaults_equal_base(self):
+        vector = CvssVector.parse(BASE_98)
+        assert vector.temporal_score() == vector.base_score()
+
+    def test_hand_computed_example(self):
+        # 9.8 * 0.94 (E:P) * 0.95 (RL:O) * 0.96 (RC:R) = 8.4013 -> 8.5
+        vector = CvssVector.parse(BASE_98 + "/E:P/RL:O/RC:R")
+        assert vector.temporal_score() == 8.5
+
+    def test_temporal_never_exceeds_base(self):
+        for suffix in ("/E:U", "/RL:O", "/RC:U", "/E:U/RL:O/RC:U"):
+            vector = CvssVector.parse(BASE_98 + suffix)
+            assert vector.temporal_score() <= vector.base_score()
+
+    def test_unproven_exploit_reduces_most(self):
+        unproven = CvssVector.parse(BASE_98 + "/E:U").temporal_score()
+        functional = CvssVector.parse(BASE_98 + "/E:F").temporal_score()
+        assert unproven < functional
+
+    def test_invalid_temporal_value_rejected(self):
+        with pytest.raises(ParseError):
+            CvssVector.parse(BASE_98 + "/E:Z")
+
+
+class TestEnvironmental:
+    def test_all_defaults_equal_temporal(self):
+        vector = CvssVector.parse(BASE_98 + "/E:P")
+        assert vector.environmental_score() == vector.temporal_score()
+
+    def test_high_requirements_never_reduce(self):
+        base = CvssVector.parse(
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:L/A:N")
+        boosted = CvssVector.parse(
+            "CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:L/A:N/CR:H/IR:H/AR:H")
+        assert boosted.environmental_score() >= base.environmental_score()
+
+    def test_low_requirements_reduce(self):
+        reduced = CvssVector.parse(BASE_98 + "/CR:L/IR:L/AR:L")
+        assert reduced.environmental_score() < reduced.base_score()
+
+    def test_modified_attack_vector_reduces(self):
+        local = CvssVector.parse(BASE_98 + "/MAV:P")
+        assert local.environmental_score() < local.base_score()
+
+    def test_modified_metrics_can_zero_impact(self):
+        neutered = CvssVector.parse(BASE_98 + "/MC:N/MI:N/MA:N")
+        assert neutered.environmental_score() == 0.0
+
+    def test_modified_scope_change_increases(self):
+        changed = CvssVector.parse(BASE_98 + "/MS:C")
+        assert changed.environmental_score() >= changed.base_score()
+
+    def test_score_in_range(self):
+        for suffix in ("/CR:H/MS:C/MAV:N", "/CR:L/IR:L/AR:L/MAC:H",
+                       "/E:U/RL:O/RC:U/MPR:H"):
+            vector = CvssVector.parse(BASE_98 + suffix)
+            assert 0.0 <= vector.environmental_score() <= 10.0
+
+    def test_to_string_keeps_optional_metrics(self):
+        text = BASE_98 + "/E:P/RL:O"
+        rendered = CvssVector.parse(text).to_string()
+        assert "/E:P" in rendered and "/RL:O" in rendered
+        # And the rendered form reparses to the same scores.
+        again = CvssVector.parse(rendered)
+        assert again.temporal_score() == CvssVector.parse(text).temporal_score()

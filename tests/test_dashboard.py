@@ -1,0 +1,147 @@
+"""Tests for the dashboard: state, badges, renderers, socket.io server."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.ioc import ReducedIoc
+from repro.dashboard import (
+    DashboardServer,
+    DashboardState,
+    render_html,
+    render_issue_details,
+    render_node_details,
+    render_topology,
+)
+from repro.errors import ValidationError
+from repro.infra import Alarm, Severity, paper_inventory
+
+
+def make_rioc(nodes=("Node 4",), score=2.74, cve="CVE-2017-9805"):
+    return ReducedIoc(
+        eioc_uuid="eioc-1", threat_score=score, nodes=nodes, cve=cve,
+        description="RCE in Apache Struts", affected_application="apache",
+        matched_term="apache")
+
+
+def make_alarm(node="Node 1", severity=Severity.RED):
+    return Alarm(node=node, severity=severity, description="brute force",
+                 ip_src="203.0.113.9", ip_dst="10.0.0.11",
+                 signature="ET POLICY SSH brute force")
+
+
+class TestState:
+    @pytest.fixture
+    def state(self, inventory):
+        return DashboardState(inventory)
+
+    def test_topology_is_star_over_lan(self, state):
+        assert set(state.graph.nodes) == {"LAN", "Node 1", "Node 2",
+                                          "Node 3", "Node 4"}
+        assert state.graph.degree["LAN"] == 4
+
+    def test_badges_start_empty(self, state):
+        for badge in state.badges():
+            assert badge.alarm_count == 0
+            assert badge.alarm_severity == Severity.GREEN
+            assert badge.rioc_count == 0
+
+    def test_alarm_updates_badge(self, state):
+        state.ingest_alarm(make_alarm())
+        state.ingest_alarm(make_alarm(severity=Severity.YELLOW))
+        badge = state.badge("Node 1")
+        assert badge.alarm_count == 2
+        assert badge.alarm_severity == Severity.RED
+
+    def test_rioc_fans_out_to_all_listed_nodes(self, state):
+        state.ingest_rioc(make_rioc(nodes=("Node 1", "Node 2")))
+        assert state.badge("Node 1").rioc_count == 1
+        assert state.badge("Node 2").rioc_count == 1
+        assert state.badge("Node 3").rioc_count == 0
+
+    def test_all_riocs_deduplicates_fanout(self, state):
+        state.ingest_rioc(make_rioc(nodes=("Node 1", "Node 2", "Node 3")))
+        assert len(state.all_riocs()) == 1
+
+    def test_unknown_node_rejected(self, state):
+        with pytest.raises(ValidationError):
+            state.ingest_alarm(make_alarm(node="Node 99"))
+        with pytest.raises(ValidationError):
+            state.ingest_rioc(make_rioc(nodes=("Node 99",)))
+
+    def test_node_details_tab(self, state):
+        state.ingest_alarm(make_alarm())
+        details = state.node_details("Node 1")
+        assert details.node_type == "Server"
+        assert details.operating_system == "ubuntu"
+        assert details.networks == ("LAN",)
+        assert "203.0.113.9" in details.known_remote_ips
+
+    def test_node_details_unknown_node(self, state):
+        with pytest.raises(ValidationError):
+            state.node_details("nope")
+
+    def test_snapshot_structure(self, state):
+        state.ingest_alarm(make_alarm())
+        state.ingest_rioc(make_rioc())
+        snapshot = state.snapshot()
+        assert len(snapshot["badges"]) == 4
+        assert snapshot["riocs"][0]["cve"] == "CVE-2017-9805"
+        assert ("LAN", "Node 1") in [tuple(e) for e in snapshot["topology"]["edges"]]
+
+
+class TestRenderers:
+    @pytest.fixture
+    def state(self, inventory):
+        state = DashboardState(inventory)
+        state.ingest_alarm(make_alarm())
+        state.ingest_rioc(make_rioc())
+        return state
+
+    def test_topology_render_shows_badges(self, state):
+        text = render_topology(state)
+        assert "Node 1" in text and "Node 4" in text
+        assert "(X  1)" in text          # red alarm badge on Node 1
+        assert "*1" in text              # rIoC star on Node 4
+
+    def test_node_details_render(self, state):
+        text = render_node_details(state, "Node 1")
+        assert "ubuntu" in text
+        assert "recent alarms" in text
+        assert "203.0.113.9" in text
+
+    def test_issue_details_render(self):
+        text = render_issue_details(make_rioc())
+        assert "CVE-2017-9805" in text
+        assert "2.7400 / 5" in text
+        assert "apache" in text
+        assert "misp://events/eioc-1" in text
+
+    def test_html_render(self, state):
+        html = render_html(state)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "CVE-2017-9805" in html
+        assert "Node 4" in html
+
+
+class TestServer:
+    def test_pushed_rioc_lands_in_state(self, inventory):
+        server = DashboardServer(inventory)
+        delivered = server.push_rioc(make_rioc())
+        assert delivered == 1  # the app client
+        assert server.state.badge("Node 4").rioc_count == 1
+
+    def test_pushed_alarm_lands_in_state(self, inventory, clock):
+        server = DashboardServer(inventory)
+        alarm = make_alarm()
+        alarm.timestamp = clock.now()
+        server.push_alarm(alarm)
+        assert server.state.badge("Node 1").alarm_count == 1
+
+    def test_extra_analyst_clients_receive_events(self, inventory):
+        server = DashboardServer(inventory)
+        analyst = server.connect_client()
+        received = []
+        analyst.on("rioc", received.append)
+        count = server.push_rioc(make_rioc())
+        assert count == 2
+        assert received[0]["cve"] == "CVE-2017-9805"

@@ -1,0 +1,145 @@
+"""Tests for the §II-B visualization models (timeline / graph / keywords)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW
+from repro.core.ioc import ReducedIoc
+from repro.dashboard import (
+    CorrelationGraphView,
+    KeywordSummaryView,
+    TimelineView,
+    sparkline,
+)
+from repro.errors import ValidationError
+from repro.infra import Alarm, Severity
+from repro.misp import MispAttribute, MispEvent, MispInstance, MispStore
+
+
+def make_alarm(minutes):
+    return Alarm(node="Node 1", severity=Severity.RED, description="x",
+                 timestamp=PAPER_NOW + dt.timedelta(minutes=minutes))
+
+
+def make_rioc(minutes):
+    return ReducedIoc(eioc_uuid="e", threat_score=2.0, nodes=("Node 1",),
+                      created_at=PAPER_NOW + dt.timedelta(minutes=minutes))
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_peak_gets_densest_glyph(self):
+        line = sparkline([0, 5, 10])
+        assert line[-1] == "@"
+        assert line[0] == " "
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+
+class TestTimelineView:
+    def test_empty_render(self):
+        assert "no data" in TimelineView().render()
+
+    def test_bucketing(self):
+        view = TimelineView(bucket=dt.timedelta(minutes=10))
+        view.ingest_alarm(make_alarm(0))
+        view.ingest_alarm(make_alarm(5))
+        view.ingest_alarm(make_alarm(25))
+        view.ingest_rioc(make_rioc(15))
+        buckets = view.buckets()
+        assert len(buckets) == 3
+        assert [b.alarms for b in buckets] == [2, 0, 1]
+        assert [b.riocs for b in buckets] == [0, 1, 0]
+
+    def test_render_totals(self):
+        view = TimelineView(bucket=dt.timedelta(minutes=10))
+        view.ingest_alarm(make_alarm(0))
+        view.ingest_rioc(make_rioc(3))
+        rendered = view.render()
+        assert "total 1" in rendered
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValidationError):
+            TimelineView(bucket=dt.timedelta(0))
+
+    def test_alarm_without_timestamp_ignored(self):
+        view = TimelineView()
+        view.ingest_alarm(Alarm(node="n", severity=Severity.RED,
+                                description="d"))
+        assert view.buckets() == []
+
+
+class TestCorrelationGraphView:
+    def build_store(self):
+        misp = MispInstance()
+        first = MispEvent(info="first")
+        first.add_attribute(MispAttribute(type="domain", value="shared.example"))
+        second = MispEvent(info="second")
+        second.add_attribute(MispAttribute(type="domain", value="shared.example"))
+        third = MispEvent(info="isolated")
+        third.add_attribute(MispAttribute(type="domain", value="alone.example"))
+        for event in (first, second, third):
+            misp.add_event(event)
+        return misp.store, first, second, third
+
+    def test_graph_structure(self):
+        store, first, second, third = self.build_store()
+        view = CorrelationGraphView(store)
+        graph = view.graph()
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge(first.uuid, second.uuid)
+        assert graph.degree[third.uuid] == 0
+
+    def test_components(self):
+        store, first, second, third = self.build_store()
+        components = CorrelationGraphView(store).components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2]
+
+    def test_hubs_exclude_isolated(self):
+        store, first, second, third = self.build_store()
+        hubs = CorrelationGraphView(store).hubs()
+        assert third.uuid not in [uuid for uuid, _d in hubs]
+        assert all(degree > 0 for _u, degree in hubs)
+
+    def test_render(self):
+        store, *_ = self.build_store()
+        rendered = CorrelationGraphView(store).render()
+        assert "events:        3" in rendered
+        assert "correlations:  1" in rendered
+
+
+class TestKeywordSummaryView:
+    def test_counts_by_category(self):
+        store = MispStore()
+        event = MispEvent(info="ransomware campaign with data breach fallout")
+        store.save_event(event)
+        frequencies = KeywordSummaryView(store).frequencies()
+        assert frequencies["malware"] == 1
+        assert frequencies["data-breach"] == 1
+
+    def test_text_attributes_included(self):
+        store = MispStore()
+        event = MispEvent(info="untitled")
+        event.add_attribute(MispAttribute(
+            type="text", value="massive ddos attack reported", to_ids=False))
+        store.save_event(event)
+        assert "ddos" in KeywordSummaryView(store).frequencies()
+
+    def test_empty_store(self):
+        assert "no threat keywords" in KeywordSummaryView(MispStore()).render()
+
+    def test_render_sorted_bars(self):
+        store = MispStore()
+        store.save_event(MispEvent(info="ransomware ransomware trojan"))
+        store.save_event(MispEvent(info="phishing attempt"))
+        rendered = KeywordSummaryView(store).render()
+        lines = rendered.splitlines()
+        assert lines[1].strip().startswith("malware")

@@ -1,0 +1,173 @@
+"""Failure-injection tests: the platform must degrade, not die.
+
+Real OSINT operations see flaky transports, garbage feed bodies, and
+malformed shared intelligence daily; these tests inject each fault and
+assert the pipeline isolates it.
+"""
+
+import json
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core import OsintDataCollector, threat_score_of
+from repro.errors import FeedError, ParseError
+from repro.feeds import (
+    FeedDescriptor,
+    FeedFetcher,
+    FeedFormat,
+    SimulatedTransport,
+)
+from repro.misp import MispAttribute, MispEvent, MispInstance
+from repro.sharing import TaxiiServer
+
+
+def build_collector(bodies, misp=None, failure_rate=0.0, seed=1):
+    """bodies: {feed_name: body or callable}; all plaintext malware feeds."""
+    clock = SimulatedClock()
+    transport = SimulatedTransport(clock=clock, seed=seed,
+                                   failure_rate=failure_rate)
+    descriptors = []
+    for name, body in bodies.items():
+        descriptor = FeedDescriptor(
+            name=name, url=f"https://feeds.example/{name}",
+            format=FeedFormat.CSV if name.endswith(".csv") else FeedFormat.PLAINTEXT,
+            category="malware-domains")
+        fixed = body if callable(body) else (lambda b: lambda _now: b)(body)
+        transport.register(descriptor.url, fixed)
+        descriptors.append(descriptor)
+    fetcher = FeedFetcher(transport, clock=clock, max_retries=0)
+    return OsintDataCollector(fetcher, descriptors, misp=misp, clock=clock)
+
+
+class TestFeedFaults:
+    def test_garbage_body_isolated(self):
+        collector = build_collector({
+            "good": "clean.example\n",
+            "garbage.csv": "",  # empty CSV -> ParseError
+        })
+        ciocs, report = collector.collect()
+        assert report.feeds_failed == 1
+        assert report.feeds_fetched == 1
+        assert len(ciocs) == 1
+        assert ciocs[0].get_attribute("domain").value == "clean.example"
+
+    def test_transport_failure_isolated(self):
+        collector = build_collector(
+            {"good": "clean.example\n", "other": "more.example\n"},
+            failure_rate=0.0)
+        # Make exactly one URL unknown by deregistering it.
+        collector._feeds[1] = FeedDescriptor(
+            name="other", url="https://feeds.example/unregistered",
+            format=FeedFormat.PLAINTEXT, category="malware-domains")
+        _ciocs, report = collector.collect()
+        assert report.feeds_failed == 1
+        assert report.ciocs_created == 1
+
+    def test_all_feeds_down_yields_empty_cycle(self):
+        clock = SimulatedClock()
+        transport = SimulatedTransport(clock=clock, seed=2, failure_rate=0.999)
+        descriptor = FeedDescriptor(
+            name="flaky", url="https://feeds.example/flaky",
+            format=FeedFormat.PLAINTEXT, category="malware-domains")
+        transport.register(descriptor.url, lambda _now: "x.example\n")
+        collector = OsintDataCollector(
+            FeedFetcher(transport, clock=clock, max_retries=0),
+            [descriptor], clock=clock)
+        ciocs, report = collector.collect()
+        assert ciocs == []
+        assert report.feeds_failed == 1
+        assert report.ciocs_created == 0
+
+    def test_recovery_after_outage(self):
+        clock = SimulatedClock()
+        healthy = {"value": False}
+
+        def body(_now):
+            if not healthy["value"]:
+                raise_error()
+            return "recovered.example\n"
+
+        def raise_error():
+            raise FeedError("upstream 503")
+
+        transport = SimulatedTransport(clock=clock)
+        descriptor = FeedDescriptor(
+            name="flappy", url="https://feeds.example/flappy",
+            format=FeedFormat.PLAINTEXT, category="malware-domains")
+        transport.register(descriptor.url, body)
+        collector = OsintDataCollector(
+            FeedFetcher(transport, clock=clock, max_retries=0),
+            [descriptor], clock=clock)
+
+        _, first = collector.collect()
+        assert first.feeds_failed == 1
+        healthy["value"] = True
+        ciocs, second = collector.collect()
+        assert second.feeds_failed == 0
+        assert len(ciocs) == 1
+
+
+class TestMalformedIntelligence:
+    def test_taxii_rejects_garbage_objects_individually(self, clock):
+        server = TaxiiServer(clock=clock)
+        server.create_collection("c", "c")
+        status = server.add_objects("c", [
+            {"type": "indicator"},                      # missing fields
+            {"no": "type"},                             # not STIX at all
+            {"type": "vulnerability", "name": "CVE-2017-9805",
+             "id": "vulnerability--00000000-0000-4000-8000-000000000000",
+             "created": "2018-01-01T00:00:00Z",
+             "modified": "2018-01-01T00:00:00Z"},       # valid
+        ])
+        assert status["success_count"] == 1
+        assert status["failure_count"] == 2
+
+    def test_threat_score_of_tolerates_corrupt_value(self):
+        from repro.core.ioc import THREAT_SCORE_COMMENT
+        event = MispEvent(info="tampered")
+        event.add_attribute(MispAttribute(
+            type="float", value="not-a-number",
+            comment=THREAT_SCORE_COMMENT, to_ids=False))
+        assert threat_score_of(event) is None
+
+    def test_enrichment_survives_unscorable_events(self, misp, inventory, clock):
+        from repro.core import HeuristicComponent
+        component = HeuristicComponent(misp, inventory=inventory, clock=clock)
+        # One good event sandwiched between unscorable ones.
+        for info, attr in [
+                ("empty-ish", MispAttribute(type="comment", value="nothing",
+                                            to_ids=False)),
+                ("good", MispAttribute(type="vulnerability",
+                                       value="CVE-2017-9805",
+                                       comment="apache struts on debian")),
+                ("also-empty", MispAttribute(type="text", value="words",
+                                             to_ids=False))]:
+            event = MispEvent(info=info)
+            event.add_attribute(attr)
+            misp.add_event(event)
+        results = component.process_pending()
+        assert len(results) == 1
+        assert results[0].eioc.info == "good"
+        assert component.skipped == 2
+
+
+class TestBrokerBackpressure:
+    def test_slow_heuristic_component_bounded_queue(self, misp):
+        """A subscriber with a tiny HWM loses oldest messages, not the broker."""
+        from repro.bus import ZmqSubscriber
+        subscriber = ZmqSubscriber(misp.broker)
+        # Force a tiny queue through the underlying subscription.
+        subscriber.subscribe("misp_json")
+        subscription = subscriber._subscriptions[0][1]
+        subscription._max_pending = 3
+        for index in range(10):
+            event = MispEvent(info=f"event {index}")
+            event.add_attribute(MispAttribute(type="domain",
+                                              value=f"d{index}.example"))
+            misp.add_event(event)
+        drained = list(subscriber.drain())
+        assert len(drained) == 3
+        assert subscription.dropped == 7
+        # The store kept everything regardless of the feed backpressure.
+        assert misp.store.event_count() == 10

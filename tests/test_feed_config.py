@@ -1,0 +1,107 @@
+"""Tests for feed configuration files."""
+
+import json
+
+import pytest
+
+from repro.core import ContextAwareOSINTPlatform
+from repro.errors import ConfigurationError
+from repro.feeds import (
+    FeedFetcher,
+    SimulatedTransport,
+    default_feed_config,
+    load_feed_config,
+    parse_feed_config,
+    register_configured_feeds,
+)
+
+
+def minimal_config(**overrides):
+    entry = {
+        "name": "my-feed", "category": "malware-domains",
+        "format": "plaintext", "generator": "malware-domains",
+    }
+    entry.update(overrides)
+    return {"feeds": [entry]}
+
+
+class TestParsing:
+    def test_default_config_parses(self):
+        entries = parse_feed_config(default_feed_config())
+        assert len(entries) == 6
+        assert all(entry.generator_name for entry in entries)
+
+    def test_minimal_entry(self):
+        (entry,) = parse_feed_config(minimal_config())
+        assert entry.descriptor.name == "my-feed"
+        assert entry.descriptor.url == "https://feeds.example/my-feed"
+        assert entry.entries == 100
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_feed_config({"feeds": [{"name": "x"}]})
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_feed_config({})
+        with pytest.raises(ConfigurationError):
+            parse_feed_config({"feeds": []})
+
+    def test_duplicate_names_rejected(self):
+        config = {"feeds": [minimal_config()["feeds"][0],
+                            minimal_config()["feeds"][0]]}
+        with pytest.raises(ConfigurationError):
+            parse_feed_config(config)
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_feed_config(minimal_config(generator="quantum-feed"))
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(Exception):
+            parse_feed_config(minimal_config(format="yaml"))
+
+
+class TestLoading:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "feeds.json"
+        path.write_text(json.dumps(default_feed_config()))
+        entries = load_feed_config(str(path))
+        assert len(entries) == 6
+
+    def test_missing_file(self):
+        with pytest.raises(ConfigurationError):
+            load_feed_config("/nonexistent/feeds.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ConfigurationError):
+            load_feed_config(str(path))
+
+
+class TestRegistration:
+    def test_generator_format_mismatch_rejected(self):
+        config = minimal_config(format="csv")  # malware-domains is plaintext
+        entries = parse_feed_config(config)
+        with pytest.raises(ConfigurationError):
+            register_configured_feeds(entries, SimulatedTransport())
+
+    def test_configured_feeds_collect(self, misp):
+        from repro.core import OsintDataCollector
+        entries = parse_feed_config(minimal_config(entries=20))
+        transport = SimulatedTransport()
+        descriptors = register_configured_feeds(entries, transport)
+        collector = OsintDataCollector(
+            FeedFetcher(transport), descriptors, misp=misp)
+        _ciocs, report = collector.collect()
+        assert report.feeds_fetched == 1
+        assert report.ciocs_created > 0
+
+    def test_platform_from_feed_config(self, tmp_path):
+        path = tmp_path / "feeds.json"
+        path.write_text(json.dumps(default_feed_config()))
+        platform = ContextAwareOSINTPlatform.build_from_feed_config(str(path))
+        report = platform.run_cycle()
+        assert report.collection.feeds_fetched == 6
+        assert report.eiocs_created > 0

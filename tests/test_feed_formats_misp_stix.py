@@ -1,0 +1,130 @@
+"""Tests for the MISP-JSON and STIX-2.0 feed formats (§III-A1's "common
+format (e.g., MISP format, or STIX)")."""
+
+import json
+
+import pytest
+
+from repro.clock import PAPER_NOW
+from repro.errors import ParseError
+from repro.feeds import (
+    FeedDescriptor,
+    FeedDocument,
+    FeedFormat,
+    GeneratorConfig,
+    IndicatorPool,
+    MispFeedExport,
+    Stix2Feed,
+    parse_document,
+)
+from repro.misp import MispAttribute, MispEvent
+from repro.stix import Bundle, Indicator, Vulnerability
+from repro.workloads import single_feed_collector
+
+
+def make_document(body, fmt, category="malware-domains"):
+    return FeedDocument(
+        descriptor=FeedDescriptor(
+            name="ext", url="https://feeds.example/ext", format=fmt,
+            category=category),
+        body=body, fetched_at=PAPER_NOW)
+
+
+class TestMispJsonFeed:
+    def test_attributes_become_records(self):
+        event = MispEvent(info="drop")
+        event.add_attribute(MispAttribute(type="domain", value="evil.example"))
+        event.add_attribute(MispAttribute(type="ip-src", value="198.51.100.7"))
+        event.add_attribute(MispAttribute(type="vulnerability",
+                                          value="CVE-2017-9805"))
+        event.add_attribute(MispAttribute(type="text", value="noise",
+                                          to_ids=False))
+        records = parse_document(make_document(
+            json.dumps([event.to_dict()]), FeedFormat.MISP_JSON))
+        types = [r.indicator_type for r in records]
+        assert types == ["domain", "ipv4", "cve"]  # text skipped
+        assert records[0].fields["event_info"] == "drop"
+
+    def test_single_event_object_accepted(self):
+        event = MispEvent(info="single")
+        event.add_attribute(MispAttribute(type="domain", value="x.example"))
+        records = parse_document(make_document(
+            json.dumps(event.to_dict()), FeedFormat.MISP_JSON))
+        assert len(records) == 1
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document("{bad", FeedFormat.MISP_JSON))
+
+    def test_non_list_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document('"a string"', FeedFormat.MISP_JSON))
+
+    def test_generator_roundtrip(self):
+        pool = IndicatorPool(seed=3, size=50)
+        generator = MispFeedExport(pool, GeneratorConfig(entries=15, seed=1))
+        records = parse_document(generator.document("misp-ext"))
+        assert len(records) == 15
+        assert all(r.indicator_type == "domain" for r in records)
+
+    def test_collector_consumes_misp_feed(self, misp):
+        pool = IndicatorPool(seed=3, size=50)
+        generator = MispFeedExport(pool, GeneratorConfig(entries=10, seed=1))
+        collector = single_feed_collector(
+            generator.body(PAPER_NOW), feed_format=FeedFormat.MISP_JSON,
+            misp=misp)
+        ciocs, report = collector.collect()
+        assert report.ciocs_created > 0
+        assert misp.store.event_count() == report.ciocs_created
+
+
+class TestStix2Feed:
+    def test_indicators_and_vulnerabilities_become_records(self):
+        bundle = Bundle([
+            Indicator(pattern="[domain-name:value = 'evil.example']",
+                      valid_from="2018-01-01T00:00:00Z",
+                      labels=["malicious-activity"]),
+            Indicator(pattern="[file:hashes.'SHA-256' = '" + "ab" * 32 + "']",
+                      valid_from="2018-01-01T00:00:00Z",
+                      labels=["malicious-activity"]),
+            Vulnerability(name="CVE-2017-9805", description="struts"),
+        ])
+        records = parse_document(make_document(
+            bundle.to_json(), FeedFormat.STIX2,
+            category="vulnerability-exploitation"))
+        by_type = {r.indicator_type: r.value for r in records}
+        assert by_type["domain"] == "evil.example"
+        assert by_type["sha256"] == "ab" * 32
+        assert by_type["cve"] == "CVE-2017-9805"
+
+    def test_complex_pattern_kept_as_pattern_record(self):
+        bundle = Bundle([Indicator(
+            pattern="[a:b = 'x' AND a:c = 'y']",
+            valid_from="2018-01-01T00:00:00Z", labels=["malicious-activity"])])
+        records = parse_document(make_document(
+            bundle.to_json(), FeedFormat.STIX2))
+        assert records[0].indicator_type == "pattern"
+        assert "AND" in records[0].value
+
+    def test_invalid_bundle_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document('{"type": "nope"}', FeedFormat.STIX2))
+
+    def test_generator_roundtrip_and_determinism(self):
+        pool = IndicatorPool(seed=5, size=60)
+        a = Stix2Feed(pool, GeneratorConfig(entries=12, seed=2)).body(PAPER_NOW)
+        b = Stix2Feed(pool, GeneratorConfig(entries=12, seed=2)).body(PAPER_NOW)
+        assert a == b
+        records = parse_document(make_document(
+            a, FeedFormat.STIX2, category="vulnerability-exploitation"))
+        assert len(records) == 12
+        assert {r.indicator_type for r in records} == {"domain", "cve"}
+
+    def test_collector_consumes_stix_feed(self, misp):
+        pool = IndicatorPool(seed=5, size=60)
+        generator = Stix2Feed(pool, GeneratorConfig(entries=10, seed=2))
+        collector = single_feed_collector(
+            generator.body(PAPER_NOW), feed_format=FeedFormat.STIX2,
+            category="vulnerability-exploitation", misp=misp)
+        _ciocs, report = collector.collect()
+        assert report.ciocs_created > 0

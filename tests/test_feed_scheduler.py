@@ -1,0 +1,113 @@
+"""Tests for the feed polling scheduler."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.core import OsintDataCollector
+from repro.feeds import (
+    FeedDescriptor,
+    FeedFetcher,
+    FeedFormat,
+    FeedScheduler,
+    SimulatedTransport,
+)
+
+
+def make_descriptor(name, refresh_seconds):
+    return FeedDescriptor(
+        name=name, url=f"https://feeds.example/{name}",
+        format=FeedFormat.PLAINTEXT, category="malware-domains",
+        refresh_seconds=refresh_seconds)
+
+
+class TestScheduler:
+    def test_everything_due_initially(self, clock):
+        fast = make_descriptor("fast", 60)
+        slow = make_descriptor("slow", 3600)
+        scheduler = FeedScheduler([fast, slow], clock=clock)
+        assert {d.name for d in scheduler.due_feeds()} == {"fast", "slow"}
+
+    def test_not_due_until_interval_elapses(self, clock):
+        fast = make_descriptor("fast", 60)
+        scheduler = FeedScheduler([fast], clock=clock)
+        scheduler.mark_fetched(fast)
+        assert scheduler.due_feeds() == []
+        clock.advance(dt.timedelta(seconds=59))
+        assert scheduler.due_feeds() == []
+        clock.advance(dt.timedelta(seconds=1))
+        assert [d.name for d in scheduler.due_feeds()] == ["fast"]
+
+    def test_mixed_cadences(self, clock):
+        fast = make_descriptor("fast", 60)
+        slow = make_descriptor("slow", 3600)
+        scheduler = FeedScheduler([fast, slow], clock=clock)
+        for descriptor in scheduler.due_feeds():
+            scheduler.mark_fetched(descriptor)
+        clock.advance(dt.timedelta(minutes=5))
+        due = {d.name for d in scheduler.due_feeds()}
+        assert due == {"fast"}
+        clock.advance(dt.timedelta(hours=1))
+        due = {d.name for d in scheduler.due_feeds()}
+        assert due == {"fast", "slow"}
+
+    def test_next_wakeup(self, clock):
+        fast = make_descriptor("fast", 60)
+        scheduler = FeedScheduler([fast], clock=clock)
+        assert scheduler.next_wakeup() == clock.now()
+        scheduler.mark_fetched(fast)
+        assert scheduler.next_wakeup() == clock.now() + dt.timedelta(seconds=60)
+
+    def test_next_wakeup_empty(self, clock):
+        assert FeedScheduler([], clock=clock).next_wakeup() is None
+
+    def test_status(self, clock):
+        fast = make_descriptor("fast", 60)
+        scheduler = FeedScheduler([fast], clock=clock)
+        name, last, due = scheduler.status()[0]
+        assert (name, last, due) == ("fast", None, True)
+
+    def test_add_after_construction(self, clock):
+        scheduler = FeedScheduler([], clock=clock)
+        scheduler.add(make_descriptor("late", 60))
+        assert len(scheduler.due_feeds()) == 1
+
+
+class TestCollectorIntegration:
+    def build(self, clock):
+        fast = make_descriptor("fast", 60)
+        slow = make_descriptor("slow", 3600)
+        transport = SimulatedTransport(clock=clock)
+        transport.register(fast.url, lambda _now: "fast-1.example\n")
+        transport.register(slow.url, lambda _now: "slow-1.example\n")
+        scheduler = FeedScheduler([fast, slow], clock=clock)
+        collector = OsintDataCollector(
+            FeedFetcher(transport, clock=clock), [fast, slow],
+            clock=clock, scheduler=scheduler)
+        return collector
+
+    def test_scheduled_collect_respects_cadence(self, clock):
+        collector = self.build(clock)
+        _, first = collector.collect()
+        assert first.feeds_fetched == 2
+
+        # Immediately again: nothing due.
+        _, second = collector.collect()
+        assert second.feeds_fetched == 0
+        assert second.ciocs_created == 0
+
+        # After two minutes only the fast feed is due.
+        clock.advance(dt.timedelta(minutes=2))
+        _, third = collector.collect()
+        assert third.feeds_fetched == 1
+
+    def test_unscheduled_collector_fetches_every_cycle(self, clock):
+        fast = make_descriptor("fast", 60)
+        transport = SimulatedTransport(clock=clock)
+        transport.register(fast.url, lambda _now: "x.example\n")
+        collector = OsintDataCollector(
+            FeedFetcher(transport, clock=clock), [fast], clock=clock)
+        _, first = collector.collect()
+        _, second = collector.collect()
+        assert first.feeds_fetched == second.feeds_fetched == 1

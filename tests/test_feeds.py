@@ -1,0 +1,241 @@
+"""Tests for the OSINT feed substrate."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.errors import FeedError, ParseError, ValidationError
+from repro.feeds import (
+    FeedDescriptor,
+    FeedDocument,
+    FeedFetcher,
+    FeedFormat,
+    GeneratorConfig,
+    IndicatorPool,
+    IpBlocklistFeed,
+    MalwareDomainFeed,
+    MalwareHashFeed,
+    PhishingUrlFeed,
+    SimulatedTransport,
+    SourceType,
+    ThreatNewsFeed,
+    VulnerabilityAdvisoryFeed,
+    classify_indicator,
+    parse_document,
+    standard_feed_set,
+)
+
+
+def make_descriptor(**overrides):
+    data = dict(name="test-feed", url="https://feeds.example/test",
+                format=FeedFormat.PLAINTEXT, category="malware-domains")
+    data.update(overrides)
+    return FeedDescriptor(**data)
+
+
+def make_document(body, **descriptor_overrides):
+    return FeedDocument(
+        descriptor=make_descriptor(**descriptor_overrides),
+        body=body, fetched_at=PAPER_NOW)
+
+
+class TestModel:
+    def test_descriptor_validation(self):
+        with pytest.raises(ValidationError):
+            make_descriptor(format="yaml")
+        with pytest.raises(ValidationError):
+            make_descriptor(name="")
+        with pytest.raises(ValidationError):
+            make_descriptor(source_type="mystery")
+        with pytest.raises(ValidationError):
+            make_descriptor(refresh_seconds=0)
+
+    def test_record_key_is_case_insensitive(self):
+        from repro.feeds import FeedRecord
+        a = FeedRecord(feed_name="f", category="c", source_type=SourceType.OSINT_FREE,
+                       indicator_type="domain", value="EVIL.example")
+        b = FeedRecord(feed_name="g", category="c", source_type=SourceType.OSINT_FREE,
+                       indicator_type="domain", value="evil.EXAMPLE")
+        assert a.key() == b.key()
+
+
+class TestClassifyIndicator:
+    @pytest.mark.parametrize("value,expected", [
+        ("198.51.100.1", "ipv4"),
+        ("http://evil.example/x", "url"),
+        ("HTTPS://evil.example", "url"),
+        ("d41d8cd98f00b204e9800998ecf8427e", "md5"),
+        ("ab" * 32, "sha256"),
+        ("CVE-2017-9805", "cve"),
+        ("cve-2017-9805", "cve"),
+        ("evil.example", "domain"),
+    ])
+    def test_classification(self, value, expected):
+        assert classify_indicator(value) == expected
+
+
+class TestParsers:
+    def test_plaintext_skips_comments_and_blanks(self):
+        records = parse_document(make_document(
+            "# comment\n\nevil.example\n  spaced.example  \n"))
+        assert [r.value for r in records] == ["evil.example", "spaced.example"]
+
+    def test_plaintext_classifies_each_line(self):
+        records = parse_document(make_document("198.51.100.1\nevil.example\n"))
+        assert [r.indicator_type for r in records] == ["ipv4", "domain"]
+
+    def test_csv_with_header(self):
+        body = "url,target,date\nhttp://x.example/a,brand,2018-06-01\n"
+        records = parse_document(make_document(body, format=FeedFormat.CSV))
+        assert records[0].indicator_type == "url"
+        assert records[0].fields["target"] == "brand"
+        assert records[0].observed_at.date() == dt.date(2018, 6, 1)
+
+    def test_csv_auto_detects_indicator_column(self):
+        body = "family,sha256\nemotet," + "aa" * 32 + "\n"
+        records = parse_document(make_document(body, format=FeedFormat.CSV))
+        assert records[0].indicator_type == "sha256"
+        assert records[0].fields == {"family": "emotet"}
+
+    def test_csv_without_indicator_column_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document("a,b\n1,2\n", format=FeedFormat.CSV))
+
+    def test_csv_empty_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document("", format=FeedFormat.CSV))
+
+    def test_json_entries_object(self):
+        body = '{"entries": [{"cve": "CVE-2018-1234", "summary": "s"}]}'
+        records = parse_document(make_document(body, format=FeedFormat.JSON))
+        assert records[0].indicator_type == "cve"
+        assert records[0].value == "CVE-2018-1234"
+
+    def test_json_bare_list(self):
+        body = '[{"value": "evil.example"}]'
+        records = parse_document(make_document(body, format=FeedFormat.JSON))
+        assert records[0].value == "evil.example"
+
+    def test_json_text_entry(self):
+        body = '[{"title": "Breach at corp", "text": "details", "published": "2018-06-01T00:00:00Z"}]'
+        records = parse_document(make_document(body, format=FeedFormat.JSON))
+        assert records[0].indicator_type == "text"
+        assert records[0].value == "Breach at corp"
+
+    def test_json_invalid_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document("{bad", format=FeedFormat.JSON))
+
+    def test_json_entry_without_content_rejected(self):
+        with pytest.raises(ParseError):
+            parse_document(make_document('[{"x": 1}]', format=FeedFormat.JSON))
+
+
+class TestGenerators:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        return IndicatorPool(seed=1, size=200)
+
+    def test_pool_deterministic(self):
+        assert IndicatorPool(seed=9, size=10).domains == \
+            IndicatorPool(seed=9, size=10).domains
+
+    def test_pool_uses_documentation_ip_ranges(self, pool):
+        assert all(ip.startswith(("198.51.100.", "203.0.113.", "192.0.2."))
+                   for ip in pool.ipv4)
+
+    def test_generator_bodies_parse(self, pool):
+        for cls in (MalwareDomainFeed, IpBlocklistFeed, PhishingUrlFeed,
+                    MalwareHashFeed, VulnerabilityAdvisoryFeed, ThreatNewsFeed):
+            generator = cls(pool, GeneratorConfig(entries=20, seed=2))
+            document = generator.document("g")
+            records = parse_document(document)
+            assert len(records) == 20, cls.__name__
+
+    def test_generator_deterministic(self, pool):
+        a = MalwareDomainFeed(pool, GeneratorConfig(entries=10, seed=5)).body(PAPER_NOW)
+        b = MalwareDomainFeed(pool, GeneratorConfig(entries=10, seed=5)).body(PAPER_NOW)
+        assert a == b
+
+    def test_overlap_produces_cross_feed_duplicates(self, pool):
+        config_a = GeneratorConfig(entries=100, seed=1, overlap=0.9)
+        config_b = GeneratorConfig(entries=100, seed=2, overlap=0.9)
+        feed_a = parse_document(MalwareDomainFeed(pool, config_a).document("a"))
+        feed_b = parse_document(MalwareDomainFeed(pool, config_b).document("b"))
+        overlap = {r.key() for r in feed_a} & {r.key() for r in feed_b}
+        assert overlap, "high-overlap feeds must share indicators"
+
+    def test_zero_overlap_validates(self, pool):
+        GeneratorConfig(entries=1, overlap=0.0)
+        with pytest.raises(ValidationError):
+            GeneratorConfig(entries=1, overlap=1.5)
+        with pytest.raises(ValidationError):
+            GeneratorConfig(entries=-1)
+
+    def test_news_ground_truth_fraction(self, pool):
+        generator = ThreatNewsFeed(pool, GeneratorConfig(entries=200, seed=3),
+                                   benign_fraction=0.5)
+        records = parse_document(generator.document("news"))
+        benign = sum(1 for r in records if not r.fields["x_ground_truth_relevant"])
+        assert 60 <= benign <= 140  # ~50% +- slack
+
+    def test_standard_feed_set_two_per_category(self):
+        pairs = standard_feed_set(entries=5)
+        names = [name for _gen, name in pairs]
+        assert len(names) == 12
+        assert len(set(names)) == 12
+
+
+class TestFetcher:
+    def test_fetch_roundtrip(self):
+        clock = SimulatedClock()
+        transport = SimulatedTransport(clock=clock)
+        descriptor = make_descriptor()
+        transport.register(descriptor.url, lambda now: "evil.example\n")
+        fetcher = FeedFetcher(transport, clock=clock)
+        document = fetcher.fetch(descriptor)
+        assert document.body == "evil.example\n"
+        assert document.fetched_at == PAPER_NOW
+
+    def test_unknown_url_raises(self):
+        fetcher = FeedFetcher(SimulatedTransport(), max_retries=0)
+        with pytest.raises(FeedError):
+            fetcher.fetch(make_descriptor())
+
+    def test_retries_transient_failures(self):
+        transport = SimulatedTransport(seed=3, failure_rate=0.5)
+        descriptor = make_descriptor()
+        transport.register(descriptor.url, lambda now: "x\n")
+        fetcher = FeedFetcher(transport, max_retries=10)
+        document = fetcher.fetch(descriptor)
+        assert document.body == "x\n"
+
+    def test_gives_up_after_max_retries(self):
+        transport = SimulatedTransport(seed=1, failure_rate=0.999)
+        descriptor = make_descriptor()
+        transport.register(descriptor.url, lambda now: "x\n")
+        fetcher = FeedFetcher(transport, max_retries=2)
+        with pytest.raises(FeedError):
+            fetcher.fetch(descriptor)
+        assert transport.stats.retries >= 2
+
+    def test_fetch_all_skips_failed(self):
+        transport = SimulatedTransport()
+        good = make_descriptor(name="good")
+        bad = make_descriptor(name="bad", url="https://feeds.example/missing")
+        transport.register(good.url, lambda now: "x\n")
+        fetcher = FeedFetcher(transport, max_retries=0)
+        documents = fetcher.fetch_all([good, bad])
+        assert [d.descriptor.name for d in documents] == ["good"]
+
+    def test_fetch_all_raises_when_asked(self):
+        transport = SimulatedTransport()
+        bad = make_descriptor(url="https://feeds.example/missing")
+        fetcher = FeedFetcher(transport, max_retries=0)
+        with pytest.raises(FeedError):
+            fetcher.fetch_all([bad], skip_failed=False)
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(FeedError):
+            SimulatedTransport(failure_rate=1.0)

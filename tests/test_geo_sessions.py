@@ -1,0 +1,183 @@
+"""Tests for the spatial view and the analyst-session summary (§II-B)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.dashboard import (
+    Action,
+    AnalystSession,
+    GeoSummaryView,
+    SessionRecorder,
+)
+from repro.errors import ValidationError
+from repro.misp import MispAttribute, MispEvent, MispInstance
+
+
+class TestGeoSummaryView:
+    def test_locations_extracted_and_mapped(self):
+        view = GeoSummaryView()
+        event = MispEvent(info="Campaign hits Spain and China")
+        hits = view.ingest_event(event)
+        assert {h.location for h in hits} == {"spain", "china"}
+        assert view.by_region() == {"Europe": 1, "Asia": 1}
+
+    def test_text_attributes_scanned(self):
+        view = GeoSummaryView()
+        event = MispEvent(info="untitled")
+        event.add_attribute(MispAttribute(
+            type="text", value="traced to infrastructure in Ukraine",
+            to_ids=False))
+        view.ingest_event(event)
+        assert view.by_location() == {"ukraine": 1}
+
+    def test_unknown_location_ignored(self):
+        from repro.nlp import GazetteerExtractor
+        view = GeoSummaryView(
+            gazetteer=GazetteerExtractor({"atlantis": "location"}))
+        event = MispEvent(info="trouble in Atlantis")
+        assert view.ingest_event(event) == []
+
+    def test_ingest_store(self):
+        misp = MispInstance()
+        misp.add_event(MispEvent(info="breach in Portugal"), publish_feed=False)
+        misp.add_event(MispEvent(info="nothing located"), publish_feed=False)
+        view = GeoSummaryView()
+        assert view.ingest_store(misp.store) == 1
+
+    def test_render(self):
+        view = GeoSummaryView()
+        view.ingest_event(MispEvent(info="attacks in Spain, France and China"))
+        rendered = view.render()
+        assert "Europe" in rendered and "Asia" in rendered
+        assert "top locations" in rendered
+
+    def test_empty_render(self):
+        assert "no located mentions" in GeoSummaryView().render()
+
+    def test_hits_carry_event_link_and_coordinates(self):
+        view = GeoSummaryView()
+        event = MispEvent(info="incident in Lisbon")
+        (hit,) = view.ingest_event(event)
+        assert hit.event_uuid == event.uuid
+        assert hit.latitude == pytest.approx(38.7)
+
+
+class TestSessions:
+    @pytest.fixture
+    def recorder(self, clock):
+        return SessionRecorder(clock=clock)
+
+    def common_flow(self, recorder, analyst):
+        session = recorder.start_session(analyst)
+        for action, target in [
+                (Action.VIEW_TOPOLOGY, ""), (Action.VIEW_NODE, "Node 4"),
+                (Action.VIEW_ISSUE, "CVE-2017-9805"), (Action.ACK_ALARM, "a")]:
+            recorder.record(session, action, target)
+        return session
+
+    def test_unknown_action_rejected(self, recorder):
+        session = recorder.start_session("alice")
+        with pytest.raises(ValidationError):
+            recorder.record(session, "self_destruct")
+
+    def test_common_bigrams(self, recorder):
+        self.common_flow(recorder, "alice")
+        self.common_flow(recorder, "bob")
+        top = recorder.common_bigrams(top=2)
+        assert top[0][1] == 2
+        assert top[0][0] in {(Action.VIEW_TOPOLOGY, Action.VIEW_NODE),
+                             (Action.VIEW_NODE, Action.VIEW_ISSUE),
+                             (Action.VIEW_ISSUE, Action.ACK_ALARM)}
+
+    def test_typicality_leave_one_out(self, recorder):
+        a = self.common_flow(recorder, "alice")
+        b = self.common_flow(recorder, "bob")
+        outlier = recorder.start_session("mallory")
+        for action in (Action.EXPORT, Action.SHARE, Action.EXPORT, Action.SHARE):
+            recorder.record(outlier, action, "bulk")
+        # alice's flow is shared by bob (1 of her 2 peers): support 0.5;
+        # mallory's flow is shared by nobody.
+        assert recorder.typicality(a) == pytest.approx(0.5)
+        assert recorder.typicality(outlier) == 0.0
+        # With only alice and bob the common flow is fully typical.
+        solo = SessionRecorder(clock=SimulatedClock())
+        x = self.common_flow(solo, "alice")
+        self.common_flow(solo, "bob")
+        assert solo.typicality(x) == pytest.approx(1.0)
+
+    def test_abnormal_sessions_detected(self, recorder):
+        self.common_flow(recorder, "alice")
+        self.common_flow(recorder, "bob")
+        outlier = recorder.start_session("mallory")
+        for action in (Action.EXPORT, Action.SHARE, Action.EXPORT):
+            recorder.record(outlier, action, "bulk")
+        abnormal = recorder.abnormal_sessions()
+        assert [s.analyst for s in abnormal] == ["mallory"]
+
+    def test_empty_session_is_typical(self, recorder):
+        self.common_flow(recorder, "alice")
+        empty = recorder.start_session("carol")
+        assert recorder.typicality(empty) == 1.0
+        assert empty not in recorder.abnormal_sessions()
+
+    def test_duration(self, clock):
+        recorder = SessionRecorder(clock=clock)
+        session = recorder.start_session("alice")
+        recorder.record(session, Action.VIEW_TOPOLOGY)
+        clock.advance(dt.timedelta(minutes=7))
+        recorder.record(session, Action.VIEW_NODE, "Node 1")
+        assert session.duration() == dt.timedelta(minutes=7)
+
+    def test_render_summary_flags_outlier(self, recorder):
+        self.common_flow(recorder, "alice")
+        self.common_flow(recorder, "bob")
+        outlier = recorder.start_session("mallory")
+        for action in (Action.EXPORT, Action.SHARE, Action.EXPORT):
+            recorder.record(outlier, action, "bulk")
+        summary = recorder.render_summary()
+        assert "ABNORMAL session-3 (mallory)" in summary
+        assert "common flow: view_topology -> view_node" in summary
+
+    def test_render_session_in_depth(self, recorder):
+        session = self.common_flow(recorder, "alice")
+        rendered = recorder.render_session(session)
+        assert "analyst alice" in rendered
+        assert "view_issue" in rendered and "CVE-2017-9805" in rendered
+
+    def test_compare_sessions(self, recorder):
+        a = self.common_flow(recorder, "alice")
+        b = self.common_flow(recorder, "bob")
+        comparison = recorder.compare(a, b)
+        assert "shared transitions: 3" in comparison
+
+
+class TestAttributionGeo:
+    def test_actor_cluster_places_event_by_country(self):
+        from repro.misp import GalaxyMatcher
+        view = GeoSummaryView()
+        event = MispEvent(info="Campaign attributed to Lazarus Group")
+        GalaxyMatcher().tag_event(event)
+        hits = view.ingest_attribution(event)
+        assert len(hits) == 1
+        assert hits[0].location == "north korea"
+        assert hits[0].region == "Asia"
+
+    def test_cluster_without_country_ignored(self):
+        from repro.misp import GalaxyMatcher
+        view = GeoSummaryView()
+        event = MispEvent(info="Mimikatz usage observed")
+        GalaxyMatcher().tag_event(event)
+        assert view.ingest_attribution(event) == []
+
+    def test_untagged_event_yields_nothing(self):
+        view = GeoSummaryView()
+        assert view.ingest_attribution(MispEvent(info="plain")) == []
+
+    def test_expanded_gazetteer_feeds_geo(self):
+        view = GeoSummaryView()
+        event = MispEvent(info="breach reported in Japan and Brazil")
+        view.ingest_event(event)
+        regions = view.by_region()
+        assert regions == {"Asia": 1, "South America": 1}

@@ -1,0 +1,145 @@
+"""Tests for the threat-score engine (Equation 1) and weighting schemes."""
+
+import pytest
+
+from repro.core import FeatureScore
+from repro.core.heuristics import (
+    CriteriaPoints,
+    CriteriaWeights,
+    FixedWeights,
+    score_features,
+    score_vector,
+)
+from repro.errors import ValidationError
+
+TABLE_I_WEIGHTS = [0.10, 0.25, 0.40, 0.15, 0.10]
+
+
+class TestTableI:
+    """The paper's worked example (Table I), verbatim."""
+
+    @pytest.mark.parametrize("values,expected", [
+        ((3, 4, 3, 1, 5), 3.15),
+        ((5, 2, 2, 4, 0), 1.92),
+        ((1, 1, 2, 3, 3), 1.90),
+    ])
+    def test_reproduces_table_i(self, values, expected):
+        result = score_vector(values, TABLE_I_WEIGHTS)
+        assert result.score == pytest.approx(expected)
+
+    def test_h2_completeness_is_four_fifths(self):
+        result = score_vector((5, 2, 2, 4, 0), TABLE_I_WEIGHTS)
+        assert result.completeness == pytest.approx(0.8)
+        assert result.features[-1].empty
+
+    def test_full_vector_completeness_one(self):
+        result = score_vector((3, 4, 3, 1, 5), TABLE_I_WEIGHTS)
+        assert result.completeness == 1.0
+
+
+class TestScoreVector:
+    def test_none_counts_as_empty(self):
+        with_none = score_vector((3, None, 3), [0.3, 0.4, 0.3])
+        with_zero = score_vector((3, 0, 3), [0.3, 0.4, 0.3])
+        assert with_none.score == pytest.approx(with_zero.score)
+        assert with_none.completeness == pytest.approx(2 / 3)
+
+    def test_all_empty_scores_zero(self):
+        result = score_vector((0, 0), [0.5, 0.5])
+        assert result.score == 0.0
+        assert result.completeness == 0.0
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            score_vector((6,), [1.0])
+        with pytest.raises(ValidationError):
+            score_vector((-1,), [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            score_vector((1, 2), [1.0])
+
+    def test_score_bounds(self):
+        result = score_vector((5, 5, 5, 5, 5), TABLE_I_WEIGHTS)
+        assert result.score == pytest.approx(5.0)
+
+    def test_priority_bands(self):
+        assert score_vector((5,) * 5, TABLE_I_WEIGHTS).priority() == "critical"
+        assert score_vector((0,) * 5, TABLE_I_WEIGHTS).priority() == "very-low"
+
+
+class TestFixedWeights:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            FixedWeights([0.5, 0.6])
+
+    def test_must_be_non_negative(self):
+        with pytest.raises(ValidationError):
+            FixedWeights([1.5, -0.5])
+
+    def test_must_not_be_empty(self):
+        with pytest.raises(ValidationError):
+            FixedWeights([])
+
+
+def feature(name, value, points):
+    return FeatureScore(
+        feature=name, value=value, attribute_label="x",
+        relevance=points[0], accuracy=points[1],
+        timeliness=points[2], variety=points[3])
+
+
+class TestCriteriaWeights:
+    def test_weights_renormalize_over_non_empty(self):
+        scores = [
+            feature("a", 3, (5, 1, 1, 1)),   # 8 points
+            feature("b", None, (1, 1, 1, 1)),  # empty -> excluded
+            feature("c", 2, (5, 5, 1, 1)),   # 12 points
+        ]
+        weights = CriteriaWeights().weights(scores)
+        assert weights[0] == pytest.approx(8 / 20)
+        assert weights[1] == 0.0
+        assert weights[2] == pytest.approx(12 / 20)
+
+    def test_live_weights_sum_to_one(self):
+        scores = [feature(str(i), 1, (i + 1, 1, 1, 1)) for i in range(4)]
+        assert sum(CriteriaWeights().weights(scores)) == pytest.approx(1.0)
+
+    def test_all_empty_yields_zero_weights(self):
+        scores = [feature("a", None, (5, 5, 5, 5))]
+        assert CriteriaWeights().weights(scores) == [0.0]
+
+    def test_score_features_full_path(self):
+        scores = [
+            feature("a", 4, (5, 1, 1, 1)),
+            feature("b", None, (1, 1, 1, 1)),
+        ]
+        result = score_features("test", scores, CriteriaWeights())
+        assert result.completeness == pytest.approx(0.5)
+        assert result.weighted_sum == pytest.approx(4.0)
+        assert result.score == pytest.approx(2.0)
+
+    def test_criteria_points_validation(self):
+        with pytest.raises(ValidationError):
+            CriteriaPoints(relevance=-1, accuracy=0, timeliness=0, variety=0)
+        assert CriteriaPoints(5, 1, 1, 1).total == 8
+
+
+class TestResultApi:
+    def test_breakdown_structure(self):
+        result = score_vector((3, 4), [0.5, 0.5])
+        breakdown = result.breakdown()
+        assert breakdown["score"] == pytest.approx(result.score, abs=1e-4)
+        assert len(breakdown["features"]) == 2
+        assert set(breakdown["features"][0]["criteria"]) == \
+            {"relevance", "accuracy", "timeliness", "variety"}
+
+    def test_feature_lookup(self):
+        result = score_vector((3,), [1.0])
+        assert result.feature("X1").value == 3
+        with pytest.raises(KeyError):
+            result.feature("X9")
+
+    def test_non_empty_features(self):
+        result = score_vector((3, 0, 2), [0.2, 0.4, 0.4])
+        assert len(result.non_empty_features) == 2

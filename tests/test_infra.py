@@ -1,0 +1,214 @@
+"""Tests for the infrastructure substrate."""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.errors import ValidationError
+from repro.infra import (
+    Alarm,
+    AlarmManager,
+    HidsSensor,
+    InfrastructureDataCollector,
+    INFRASTRUCTURE_TAG,
+    Inventory,
+    NidsSensor,
+    Node,
+    NodeType,
+    SensorNetwork,
+    Severity,
+    paper_inventory,
+)
+from repro.misp import Distribution, MispInstance
+
+
+class TestInventory:
+    def test_paper_inventory_matches_table_iii(self, inventory):
+        assert inventory.node_names == ["Node 1", "Node 2", "Node 3", "Node 4"]
+        node1 = inventory.get("Node 1")
+        assert node1.operating_system == "ubuntu"
+        assert "owncloud" in node1.applications
+        node4 = inventory.get("Node 4")
+        assert node4.operating_system == "debian"
+        assert {"apache", "apache storm", "apache zookeeper", "server"} <= \
+            set(node4.applications)
+        assert inventory.common_keywords == {"linux"}
+
+    def test_specific_match(self, inventory):
+        match = inventory.match("gitlab")
+        assert match.nodes == ("Node 2",)
+        assert not match.via_common_keyword
+
+    def test_os_match(self, inventory):
+        assert inventory.match("debian").nodes == ("Node 4",)
+        assert set(inventory.match("ubuntu").nodes) == {"Node 1", "Node 2", "Node 3"}
+
+    def test_common_keyword_matches_all_nodes(self, inventory):
+        match = inventory.match("linux")
+        assert match.via_common_keyword
+        assert set(match.nodes) == set(inventory.node_names)
+
+    def test_no_match(self, inventory):
+        match = inventory.match("windows")
+        assert not match
+        assert match.nodes == ()
+
+    def test_match_is_case_insensitive(self, inventory):
+        assert inventory.match("APACHE").nodes == ("Node 4",)
+
+    def test_empty_term_never_matches(self, inventory):
+        assert not inventory.match("   ")
+
+    def test_match_any_returns_only_hits(self, inventory):
+        hits = inventory.match_any(["apache", "windows", "linux"])
+        assert set(hits) == {"apache", "linux"}
+
+    def test_duplicate_node_name_rejected(self):
+        inventory = Inventory(nodes=[Node(name="a")])
+        with pytest.raises(ValidationError):
+            inventory.add_node(Node(name="a"))
+
+    def test_find_by_ip(self, inventory):
+        assert inventory.find_by_ip("10.0.0.14").name == "Node 4"
+        assert inventory.find_by_ip("9.9.9.9") is None
+
+    def test_node_validation(self):
+        with pytest.raises(ValidationError):
+            Node(name="")
+        with pytest.raises(ValidationError):
+            Node(name="x", node_type="Mainframe")
+        with pytest.raises(ValidationError):
+            Node(name="x", networks=("MAN",))
+
+    def test_software_terms_lowercased(self):
+        node = Node(name="x", operating_system="Ubuntu", applications=("GitLab",))
+        assert node.runs("gitlab")
+        assert node.runs("UBUNTU")
+
+
+class TestAlarms:
+    def test_severity_worst(self):
+        assert Severity.worst([]) == Severity.GREEN
+        assert Severity.worst([Severity.GREEN, Severity.YELLOW]) == Severity.YELLOW
+        assert Severity.worst([Severity.YELLOW, Severity.RED, Severity.GREEN]) == \
+            Severity.RED
+
+    def test_alarm_validation(self):
+        with pytest.raises(ValidationError):
+            Alarm(node="n", severity="purple", description="d")
+        with pytest.raises(ValidationError):
+            Alarm(node="", severity=Severity.RED, description="d")
+        with pytest.raises(ValidationError):
+            Alarm(node="n", severity=Severity.RED, description="d", count=0)
+
+    def test_manager_stamps_timestamp(self, clock):
+        manager = AlarmManager(clock=clock)
+        alarm = manager.raise_alarm(Alarm(node="n", severity=Severity.RED,
+                                          description="d"))
+        assert alarm.timestamp == clock.now()
+
+    def test_per_node_queries(self, alarm_manager):
+        alarm_manager.raise_alarm(Alarm(node="a", severity=Severity.RED,
+                                        description="x", count=2))
+        alarm_manager.raise_alarm(Alarm(node="a", severity=Severity.GREEN,
+                                        description="y"))
+        alarm_manager.raise_alarm(Alarm(node="b", severity=Severity.YELLOW,
+                                        description="z"))
+        assert alarm_manager.count_for_node("a") == 3
+        assert alarm_manager.worst_severity_for_node("a") == Severity.RED
+        assert alarm_manager.worst_severity_for_node("b") == Severity.YELLOW
+        assert alarm_manager.worst_severity_for_node("missing") == Severity.GREEN
+
+    def test_alarms_for_application(self, alarm_manager):
+        alarm_manager.raise_alarm(Alarm(
+            node="a", severity=Severity.RED, description="RCE attempt",
+            application="apache struts"))
+        alarm_manager.raise_alarm(Alarm(
+            node="a", severity=Severity.RED,
+            description="suspicious owncloud upload"))
+        assert len(alarm_manager.alarms_for_application("apache struts")) == 1
+        assert len(alarm_manager.alarms_for_application("owncloud")) == 1
+        assert alarm_manager.alarms_for_application("gitlab") == []
+
+    def test_alarms_for_application_window(self, clock):
+        manager = AlarmManager(clock=clock)
+        manager.raise_alarm(Alarm(node="a", severity=Severity.RED,
+                                  description="apache issue"))
+        clock.advance(dt.timedelta(days=2))
+        recent = manager.alarms_for_application("apache",
+                                                window=dt.timedelta(days=1))
+        assert recent == []
+
+
+class TestSensors:
+    def test_sensor_network_builds_from_inventory(self, inventory, clock):
+        network = SensorNetwork(inventory, clock=clock, seed=1)
+        kinds = {(s.kind, s.node.name) for s in network.sensors}
+        # Nodes 1 and 2 run both nids+hids; nodes 3 and 4 depend on software.
+        assert ("nids", "Node 1") in kinds
+        assert ("hids", "Node 1") in kinds
+        assert ("nids", "Node 3") in kinds
+        assert ("hids", "Node 3") not in kinds
+
+    def test_ticks_are_deterministic(self, inventory):
+        a = SensorNetwork(inventory, clock=SimulatedClock(), seed=5, alarm_rate=0.5)
+        b = SensorNetwork(inventory, clock=SimulatedClock(), seed=5, alarm_rate=0.5)
+        alarms_a = [(x.node, x.signature) for x in a.tick(steps=5)]
+        alarms_b = [(x.node, x.signature) for x in b.tick(steps=5)]
+        assert alarms_a == alarms_b
+
+    def test_alarms_land_in_manager(self, inventory, clock):
+        network = SensorNetwork(inventory, clock=clock, seed=2, alarm_rate=1.0)
+        produced = network.tick(steps=1)
+        assert produced
+        assert len(network.alarm_manager.all()) == len(produced)
+
+    def test_telemetry_accumulates(self, inventory, clock):
+        network = SensorNetwork(inventory, clock=clock, seed=2, alarm_rate=0.0)
+        network.tick(steps=3)
+        assert len(network.telemetry) == 3 * len(network.sensors)
+
+    def test_invalid_alarm_rate(self, inventory):
+        with pytest.raises(ValidationError):
+            NidsSensor(inventory.get("Node 1"), alarm_rate=1.5)
+
+
+class TestInfrastructureCollector:
+    def test_snapshot(self, inventory, clock):
+        network = SensorNetwork(inventory, clock=clock, seed=3, alarm_rate=0.5)
+        network.tick(steps=4)
+        collector = InfrastructureDataCollector(inventory, network, clock=clock)
+        snapshot = collector.snapshot()
+        assert set(snapshot.installed_software) == set(inventory.node_names)
+        assert "apache" in snapshot.software_terms()
+        assert snapshot.seen_ips
+        assert snapshot.alarms
+
+    def test_ship_to_misp_stores_org_only_event(self, inventory, clock, misp):
+        network = SensorNetwork(inventory, clock=clock, seed=3, alarm_rate=1.0)
+        network.tick(steps=2)
+        collector = InfrastructureDataCollector(inventory, network,
+                                                misp=misp, clock=clock)
+        event = collector.ship_to_misp()
+        assert event is not None
+        assert event.has_tag(INFRASTRUCTURE_TAG)
+        assert event.distribution == Distribution.ORGANISATION_ONLY
+        assert misp.store.has_event(event.uuid)
+
+    def test_ship_is_incremental(self, inventory, clock, misp):
+        network = SensorNetwork(inventory, clock=clock, seed=3, alarm_rate=1.0)
+        network.tick(steps=1)
+        collector = InfrastructureDataCollector(inventory, network,
+                                                misp=misp, clock=clock)
+        first = collector.ship_to_misp()
+        # No new alarms -> nothing new to ship.
+        second = collector.ship_to_misp()
+        assert first is not None
+        assert second is None
+
+    def test_ship_without_misp_is_noop(self, inventory, clock):
+        network = SensorNetwork(inventory, clock=clock, seed=3, alarm_rate=1.0)
+        network.tick(steps=1)
+        collector = InfrastructureDataCollector(inventory, network, clock=clock)
+        assert collector.ship_to_misp() is None

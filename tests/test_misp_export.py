@@ -1,0 +1,152 @@
+"""Tests for the MISP export/import modules."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError, SharingError
+from repro.misp import (
+    EXPORT_MODULES,
+    MispAttribute,
+    MispEvent,
+    from_misp_json,
+    from_stix2_bundle,
+    to_csv,
+    to_misp_json,
+    to_plaintext_values,
+    to_stix1_xml,
+    to_stix2_bundle,
+)
+
+
+@pytest.fixture
+def event():
+    event = MispEvent(info="Struts campaign")
+    event.add_attribute(MispAttribute(type="vulnerability", value="CVE-2017-9805",
+                                      comment="RCE in Apache Struts"))
+    event.add_attribute(MispAttribute(type="domain", value="evil.example"))
+    event.add_attribute(MispAttribute(type="ip-src", value="198.51.100.3"))
+    event.add_attribute(MispAttribute(type="sha256", value="ab" * 32))
+    event.add_attribute(MispAttribute(type="text", value="free text", to_ids=False))
+    return event
+
+
+class TestMispJson:
+    def test_roundtrip(self, event):
+        revived = from_misp_json(to_misp_json(event))
+        assert revived.uuid == event.uuid
+        assert len(revived.attributes) == len(event.attributes)
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ParseError):
+            from_misp_json("{broken")
+
+
+class TestStix2Export:
+    def test_vulnerability_becomes_sdo(self, event):
+        bundle = to_stix2_bundle(event)
+        vulns = bundle.by_type("vulnerability")
+        assert len(vulns) == 1
+        assert vulns[0]["name"] == "CVE-2017-9805"
+        refs = vulns[0]["external_references"]
+        assert refs[0].source_name == "cve"
+
+    def test_indicators_carry_patterns(self, event):
+        bundle = to_stix2_bundle(event)
+        patterns = {i["pattern"] for i in bundle.by_type("indicator")}
+        assert "[domain-name:value = 'evil.example']" in patterns
+        assert "[ipv4-addr:value = '198.51.100.3']" in patterns
+        assert "[file:hashes.'SHA-256' = '" + "ab" * 32 + "']" in patterns
+
+    def test_text_attributes_are_not_exported(self, event):
+        bundle = to_stix2_bundle(event)
+        # vulnerability + 3 indicators + 3 relationships (each indicator
+        # related to the vulnerability); the free-text attr has no STIX form.
+        assert len(bundle.by_type("vulnerability")) == 1
+        assert len(bundle.by_type("indicator")) == 3
+        assert len(bundle.by_type("relationship")) == 3
+        assert len(bundle) == 7
+
+    def test_relationships_connect_indicators_to_vulnerability(self, event):
+        bundle = to_stix2_bundle(event)
+        vulnerability = bundle.by_type("vulnerability")[0]
+        indicator_ids = {obj["id"] for obj in bundle.by_type("indicator")}
+        for relationship in bundle.by_type("relationship"):
+            assert relationship["relationship_type"] == "related-to"
+            assert relationship["source_ref"] in indicator_ids
+            assert relationship["target_ref"] == vulnerability["id"]
+
+    def test_no_relationships_without_vulnerability(self):
+        event = MispEvent(info="indicators only")
+        event.add_attribute(MispAttribute(type="domain", value="a.example"))
+        bundle = to_stix2_bundle(event)
+        assert bundle.by_type("relationship") == []
+
+    def test_event_context_rides_as_custom_properties(self, event):
+        event.add_tag("caop:category=\"phishing\"")
+        bundle = to_stix2_bundle(event)
+        for obj in bundle:
+            assert obj["x_caop_event_uuid"] == event.uuid
+            assert "caop:category=\"phishing\"" in obj["x_caop_tags"]
+
+    def test_content_derived_ids_are_stable(self, event):
+        a = to_stix2_bundle(event)
+        b = to_stix2_bundle(event)
+        assert [o["id"] for o in a] == [o["id"] for o in b]
+
+    def test_capec_link_attribute_becomes_reference(self):
+        event = MispEvent(info="x")
+        event.add_attribute(MispAttribute(type="vulnerability", value="CVE-2017-9805"))
+        event.add_attribute(MispAttribute(
+            type="link", value="CAPEC-586 https://capec.mitre.org/x",
+            to_ids=False))
+        bundle = to_stix2_bundle(event)
+        refs = bundle.by_type("vulnerability")[0]["external_references"]
+        assert {r.source_name for r in refs} == {"cve", "capec"}
+
+
+class TestStix2Import:
+    def test_reimport_recovers_attributes(self, event):
+        bundle = to_stix2_bundle(event)
+        revived = from_stix2_bundle(bundle)
+        pairs = {(a.type, a.value) for a in revived.attributes}
+        assert ("vulnerability", "CVE-2017-9805") in pairs
+        assert ("domain", "evil.example") in pairs
+        assert ("sha256", "ab" * 32) in pairs
+
+
+class TestOtherFormats:
+    def test_stix1_xml_structure(self, event):
+        xml = to_stix1_xml(event)
+        assert xml.startswith("<?xml")
+        assert "<stix:STIX_Package" in xml
+        assert "evil.example" in xml
+        assert xml.count("<stix:Indicator ") == len(event.attributes)
+
+    def test_stix1_xml_escapes(self):
+        event = MispEvent(info="a <b> & c")
+        xml = to_stix1_xml(event)
+        assert "a &lt;b&gt; &amp; c" in xml
+
+    def test_csv_header_and_rows(self, event):
+        csv_text = to_csv(event)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "uuid,type,category,value,to_ids,comment"
+        assert len(lines) == 1 + len(event.attributes)
+
+    def test_plaintext_values(self, event):
+        text = to_plaintext_values(event, attribute_type="domain")
+        assert text == "evil.example\n"
+
+    def test_plaintext_all_values(self, event):
+        assert len(to_plaintext_values(event).strip().splitlines()) == 5
+
+    def test_export_module_registry(self, event):
+        for name, module in EXPORT_MODULES.items():
+            rendered = module(event)
+            assert isinstance(rendered, str) and rendered, name
+
+    def test_stix2_module_produces_valid_bundle_json(self, event):
+        text = EXPORT_MODULES["stix2"](event)
+        data = json.loads(text)
+        assert data["type"] == "bundle"

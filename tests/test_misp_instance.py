@@ -1,0 +1,173 @@
+"""Tests for the MISP instance: correlation, feed, sync, client."""
+
+import pytest
+
+from repro.bus import ZmqSubscriber
+from repro.errors import SharingError, StorageError
+from repro.misp import (
+    Distribution,
+    MispAttribute,
+    MispEvent,
+    MispInstance,
+    PyMispClient,
+    TOPIC_ATTRIBUTE,
+    TOPIC_EVENT,
+)
+
+
+def make_event(info="event", value="evil.example",
+               distribution=Distribution.CONNECTED_COMMUNITIES):
+    event = MispEvent(info=info, distribution=distribution)
+    event.add_attribute(MispAttribute(type="domain", value=value))
+    return event
+
+
+class TestIngestionAndFeed:
+    def test_add_event_publishes_on_zmq(self, misp):
+        subscriber = ZmqSubscriber(misp.broker)
+        subscriber.subscribe(TOPIC_EVENT)
+        event = make_event()
+        misp.add_event(event)
+        topic, document = subscriber.recv()
+        assert topic == TOPIC_EVENT
+        assert document["Event"]["uuid"] == event.uuid
+
+    def test_add_event_without_feed(self, misp):
+        subscriber = ZmqSubscriber(misp.broker)
+        subscriber.subscribe("")
+        misp.add_event(make_event(), publish_feed=False)
+        assert subscriber.recv() is None
+
+    def test_add_attribute_appends_and_publishes(self, misp):
+        event = make_event()
+        misp.add_event(event)
+        subscriber = ZmqSubscriber(misp.broker)
+        subscriber.subscribe(TOPIC_ATTRIBUTE)
+        misp.add_attribute(event.uuid, MispAttribute(type="ip-src", value="198.51.100.2"))
+        topic, document = subscriber.recv()
+        assert document["event_uuid"] == event.uuid
+        stored = misp.store.get_event(event.uuid)
+        assert len(stored.attributes) == 2
+
+    def test_add_attribute_to_missing_event(self, misp):
+        with pytest.raises(StorageError):
+            misp.add_attribute("missing", MispAttribute(type="domain", value="x"))
+
+    def test_tag_event(self, misp):
+        event = make_event()
+        misp.add_event(event)
+        misp.tag_event(event.uuid, "tlp:green")
+        assert misp.store.get_event(event.uuid).has_tag("tlp:green")
+
+
+class TestCorrelation:
+    def test_equal_values_correlate_across_events(self, misp):
+        first = make_event(info="first")
+        second = make_event(info="second")
+        misp.add_event(first)
+        misp.add_event(second)
+        correlations = misp.correlations(first.uuid)
+        assert len(correlations) == 1
+        assert correlations[0]["value"] == "evil.example"
+
+    def test_non_correlatable_attribute_does_not_link(self, misp):
+        first = MispEvent(info="a")
+        first.add_attribute(MispAttribute(type="text", value="same", to_ids=False))
+        second = MispEvent(info="b")
+        second.add_attribute(MispAttribute(type="text", value="same", to_ids=False))
+        misp.add_event(first)
+        misp.add_event(second)
+        assert misp.correlations(first.uuid) == []
+
+    def test_re_adding_same_event_does_not_self_correlate(self, misp):
+        event = make_event()
+        misp.add_event(event)
+        misp.add_event(event)
+        assert misp.correlations(event.uuid) == []
+
+
+class TestSync:
+    def test_publish_pushes_to_peers(self, misp):
+        peer = MispInstance(org="Peer")
+        misp.add_peer(peer)
+        event = make_event(distribution=Distribution.ALL_COMMUNITIES)
+        misp.add_event(event)
+        misp.publish_event(event.uuid)
+        assert peer.store.has_event(event.uuid)
+        assert misp.sync_stats.pushed_events == 1
+
+    def test_distribution_blocks_sharing(self, misp):
+        peer = MispInstance(org="Peer")
+        misp.add_peer(peer)
+        event = make_event(distribution=Distribution.ORGANISATION_ONLY)
+        misp.add_event(event)
+        misp.publish_event(event.uuid)
+        assert not peer.store.has_event(event.uuid)
+        assert misp.sync_stats.skipped_distribution == 1
+
+    def test_distribution_downgrade_on_hop(self, misp):
+        peer = MispInstance(org="Peer")
+        far = MispInstance(org="Far")
+        misp.add_peer(peer)
+        peer.add_peer(far)
+        event = make_event(distribution=Distribution.CONNECTED_COMMUNITIES)
+        misp.add_event(event)
+        misp.publish_event(event.uuid)
+        received = peer.store.get_event(event.uuid)
+        assert received.distribution == Distribution.COMMUNITY_ONLY
+        # Re-publishing at the peer must NOT propagate further.
+        peer.publish_event(event.uuid)
+        assert not far.store.has_event(event.uuid)
+
+    def test_duplicate_push_skipped(self, misp):
+        peer = MispInstance(org="Peer")
+        misp.add_peer(peer)
+        event = make_event(distribution=Distribution.ALL_COMMUNITIES)
+        misp.add_event(event)
+        misp.publish_event(event.uuid)
+        misp.publish_event(event.uuid)
+        assert misp.sync_stats.skipped_duplicates >= 1
+
+    def test_pull_from_peer(self, misp):
+        peer = MispInstance(org="Peer")
+        event = make_event(distribution=Distribution.ALL_COMMUNITIES)
+        peer.add_event(event)
+        peer.publish_event(event.uuid)
+        pulled = misp.pull_from(peer)
+        assert pulled == 1
+        assert misp.store.has_event(event.uuid)
+        # Second pull is a no-op.
+        assert misp.pull_from(peer) == 0
+
+    def test_cannot_peer_with_self(self, misp):
+        with pytest.raises(SharingError):
+            misp.add_peer(misp)
+
+
+class TestClient:
+    def test_client_surface(self, misp):
+        client = PyMispClient(misp)
+        event = make_event(info="via client")
+        client.add_event(event)
+        assert client.event_exists(event.uuid)
+        assert client.get_event(event.uuid).info == "via client"
+        client.tag(event.uuid, "tlp:white")
+        client.add_attribute(event.uuid, MispAttribute(type="url", value="http://x/p"))
+        hits = client.search(value="evil.example")
+        assert [e.uuid for e in hits] == [event.uuid]
+        assert client.search(eventinfo="via client")
+        assert client.search(type_attribute="url")
+        assert client.search(tag="tlp:white")
+        exported = client.export(event.uuid, "csv")
+        assert "http://x/p" in exported
+
+    def test_get_missing_event_raises(self, misp):
+        with pytest.raises(StorageError):
+            PyMispClient(misp).get_event("missing")
+
+    def test_unknown_export_format(self, misp):
+        client = PyMispClient(misp)
+        event = make_event()
+        client.add_event(event)
+        with pytest.raises(SharingError):
+            client.export(event.uuid, "pdf")

@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import datetime as dt
+import string
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Deduplicator, FeatureScore, Normalizer
+from repro.core.heuristics import CriteriaWeights, FixedWeights, score_features, score_vector
+from repro.cvss import CvssVector
+from repro.feeds import FeedRecord, SourceType
+from repro.misp import MispAttribute, MispEvent, from_misp_json, to_misp_json
+from repro.stix import Bundle, Indicator, equals_pattern, match, Observation
+from repro.stix.pattern import CompiledPattern
+
+# ---------------------------------------------------------------------------
+# Threat score invariants (Equation 1)
+# ---------------------------------------------------------------------------
+
+values_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+    min_size=1, max_size=12)
+
+
+@st.composite
+def values_and_weights(draw):
+    values = draw(values_strategy)
+    raw = draw(st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=len(values), max_size=len(values)))
+    total = sum(raw)
+    weights = [w / total for w in raw]
+    # Normalize rounding drift so FixedWeights' sum check passes.
+    weights[-1] += 1.0 - sum(weights)
+    return values, weights
+
+
+@given(values_and_weights())
+@settings(max_examples=200)
+def test_threat_score_always_within_bounds(pair):
+    values, weights = pair
+    result = score_vector(values, weights)
+    assert 0.0 <= result.score <= 5.0
+    assert 0.0 <= result.completeness <= 1.0
+
+
+@given(values_and_weights())
+@settings(max_examples=100)
+def test_completeness_counts_non_empty(pair):
+    values, weights = pair
+    result = score_vector(values, weights)
+    non_empty = sum(1 for v in values if v not in (None, 0))
+    assert result.completeness == pytest.approx(non_empty / len(values))
+
+
+@given(st.lists(st.tuples(
+    st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    st.integers(min_value=1, max_value=20)), min_size=1, max_size=10))
+@settings(max_examples=100)
+def test_criteria_weights_sum_to_one_over_live_features(items):
+    scores = [
+        FeatureScore(feature=f"f{i}", value=v, attribute_label="x",
+                     relevance=p, accuracy=1, timeliness=1, variety=1)
+        for i, (v, p) in enumerate(items)
+    ]
+    weights = CriteriaWeights().weights(scores)
+    live = [w for s, w in zip(scores, weights) if not s.empty]
+    if live:
+        assert sum(live) == pytest.approx(1.0)
+    result = score_features("h", scores, CriteriaWeights())
+    assert 0.0 <= result.score <= 5.0
+
+
+@given(st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=5))
+def test_threat_score_monotone_in_values(low, high):
+    assume(low <= high)
+    weights = [0.5, 0.5]
+    base = score_vector((3, low), weights).score
+    higher = score_vector((3, high), weights).score
+    assert higher >= base
+
+
+# ---------------------------------------------------------------------------
+# CVSS invariants
+# ---------------------------------------------------------------------------
+
+_metric = st.sampled_from
+cvss_strategy = st.builds(
+    lambda av, ac, pr, ui, s, c, i, a:
+        f"CVSS:3.0/AV:{av}/AC:{ac}/PR:{pr}/UI:{ui}/S:{s}/C:{c}/I:{i}/A:{a}",
+    _metric("NALP"), _metric("LH"), _metric("NLH"), _metric("NR"),
+    _metric("UC"), _metric("HLN"), _metric("HLN"), _metric("HLN"))
+
+
+@given(cvss_strategy)
+@settings(max_examples=300)
+def test_cvss_score_in_range_and_one_decimal(vector_text):
+    vector = CvssVector.parse(vector_text)
+    score = vector.base_score()
+    assert 0.0 <= score <= 10.0
+    assert round(score, 1) == score
+
+
+@given(cvss_strategy)
+@settings(max_examples=100)
+def test_cvss_no_impact_means_zero(vector_text):
+    vector = CvssVector.parse(vector_text)
+    if vector.metrics["C"] == vector.metrics["I"] == vector.metrics["A"] == "N":
+        assert vector.base_score() == 0.0
+    else:
+        assert vector.base_score() > 0.0
+
+
+@given(cvss_strategy)
+@settings(max_examples=100)
+def test_cvss_to_string_roundtrip(vector_text):
+    vector = CvssVector.parse(vector_text)
+    again = CvssVector.parse(vector.to_string())
+    assert again.base_score() == vector.base_score()
+
+
+# ---------------------------------------------------------------------------
+# Dedup invariants
+# ---------------------------------------------------------------------------
+
+_domain_chars = string.ascii_lowercase + string.digits
+record_strategy = st.builds(
+    lambda label, feed: FeedRecord(
+        feed_name=feed, category="malware-domains",
+        source_type=SourceType.OSINT_FREE, indicator_type="domain",
+        value=f"{label}.example"),
+    st.text(alphabet=_domain_chars, min_size=1, max_size=8),
+    st.sampled_from(["feed-a", "feed-b", "feed-c"]))
+
+
+@given(st.lists(record_strategy, max_size=40))
+@settings(max_examples=100)
+def test_dedup_partitions_batch(records):
+    normalizer = Normalizer()
+    events = normalizer.normalize_all(records)
+    dedup = Deduplicator()
+    fresh, duplicates = dedup.filter(events)
+    assert len(fresh) + len(duplicates) == len(events)
+    # Fresh events have unique uids; every duplicate's uid is in fresh.
+    fresh_uids = {e.uid for e in fresh}
+    assert len(fresh_uids) == len(fresh)
+    assert all(d.uid in fresh_uids for d in duplicates)
+
+
+@given(st.lists(record_strategy, max_size=25))
+@settings(max_examples=50)
+def test_dedup_is_idempotent(records):
+    normalizer = Normalizer()
+    events = normalizer.normalize_all(records)
+    dedup = Deduplicator()
+    dedup.filter(events)
+    fresh_again, dups_again = dedup.filter(events)
+    assert fresh_again == []
+    assert len(dups_again) == len(events)
+
+
+# ---------------------------------------------------------------------------
+# Serialization roundtrips
+# ---------------------------------------------------------------------------
+
+value_strategy = st.text(
+    alphabet=string.ascii_letters + string.digits + ".-", min_size=1,
+    max_size=30).filter(lambda s: s.strip())
+
+
+@given(st.lists(value_strategy, min_size=1, max_size=8, unique=True))
+@settings(max_examples=100)
+def test_misp_event_json_roundtrip(values):
+    event = MispEvent(info="prop test")
+    for value in values:
+        event.add_attribute(MispAttribute(type="domain", value=value))
+    revived = from_misp_json(to_misp_json(event))
+    assert revived.uuid == event.uuid
+    assert [a.value for a in revived.attributes] == values
+
+
+@given(value_strategy)
+@settings(max_examples=100)
+def test_stix_bundle_roundtrip(value):
+    indicator = Indicator(
+        pattern=equals_pattern("domain-name:value", value),
+        valid_from="2018-01-01T00:00:00Z", labels=["malicious-activity"])
+    bundle = Bundle([indicator])
+    revived = Bundle.from_json(bundle.to_json())
+    assert revived.objects[0]["pattern"] == indicator["pattern"]
+
+
+@given(st.text(min_size=1, max_size=40).filter(lambda s: "\x00" not in s))
+@settings(max_examples=200)
+def test_equals_pattern_always_parses_and_matches(value):
+    pattern = equals_pattern("domain-name:value", value)
+    compiled = CompiledPattern(pattern)
+    observation = Observation.single(
+        {"type": "domain-name", "value": value},
+        dt.datetime(2018, 6, 15, tzinfo=dt.timezone.utc))
+    assert compiled.matches([observation])
+    other = Observation.single(
+        {"type": "domain-name", "value": value + "-x"},
+        dt.datetime(2018, 6, 15, tzinfo=dt.timezone.utc))
+    assert not compiled.matches([other])

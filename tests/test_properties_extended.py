@@ -1,0 +1,194 @@
+"""Property-based tests for the extension subsystems (TLP, decay, taxonomy,
+timeline, inventory matching)."""
+
+import datetime as dt
+import string
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.clock import PAPER_NOW
+from repro.core import DecayModel
+from repro.dashboard import TimelineView, sparkline
+from repro.dashboard.sessions import Action, SessionRecorder
+from repro.errors import ValidationError
+from repro.infra import Alarm, Inventory, Node, Severity
+from repro.misp import MispEvent, parse_machine_tag
+from repro.sharing import SharingPolicy, Tlp, mark_tlp, tlp_of
+
+# ---------------------------------------------------------------------------
+# TLP ordering
+# ---------------------------------------------------------------------------
+
+tlp_levels = st.sampled_from(Tlp.ALL)
+
+
+@given(tlp_levels, tlp_levels)
+def test_tlp_at_most_is_total_order(level, ceiling):
+    # at_most is reflexive and antisymmetric over the declared order.
+    assert Tlp.at_most(level, level)
+    if Tlp.at_most(level, ceiling) and Tlp.at_most(ceiling, level):
+        assert level == ceiling
+
+
+@given(tlp_levels)
+def test_mark_then_read_roundtrip(level):
+    event = MispEvent(info="prop")
+    mark_tlp(event, level)
+    assert tlp_of(event) == level
+
+
+@given(tlp_levels, tlp_levels)
+def test_policy_red_never_allowed(level, clearance):
+    policy = SharingPolicy(default_clearance=clearance)
+    event = MispEvent(info="prop")
+    mark_tlp(event, Tlp.RED)
+    assert not policy.allows(event, "anyone")
+
+
+@given(tlp_levels, tlp_levels)
+def test_policy_consistent_with_at_most(level, clearance):
+    assume(level != Tlp.RED)
+    policy = SharingPolicy(default_clearance=clearance)
+    event = MispEvent(info="prop")
+    mark_tlp(event, level)
+    assert policy.allows(event, "x") == Tlp.at_most(level, clearance)
+
+
+# ---------------------------------------------------------------------------
+# Decay model invariants
+# ---------------------------------------------------------------------------
+
+decay_models = st.builds(
+    DecayModel,
+    lifetime=st.integers(min_value=1, max_value=2000).map(
+        lambda days: dt.timedelta(days=days)),
+    decay_speed=st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+
+
+@given(decay_models, st.integers(min_value=0, max_value=4000))
+@settings(max_examples=200)
+def test_decay_factor_bounded(model, age_days):
+    factor = model.factor(dt.timedelta(days=age_days))
+    assert 0.0 <= factor <= 1.0
+
+
+@given(decay_models,
+       st.lists(st.integers(min_value=0, max_value=4000), min_size=2,
+                max_size=10))
+@settings(max_examples=100)
+def test_decay_monotone_non_increasing(model, ages):
+    ages = sorted(ages)
+    factors = [model.factor(dt.timedelta(days=age)) for age in ages]
+    for earlier, later in zip(factors, factors[1:]):
+        assert later <= earlier + 1e-12
+
+
+@given(decay_models, st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+@settings(max_examples=100)
+def test_decayed_score_never_exceeds_base(model, base):
+    for days in (0, 1, 50, 100_0):
+        assert model.current_score(base, dt.timedelta(days=days)) <= base + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy machine-tag roundtrip
+# ---------------------------------------------------------------------------
+
+namespace_strategy = st.text(alphabet=string.ascii_lowercase + string.digits + "._-",
+                             min_size=1, max_size=10)
+predicate_strategy = st.text(
+    alphabet=string.ascii_letters + string.digits + "._-",
+    min_size=1, max_size=10)
+value_strategy = st.text(
+    alphabet=string.ascii_letters + string.digits + " .:/-_",
+    min_size=0, max_size=20)
+
+
+@given(namespace_strategy, predicate_strategy, st.one_of(st.none(), value_strategy))
+@settings(max_examples=200)
+def test_machine_tag_render_parse_roundtrip(namespace, predicate, value):
+    from repro.misp import MachineTag
+    tag = MachineTag(namespace, predicate, value)
+    parsed = parse_machine_tag(tag.render())
+    assert parsed == tag
+
+
+# ---------------------------------------------------------------------------
+# Timeline bucketing invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1,
+                max_size=50),
+       st.integers(min_value=1, max_value=240))
+@settings(max_examples=100)
+def test_timeline_conserves_counts(minute_offsets, bucket_minutes):
+    view = TimelineView(bucket=dt.timedelta(minutes=bucket_minutes))
+    for offset in minute_offsets:
+        view.ingest_alarm(Alarm(
+            node="n", severity=Severity.GREEN, description="d",
+            timestamp=PAPER_NOW + dt.timedelta(minutes=offset)))
+    buckets = view.buckets()
+    assert sum(b.alarms for b in buckets) == len(minute_offsets)
+    # Buckets tile the span contiguously.
+    for first, second in zip(buckets, buckets[1:]):
+        assert second.start - first.start == dt.timedelta(minutes=bucket_minutes)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=30))
+def test_sparkline_length_and_alphabet(counts):
+    line = sparkline(counts)
+    assert len(line) == len(counts)
+    assert all(ch in " .:-=+*#%@" for ch in line)
+
+
+# ---------------------------------------------------------------------------
+# Inventory matching invariants
+# ---------------------------------------------------------------------------
+
+app_strategy = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+
+
+@given(st.lists(app_strategy, min_size=1, max_size=6, unique=True),
+       app_strategy)
+@settings(max_examples=100)
+def test_inventory_match_iff_installed(applications, probe):
+    inventory = Inventory(
+        nodes=[Node(name="host", applications=tuple(applications))])
+    match = inventory.match(probe)
+    if probe in applications:
+        assert match.nodes == ("host",)
+    else:
+        assert not match
+
+
+@given(st.lists(app_strategy, min_size=1, max_size=6, unique=True))
+def test_common_keyword_always_matches_all(applications):
+    inventory = Inventory(
+        nodes=[Node(name=f"host-{i}") for i in range(3)],
+        common_keywords=["shared"])
+    match = inventory.match("shared")
+    assert match.via_common_keyword
+    assert len(match.nodes) == 3
+
+
+# ---------------------------------------------------------------------------
+# Session typicality bounds
+# ---------------------------------------------------------------------------
+
+action_lists = st.lists(st.sampled_from(Action.ALL), min_size=2, max_size=8)
+
+
+@given(st.lists(action_lists, min_size=2, max_size=5))
+@settings(max_examples=50)
+def test_typicality_always_in_unit_interval(session_actions):
+    recorder = SessionRecorder()
+    sessions = []
+    for actions in session_actions:
+        session = recorder.start_session("analyst")
+        for action in actions:
+            recorder.record(session, action)
+        sessions.append(session)
+    for session in sessions:
+        assert 0.0 <= recorder.typicality(session) <= 1.0

@@ -1,0 +1,110 @@
+"""Tests for the intelligence report builder."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.core import (
+    ContextAwareOSINTPlatform,
+    IntelReportBuilder,
+    PlatformConfig,
+)
+from repro.misp import MispStore
+from repro.stix import Bundle
+from repro.workloads import rce_use_case
+
+
+@pytest.fixture(scope="module")
+def platform():
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(seed=19, feed_entries=25))
+    platform.run_cycle()
+    return platform
+
+
+class TestBuild:
+    def test_digest_counts(self, platform):
+        builder = IntelReportBuilder(platform.misp.store, clock=platform.clock)
+        report = builder.build()
+        history = platform.history[0]
+        assert report.total_eiocs == history.eiocs_created
+        assert report.total_events >= report.total_eiocs
+        assert sum(report.category_volumes.values()) == report.total_eiocs
+
+    def test_top_threats_sorted(self, platform):
+        builder = IntelReportBuilder(platform.misp.store, clock=platform.clock)
+        report = builder.build(top=5)
+        scores = [entry.current_score for entry in report.top_threats]
+        assert scores == sorted(scores, reverse=True)
+        assert len(scores) <= 5
+
+    def test_period_filter(self, platform):
+        clock = SimulatedClock(platform.clock.now())
+        clock.advance(dt.timedelta(days=30))
+        builder = IntelReportBuilder(platform.misp.store, clock=clock)
+        report = builder.build(period=dt.timedelta(days=7))
+        assert report.total_events == 0
+
+    def test_empty_store(self):
+        builder = IntelReportBuilder(MispStore())
+        report = builder.build()
+        assert report.total_events == 0
+        assert report.mean_score == 0.0
+        assert report.top_threats == []
+
+    def test_rce_entry_carries_cve(self):
+        scenario = rce_use_case()
+        scenario.heuristics.process_pending()
+        builder = IntelReportBuilder(scenario.misp.store, clock=scenario.clock)
+        report = builder.build(period=dt.timedelta(days=500))
+        assert report.top_threats[0].cve == "CVE-2017-9805"
+
+
+class TestRendering:
+    def test_markdown_structure(self, platform):
+        builder = IntelReportBuilder(platform.misp.store, clock=platform.clock)
+        markdown = builder.build().to_markdown()
+        assert markdown.startswith("# CAOP intelligence report")
+        assert "## Volume by category" in markdown
+        assert "## Top threats" in markdown
+        assert "| score | now |" in markdown
+
+    def test_stix_report_references_objects(self, platform):
+        builder = IntelReportBuilder(platform.misp.store, clock=platform.clock)
+        report = builder.build(top=3)
+        stix_report, objects = builder.to_stix_report(report)
+        assert stix_report["type"] == "report"
+        assert stix_report["labels"] == ["threat-report"]
+        assert len(stix_report["object_refs"]) == len(objects)
+        ids = {obj["id"] for obj in objects}
+        assert set(stix_report["object_refs"]) == ids
+        # The whole thing serializes as one valid bundle.
+        bundle = Bundle([stix_report] + objects)
+        revived = Bundle.from_json(bundle.to_json())
+        assert len(revived) == 1 + len(objects)
+
+    def test_stix_report_on_empty_store_uses_placeholder(self):
+        builder = IntelReportBuilder(MispStore())
+        stix_report, objects = builder.to_stix_report(builder.build())
+        assert len(objects) == 1
+        assert objects[0]["type"] == "identity"
+
+
+class TestCliReport:
+    def test_cli_report_over_persisted_store(self, tmp_path, capsys):
+        from repro.cli import main
+        store_path = str(tmp_path / "caop.db")
+        assert main(["run", "--cycles", "1", "--entries", "10",
+                     "--store", store_path]) == 0
+        capsys.readouterr()
+        stix_path = str(tmp_path / "report.json")
+        assert main(["report", store_path, "--days", "30",
+                     "--stix", stix_path]) == 0
+        out = capsys.readouterr().out
+        assert "# CAOP intelligence report" in out
+        with open(stix_path) as handle:
+            data = json.load(handle)
+        assert data["type"] == "bundle"
+        assert any(obj["type"] == "report" for obj in data["objects"])

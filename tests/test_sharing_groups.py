@@ -1,0 +1,130 @@
+"""Tests for MISP sharing groups (distribution level 4)."""
+
+import pytest
+
+from repro.errors import SharingError, ValidationError
+from repro.misp import (
+    Distribution,
+    MispAttribute,
+    MispEvent,
+    MispInstance,
+    SharingGroup,
+)
+
+
+def make_group_event(group, info="sensitive intel"):
+    event = MispEvent(info=info, distribution=Distribution.SHARING_GROUP,
+                      sharing_group_id=group.uuid)
+    event.add_attribute(MispAttribute(type="domain", value="secret.example"))
+    return event
+
+
+class TestSharingGroupModel:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SharingGroup(name="", organisations={"a"})
+        with pytest.raises(ValidationError):
+            SharingGroup(name="g", organisations=set())
+
+    def test_membership(self):
+        group = SharingGroup(name="g", organisations={"a", "b"})
+        assert group.releasable_to("a")
+        assert not group.releasable_to("c")
+        group.add_organisation("c")
+        assert group.releasable_to("c")
+
+    def test_remove_organisation(self):
+        group = SharingGroup(name="g", organisations={"a", "b"})
+        group.remove_organisation("b")
+        assert not group.releasable_to("b")
+        with pytest.raises(SharingError):
+            group.remove_organisation("b")
+        with pytest.raises(SharingError):
+            group.remove_organisation("a")  # cannot empty the group
+
+    def test_roundtrip(self):
+        group = SharingGroup(name="g", organisations={"a", "b"})
+        revived = SharingGroup.from_dict(group.to_dict())
+        assert revived.uuid == group.uuid
+        assert revived.organisations == {"a", "b"}
+
+    def test_event_requires_group_id(self):
+        with pytest.raises(ValidationError):
+            MispEvent(info="x", distribution=Distribution.SHARING_GROUP)
+
+    def test_event_roundtrip_keeps_group_id(self):
+        group = SharingGroup(name="g", organisations={"a"})
+        event = make_group_event(group)
+        revived = MispEvent.from_dict(event.to_dict())
+        assert revived.sharing_group_id == group.uuid
+        assert revived.distribution == Distribution.SHARING_GROUP
+
+
+class TestSyncSemantics:
+    def build(self):
+        owner = MispInstance(org="Owner")
+        member = MispInstance(org="Member")
+        outsider = MispInstance(org="Outsider")
+        group = owner.create_sharing_group("ops", ["Owner", "Member"])
+        owner.add_peer(member)
+        owner.add_peer(outsider)
+        return owner, member, outsider, group
+
+    def test_push_reaches_members_only(self):
+        owner, member, outsider, group = self.build()
+        event = make_group_event(group)
+        owner.add_event(event)
+        owner.publish_event(event.uuid)
+        assert member.store.has_event(event.uuid)
+        assert not outsider.store.has_event(event.uuid)
+        assert owner.sync_stats.skipped_distribution == 1
+
+    def test_group_distribution_not_downgraded(self):
+        owner, member, _outsider, group = self.build()
+        event = make_group_event(group)
+        owner.add_event(event)
+        owner.publish_event(event.uuid)
+        received = member.store.get_event(event.uuid)
+        assert received.distribution == Distribution.SHARING_GROUP
+        assert received.sharing_group_id == group.uuid
+
+    def test_member_cannot_leak_onward(self):
+        owner, member, _outsider, group = self.build()
+        leak_target = MispInstance(org="Leaky")
+        member.add_peer(leak_target)
+        event = make_group_event(group)
+        owner.add_event(event)
+        owner.publish_event(event.uuid)
+        # The member re-publishes: the group definition travelled with the
+        # push, so the non-member target is still refused.
+        member.publish_event(event.uuid)
+        assert not leak_target.store.has_event(event.uuid)
+
+    def test_member_can_push_to_other_member(self):
+        owner, member, _outsider, group = self.build()
+        other_member = MispInstance(org="Owner")  # same org as owner
+        member.add_peer(other_member)
+        event = make_group_event(group)
+        owner.add_event(event)
+        owner.publish_event(event.uuid)
+        member.publish_event(event.uuid)
+        assert other_member.store.has_event(event.uuid)
+
+    def test_pull_respects_membership(self):
+        owner, member, outsider, group = self.build()
+        event = make_group_event(group)
+        owner.add_event(event)
+        event.published = True
+        owner.store.save_event(event)
+        assert member.pull_from(owner) == 1
+        assert outsider.pull_from(owner) == 0
+
+    def test_unknown_group_id_never_shared(self):
+        owner = MispInstance(org="Owner")
+        peer = MispInstance(org="Peer")
+        owner.add_peer(peer)
+        rogue_group = SharingGroup(name="rogue", organisations={"Peer"})
+        event = make_group_event(rogue_group)  # group NOT registered on owner
+        owner.add_event(event)
+        owner.publish_event(event.uuid)
+        assert not peer.store.has_event(event.uuid)

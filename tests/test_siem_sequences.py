@@ -1,0 +1,101 @@
+"""Tests for SIEM multi-event sequence rules (stateful correlation)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sharing import SiemConnector
+
+BASE = dt.datetime(2018, 6, 15, 12, 0, tzinfo=dt.timezone.utc)
+
+
+def at(minutes):
+    return BASE + dt.timedelta(minutes=minutes)
+
+
+def obs(value, obs_type="ipv4-addr"):
+    return {"type": obs_type, "value": value}
+
+
+@pytest.fixture
+def siem():
+    connector = SiemConnector()
+    connector.add_sequence_rule(
+        "bruteforce-then-success",
+        "[auth:outcome = 'failure'] REPEATS 3 TIMES WITHIN 300 SECONDS "
+        "FOLLOWEDBY [auth:outcome = 'success']",
+        threat_score=4.0,
+        window=dt.timedelta(minutes=10),
+        description="3 failed logins within 5 minutes then a success")
+    return connector
+
+
+def auth(outcome):
+    return {"type": "auth", "outcome": outcome, "value": outcome}
+
+
+class TestSequenceRules:
+    def test_sequence_fires_when_satisfied(self, siem):
+        for minute in (0, 1, 2):
+            assert siem.observe(auth("failure"), at(minute)) == []
+        alerts = siem.observe(auth("success"), at(3))
+        assert len(alerts) == 1
+        assert alerts[0].rule_id == "bruteforce-then-success"
+        assert alerts[0].threat_score == 4.0
+
+    def test_too_few_failures_do_not_fire(self, siem):
+        siem.observe(auth("failure"), at(0))
+        siem.observe(auth("failure"), at(1))
+        assert siem.observe(auth("success"), at(2)) == []
+
+    def test_failures_outside_window_do_not_fire(self, siem):
+        # Failures spread beyond the 5-minute WITHIN window.
+        siem.observe(auth("failure"), at(0))
+        siem.observe(auth("failure"), at(4))
+        siem.observe(auth("failure"), at(8))
+        assert siem.observe(auth("success"), at(9)) == []
+
+    def test_success_before_failures_does_not_fire(self, siem):
+        siem.observe(auth("success"), at(0))
+        for minute in (1, 2, 3):
+            alerts = siem.observe(auth("failure"), at(minute))
+            assert alerts == []
+
+    def test_window_consumed_after_firing(self, siem):
+        for minute in (0, 1, 2):
+            siem.observe(auth("failure"), at(minute))
+        assert siem.observe(auth("success"), at(3))
+        # A lone success right after must not re-fire on stale failures.
+        assert siem.observe(auth("success"), at(4)) == []
+
+    def test_old_observations_age_out(self, siem):
+        for minute in (0, 1, 2):
+            siem.observe(auth("failure"), at(minute))
+        # 20 minutes later (outside the 10-minute rule window).
+        assert siem.observe(auth("success"), at(20)) == []
+
+    def test_point_and_sequence_rules_compose(self, siem):
+        from repro.misp import MispAttribute, MispEvent
+        event = MispEvent(info="blocklist")
+        event.add_attribute(MispAttribute(type="ip-src", value="203.0.113.1"))
+        siem.add_rules_from_eioc(event, threat_score=2.0)
+        alerts = siem.observe(obs("203.0.113.1"), at(0))
+        assert len(alerts) == 1  # point rule only
+        assert alerts[0].threat_score == 2.0
+
+    def test_multiple_sequence_rules_independent(self):
+        siem = SiemConnector()
+        siem.add_sequence_rule(
+            "scan-burst",
+            "[scan:port = 22] REPEATS 2 TIMES WITHIN 60 SECONDS",
+            threat_score=1.5, window=dt.timedelta(minutes=2))
+        siem.add_sequence_rule(
+            "exfil", "[net:bytes_out > 1000000]",
+            threat_score=3.0, window=dt.timedelta(minutes=2))
+        scan = {"type": "scan", "port": 22, "value": "22"}
+        siem.observe(scan, at(0))
+        alerts = siem.observe(scan, at(0) + dt.timedelta(seconds=30))
+        assert [a.rule_id for a in alerts] == ["scan-burst"]
+        big = {"type": "net", "bytes_out": 2_000_000, "value": "flow"}
+        alerts = siem.observe(big, at(5))
+        assert [a.rule_id for a in alerts] == ["exfil"]

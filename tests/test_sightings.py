@@ -1,0 +1,121 @@
+"""Tests for the sighting feedback loop (infrastructure -> re-score)."""
+
+import pytest
+
+from repro.core import (
+    HeuristicComponent,
+    SIGHTING_TAG,
+    SightingProcessor,
+    threat_score_of,
+)
+from repro.core.enrich import BREAKDOWN_COMMENT
+from repro.core.ioc import THREAT_SCORE_COMMENT
+from repro.infra import INFRASTRUCTURE_TAG
+from repro.misp import MispAttribute, MispEvent
+from repro.workloads import RCE_EXPECTED_SCORE, rce_use_case
+
+
+@pytest.fixture
+def scenario():
+    scenario = rce_use_case()
+    scenario.heuristics.process_pending()
+    return scenario
+
+
+@pytest.fixture
+def processor(scenario):
+    return SightingProcessor(scenario.misp, scenario.heuristics,
+                             clock=scenario.clock)
+
+
+class TestSightingFeedback:
+    def test_sighting_raises_score(self, scenario, processor):
+        outcome = processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        assert outcome.old_score == pytest.approx(RCE_EXPECTED_SCORE, abs=1e-4)
+        assert outcome.new_score > outcome.old_score
+        assert outcome.delta > 0
+
+    def test_new_score_is_persisted(self, scenario, processor):
+        outcome = processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        stored = scenario.misp.store.get_event(scenario.cioc.uuid)
+        assert threat_score_of(stored) == pytest.approx(outcome.new_score,
+                                                        abs=1e-4)
+        assert stored.has_tag(SIGHTING_TAG)
+
+    def test_evidence_event_is_infrastructure_tagged(self, scenario, processor):
+        processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        infra = [e for e in scenario.misp.store.list_events()
+                 if e.has_tag(INFRASTRUCTURE_TAG)]
+        assert len(infra) == 1
+        assert infra[0].attributes[0].type == "vulnerability"
+        assert "Node 4" in infra[0].attributes[0].comment
+
+    def test_rescore_replaces_old_attributes(self, scenario, processor):
+        processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        stored = scenario.misp.store.get_event(scenario.cioc.uuid)
+        scores = [a for a in stored.all_attributes()
+                  if a.comment == THREAT_SCORE_COMMENT]
+        breakdowns = [a for a in stored.all_attributes()
+                      if a.comment == BREAKDOWN_COMMENT]
+        assert len(scores) == 1
+        assert len(breakdowns) == 1
+
+    def test_source_diversity_reflects_infrastructure(self, scenario, processor):
+        import json
+        processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        stored = scenario.misp.store.get_event(scenario.cioc.uuid)
+        breakdown = json.loads(next(
+            a.value for a in stored.all_attributes()
+            if a.comment == BREAKDOWN_COMMENT))
+        by_name = {f["feature"]: f for f in breakdown["features"]}
+        assert by_name["source_diversity"]["value"] == 3
+        assert by_name["source_diversity"]["attribute"] == \
+            "osint_and_infrastructure"
+
+    def test_ip_value_typed_as_ip_src(self, scenario, processor):
+        # Attach an IP to the eIoC so the value correlates.
+        scenario.misp.add_attribute(
+            scenario.cioc.uuid,
+            MispAttribute(type="ip-dst", value="198.51.100.40"),
+            publish_feed=False)
+        processor.report(scenario.cioc.uuid, "198.51.100.40", "Node 1")
+        infra = [e for e in scenario.misp.store.list_events()
+                 if e.has_tag(INFRASTRUCTURE_TAG)]
+        assert infra[0].attributes[0].type == "ip-src"
+
+    def test_unknown_eioc_raises(self, processor):
+        with pytest.raises(KeyError):
+            processor.report("missing-uuid", "x", "Node 1")
+
+    def test_sightings_are_recorded(self, scenario, processor):
+        processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        assert len(processor.sightings) == 1
+        assert processor.sightings[0].node == "Node 4"
+
+    def test_repeated_sightings_idempotent_score(self, scenario, processor):
+        first = processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        second = processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        # Already at infrastructure-confirmed diversity: score stable.
+        assert second.new_score == pytest.approx(first.new_score, abs=1e-4)
+
+
+class TestStixSightingExport:
+    def test_sightings_export_as_sros(self, scenario, processor):
+        processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        sightings = processor.to_stix_sightings()
+        assert len(sightings) == 1
+        sro = sightings[0]
+        assert sro["type"] == "sighting"
+        assert sro["sighting_of_ref"].startswith("vulnerability--")
+        assert sro["count"] == 1
+        assert sro["x_caop_node"] == "Node 4"
+
+    def test_sighting_sros_serialize_in_a_bundle(self, scenario, processor):
+        from repro.stix import Bundle
+        processor.report(scenario.cioc.uuid, "CVE-2017-9805", "Node 4")
+        bundle = Bundle(processor.to_stix_sightings())
+        revived = Bundle.from_json(bundle.to_json())
+        assert revived.objects[0]["type"] == "sighting"
+
+    def test_no_sightings_no_sros(self, processor):
+        assert processor.to_stix_sightings() == []

@@ -1,0 +1,89 @@
+"""Soak test: invariants that must hold across many platform cycles."""
+
+import pytest
+
+from repro.core import (
+    ContextAwareOSINTPlatform,
+    PlatformConfig,
+    is_cioc,
+    is_eioc,
+    threat_score_of,
+)
+
+CYCLES = 8
+
+
+@pytest.fixture(scope="module")
+def soaked():
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(seed=71, feed_entries=30, sensor_alarm_rate=0.2))
+    reports = platform.run(CYCLES)
+    return platform, reports
+
+
+class TestSoakInvariants:
+    def test_all_cycles_completed(self, soaked):
+        _platform, reports = soaked
+        assert len(reports) == CYCLES
+
+    def test_dedup_knowledge_grows_monotonically(self, soaked):
+        platform, _reports = soaked
+        dedup = platform.osint_collector.deduplicator
+        assert dedup.known_events() > 0
+        assert dedup.stats.received == dedup.stats.unique + dedup.stats.duplicates
+
+    def test_dedup_rate_increases_over_time(self, soaked):
+        """Later cycles re-see mostly known indicators."""
+        _platform, reports = soaked
+        def rate(report):
+            total = max(1, report.collection.events_normalized)
+            return report.collection.duplicates_removed / total
+        assert rate(reports[-1]) > rate(reports[0])
+
+    def test_every_cioc_is_enriched_or_skipped_deliberately(self, soaked):
+        platform, reports = soaked
+        ciocs = sum(1 for e in platform.misp.store.list_events() if is_cioc(e))
+        eiocs = sum(1 for e in platform.misp.store.list_events() if is_eioc(e))
+        skipped = platform.heuristics.skipped
+        assert eiocs + skipped >= ciocs
+
+    def test_all_scores_bounded(self, soaked):
+        platform, _reports = soaked
+        for event in platform.misp.store.list_events():
+            score = threat_score_of(event)
+            if score is not None:
+                assert 0.0 <= score <= 5.0
+
+    def test_store_and_reports_agree(self, soaked):
+        platform, reports = soaked
+        total_eiocs = sum(r.eiocs_created for r in reports)
+        stored_eiocs = sum(
+            1 for e in platform.misp.store.list_events() if is_eioc(e))
+        assert stored_eiocs == total_eiocs
+
+    def test_dashboard_riocs_match_reports(self, soaked):
+        platform, reports = soaked
+        total = sum(r.riocs_created for r in reports)
+        assert len(platform.dashboard.state.all_riocs()) == total
+
+    def test_broker_queues_drained(self, soaked):
+        """The heuristic component must not leave a growing backlog."""
+        platform, _reports = soaked
+        assert platform.heuristics._subscriber.pending() == 0
+
+    def test_alarm_accounting(self, soaked):
+        platform, reports = soaked
+        total_alarms = sum(r.new_alarms for r in reports)
+        assert len(platform.sensors.alarm_manager.all()) == total_alarms
+        badges = platform.dashboard.state.badges()
+        assert sum(b.alarm_count for b in badges) == total_alarms
+
+    def test_audit_log_covers_every_event(self, soaked):
+        platform, _reports = soaked
+        store = platform.misp.store
+        assert store.audit_count() >= store.event_count()
+
+    def test_clock_advanced_monotonically(self, soaked):
+        platform, _reports = soaked
+        from repro.clock import PAPER_NOW
+        assert platform.clock.now() > PAPER_NOW

@@ -1,0 +1,114 @@
+"""Tests for MISP machine tags and the taxonomy registry."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.misp import (
+    MachineTag,
+    MispEvent,
+    Taxonomy,
+    TaxonomyPredicate,
+    TaxonomyRegistry,
+    parse_machine_tag,
+)
+
+
+class TestMachineTagParsing:
+    def test_full_machine_tag(self):
+        tag = parse_machine_tag('caop:ioc="composed"')
+        assert tag == MachineTag("caop", "ioc", "composed")
+
+    def test_predicate_only(self):
+        tag = parse_machine_tag("tlp:amber")
+        assert tag == MachineTag("tlp", "amber", None)
+
+    def test_free_form_tag_is_none(self):
+        assert parse_machine_tag("OSINT report") is None
+        assert parse_machine_tag("") is None
+
+    def test_value_may_contain_spaces_and_dots(self):
+        tag = parse_machine_tag('caop:feed="malware-domains-a b.c"')
+        assert tag.value == "malware-domains-a b.c"
+
+    def test_render_roundtrip(self):
+        for text in ('caop:ioc="composed"', "tlp:red",
+                     'caop:category="threat-news"'):
+            assert parse_machine_tag(text).render() == text
+
+    def test_unquoted_value_is_not_machine_tag(self):
+        assert parse_machine_tag("a:b=c") is None
+
+
+class TestTaxonomy:
+    def taxonomy(self):
+        return Taxonomy(
+            namespace="demo",
+            description="d",
+            predicates=(
+                TaxonomyPredicate("closed", values=("a", "b")),
+                TaxonomyPredicate("open"),
+            ))
+
+    def test_closed_predicate_validates_values(self):
+        taxonomy = self.taxonomy()
+        assert taxonomy.validate(MachineTag("demo", "closed", "a"))
+        assert not taxonomy.validate(MachineTag("demo", "closed", "z"))
+        assert not taxonomy.validate(MachineTag("demo", "closed", None))
+
+    def test_open_predicate_accepts_anything(self):
+        taxonomy = self.taxonomy()
+        assert taxonomy.validate(MachineTag("demo", "open", "whatever"))
+        assert taxonomy.validate(MachineTag("demo", "open", None))
+
+    def test_unknown_predicate_rejected(self):
+        assert not self.taxonomy().validate(MachineTag("demo", "nope", None))
+
+    def test_wrong_namespace_rejected(self):
+        assert not self.taxonomy().validate(MachineTag("other", "open", None))
+
+
+class TestRegistry:
+    def test_builtin_namespaces(self):
+        registry = TaxonomyRegistry()
+        assert registry.namespaces() == ["caop", "tlp"]
+        assert registry.get("tlp") is not None
+
+    def test_duplicate_registration_rejected(self):
+        registry = TaxonomyRegistry()
+        with pytest.raises(ValidationError):
+            registry.register(Taxonomy("tlp", "dup", ()))
+
+    def test_platform_tags_validate(self):
+        registry = TaxonomyRegistry()
+        for tag in ('caop:ioc="composed"', 'caop:ioc="enriched"',
+                    'caop:source="osint"', 'caop:relevance="relevant"',
+                    'caop:category="anything-goes"', "tlp:amber",
+                    'caop:sighting="infrastructure"'):
+            assert registry.validate_tag(tag), tag
+
+    def test_invalid_known_namespace_tag_fails(self):
+        registry = TaxonomyRegistry()
+        assert not registry.validate_tag('caop:ioc="reduced"')  # not a value
+        assert not registry.validate_tag("tlp:purple")
+
+    def test_unknown_namespace_accepted(self):
+        assert TaxonomyRegistry().validate_tag('vendor:custom="x"')
+
+    def test_free_form_accepted(self):
+        assert TaxonomyRegistry().validate_tag("OSINT")
+
+    def test_audit_event(self):
+        registry = TaxonomyRegistry()
+        event = MispEvent(info="x")
+        event.add_tag('caop:ioc="composed"')
+        event.add_tag("tlp:purple")
+        event.add_tag("free form")
+        assert registry.audit_event(event) == ["tlp:purple"]
+
+    def test_every_platform_produced_event_is_clean(self):
+        from repro.workloads import rce_use_case
+        scenario = rce_use_case()
+        scenario.heuristics.process_pending()
+        registry = TaxonomyRegistry()
+        for event in scenario.misp.store.list_events():
+            assert registry.audit_event(event) == []

@@ -1,0 +1,105 @@
+"""Tests for warninglists (known-benign value filtering)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.misp import (
+    MispAttribute,
+    MispEvent,
+    Warninglist,
+    WarninglistIndex,
+    builtin_warninglists,
+)
+from repro.sharing import SiemConnector
+from repro.workloads import single_feed_collector
+
+
+class TestWarninglist:
+    def test_exact_match_case_insensitive(self):
+        wl = Warninglist("resolvers", ["8.8.8.8"], match_type="exact")
+        assert wl.match("8.8.8.8") is not None
+        assert wl.match("8.8.4.4") is None
+
+    def test_cidr_containment(self):
+        wl = Warninglist("private", ["10.0.0.0/8"], match_type="cidr")
+        hit = wl.match("10.20.30.40")
+        assert hit is not None
+        assert hit.entry == "10.0.0.0/8"
+        assert wl.match("11.0.0.1") is None
+        assert wl.match("not-an-ip") is None
+
+    def test_suffix_match(self):
+        wl = Warninglist("top", ["example.com"], match_type="suffix")
+        assert wl.match("example.com") is not None
+        assert wl.match("cdn.assets.example.com") is not None
+        assert wl.match("notexample.com") is None
+        assert wl.match("example.com.evil.net") is None
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Warninglist("", ["x"])
+        with pytest.raises(ValidationError):
+            Warninglist("n", ["x"], match_type="regex")
+        with pytest.raises(ValidationError):
+            Warninglist("n", ["   "])
+
+    def test_builtin_lists_cover_classics(self):
+        index = WarninglistIndex()
+        assert index.is_benign("192.168.1.1")        # RFC1918
+        assert index.is_benign("8.8.8.8")            # public resolver
+        assert index.is_benign("www.google.com")     # top site
+        assert index.is_benign("d41d8cd98f00b204e9800998ecf8427e")  # md5("")
+        assert not index.is_benign("203.0.113.7")
+        assert not index.is_benign("evil.example")
+
+    def test_index_records_hits(self):
+        index = WarninglistIndex()
+        index.check("8.8.8.8")
+        index.check("10.1.1.1")
+        assert len(index.hits) == 2
+        assert {h.list_name for h in index.hits} == \
+            {"public-dns-resolvers", "rfc1918-private-ranges"}
+
+    def test_index_rejects_duplicates(self):
+        index = WarninglistIndex()
+        with pytest.raises(ValidationError):
+            index.add(Warninglist("top-sites", ["x.com"], match_type="suffix"))
+
+
+class TestCollectorIntegration:
+    def test_benign_indicators_filtered(self, misp):
+        body = ("# blocklist with noise\n"
+                "203.0.113.50\n"      # genuinely suspicious
+                "8.8.8.8\n"           # public resolver
+                "192.168.0.10\n")     # private range
+        collector = single_feed_collector(body, misp=misp)
+        collector._warninglists = WarninglistIndex()
+        ciocs, report = collector.collect()
+        assert report.benign_filtered == 2
+        values = {a.value for c in ciocs for a in c.all_attributes()}
+        assert values == {"203.0.113.50"}
+
+    def test_without_warninglists_everything_passes(self, misp):
+        collector = single_feed_collector("8.8.8.8\n", misp=misp)
+        _ciocs, report = collector.collect()
+        assert report.benign_filtered == 0
+        assert report.ciocs_created == 1
+
+
+class TestSiemIntegration:
+    def test_benign_values_never_become_rules(self):
+        siem = SiemConnector(warninglists=WarninglistIndex())
+        event = MispEvent(info="noisy eIoC")
+        event.add_attribute(MispAttribute(type="ip-src", value="8.8.8.8"))
+        event.add_attribute(MispAttribute(type="ip-src", value="203.0.113.9"))
+        event.add_attribute(MispAttribute(type="domain",
+                                          value="cdn.google.com"))
+        created = siem.add_rules_from_eioc(event, threat_score=4.0)
+        assert created == 1
+        assert siem.rejected_benign == 2
+        # The benign resolver never alerts.
+        import datetime as dt
+        now = dt.datetime(2018, 6, 15, tzinfo=dt.timezone.utc)
+        assert siem.match({"type": "ipv4-addr", "value": "8.8.8.8"}, now) is None
+        assert siem.match({"type": "ipv4-addr", "value": "203.0.113.9"},
+                          now) is not None
