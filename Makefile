@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-timing examples verify clean
+.PHONY: install test bench bench-timing examples metrics-demo verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,7 +22,10 @@ examples:
 	python examples/feed_monitoring.py
 	python examples/soc_operations.py
 
-verify: test bench examples
+metrics-demo:
+	PYTHONPATH=src python -m repro.cli metrics --cycles 3
+
+verify: test bench examples metrics-demo
 
 clean:
 	rm -rf .pytest_cache .hypothesis build *.egg-info

@@ -26,6 +26,7 @@ from .core import (
     RIocGenerator,
     ThreatScoreResult,
 )
+from .obs import MetricsRegistry, Span, Tracer
 from .errors import (
     ConfigurationError,
     FeedError,
@@ -52,6 +53,9 @@ __all__ = [
     "ReducedIoc",
     "RIocGenerator",
     "ThreatScoreResult",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
     "ConfigurationError",
     "FeedError",
     "ParseError",

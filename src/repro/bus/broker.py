@@ -19,6 +19,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
+from ..obs import MetricsRegistry, NULL_REGISTRY
+
 
 @dataclass(frozen=True)
 class Message:
@@ -37,6 +39,17 @@ class BrokerStats:
     delivered: int = 0
     dropped: int = 0
     topics: Dict[str, int] = field(default_factory=dict)
+    #: Per-topic count of messages lost to subscription backpressure —
+    #: keyed by the *dropped* message's topic, which can differ from the
+    #: incoming one on wildcard subscriptions.
+    dropped_topics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fraction of enqueue attempts that evicted an older message."""
+        if self.delivered == 0:
+            return 0.0
+        return self.dropped / self.delivered
 
 
 class Subscription:
@@ -65,17 +78,19 @@ class Subscription:
         """Glob-style topic match (``osint.*`` matches ``osint.cioc``)."""
         return fnmatch.fnmatchcase(topic, self.pattern)
 
-    def deliver(self, message: Message) -> bool:
-        """Enqueue a message; returns False if one was dropped to make room."""
+    def deliver(self, message: Message) -> Optional[Message]:
+        """Enqueue a message; returns the message evicted to make room, if any.
+
+        On a closed subscription nothing is enqueued and None is returned.
+        """
         if self._closed:
-            return False
-        dropped = False
+            return None
+        evicted: Optional[Message] = None
         if len(self._queue) >= self._max_pending:
-            self._queue.popleft()
+            evicted = self._queue.popleft()
             self.dropped += 1
-            dropped = True
         self._queue.append(message)
-        return not dropped
+        return evicted
 
     def pending(self) -> int:
         """Number of messages waiting to be consumed."""
@@ -106,11 +121,21 @@ class MessageBroker:
     behaviour the platform's single-process pipeline relies on.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._subscriptions: List[Subscription] = []
         self._callbacks: List[tuple[str, Callable[[Message], None]]] = []
         self._sequence = 0
         self.stats = BrokerStats()
+        # BrokerStats stays the cheap attribute API the benches read; the
+        # registry carries the same counts into the /metrics exposition.
+        metrics = metrics or NULL_REGISTRY
+        self._m_published = metrics.counter(
+            "caop_bus_published_total", "Messages published on the bus")
+        self._m_delivered = metrics.counter(
+            "caop_bus_delivered_total", "Messages enqueued or dispatched to consumers")
+        self._m_dropped = metrics.counter(
+            "caop_bus_dropped_total",
+            "Messages evicted by subscription backpressure")
 
     def subscribe(self, pattern: str, max_pending: int = 100_000) -> Subscription:
         """Create a queue-backed subscription for topics matching ``pattern``."""
@@ -133,16 +158,21 @@ class MessageBroker:
         message = Message(topic=topic, payload=payload, sequence=self._sequence)
         self.stats.published += 1
         self.stats.topics[topic] = self.stats.topics.get(topic, 0) + 1
+        self._m_published.inc(topic=topic)
         for subscription in self._subscriptions:
             if subscription.closed or not subscription.matches(topic):
                 continue
-            if subscription.deliver(message):
-                self.stats.delivered += 1
-            else:
-                self.stats.delivered += 1
+            evicted = subscription.deliver(message)
+            self.stats.delivered += 1
+            self._m_delivered.inc()
+            if evicted is not None:
                 self.stats.dropped += 1
+                self.stats.dropped_topics[evicted.topic] = (
+                    self.stats.dropped_topics.get(evicted.topic, 0) + 1)
+                self._m_dropped.inc(topic=evicted.topic)
         for pattern, callback in list(self._callbacks):
             if fnmatch.fnmatchcase(topic, pattern):
                 callback(message)
                 self.stats.delivered += 1
+                self._m_delivered.inc()
         return message

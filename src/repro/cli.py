@@ -53,6 +53,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .core import ContextAwareOSINTPlatform, PlatformConfig
+
+    config = PlatformConfig(seed=args.seed, feed_entries=args.entries)
+    platform = ContextAwareOSINTPlatform.build_default(config)
+    for cycle in range(1, args.cycles + 1):
+        report = platform.run_cycle()
+        stages = {name: seconds for name, seconds in report.timings.items()
+                  if name != "cycle"}
+        breakdown = "  ".join(
+            f"{name}={seconds * 1000:.1f}ms"
+            for name, seconds in sorted(stages.items(),
+                                        key=lambda item: -item[1])[:6])
+        print(f"cycle {cycle}: {report.timings.get('cycle', 0.0) * 1000:.1f}ms "
+              f"[{breakdown}]")
+    print()
+    if args.format in ("prometheus", "both"):
+        print("# ---- Prometheus text exposition " + "-" * 38)
+        print(platform.dashboard.render_metrics(), end="")
+    if args.format in ("json", "both"):
+        print("# ---- JSON snapshot " + "-" * 51)
+        print(platform.dashboard.render_metrics(accept="application/json"))
+    return 0
+
+
 def _cmd_init_feeds(args: argparse.Namespace) -> int:
     import json
 
@@ -231,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--feeds", default=None,
                      help="JSON feed-configuration file (see 'caop init-feeds')")
     run.set_defaults(func=_cmd_run)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run simulated cycles and print the platform telemetry")
+    metrics.add_argument("--cycles", type=int, default=3)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--entries", type=int, default=60,
+                         help="entries per synthetic feed")
+    metrics.add_argument("--format", choices=("prometheus", "json", "both"),
+                         default="both",
+                         help="exposition format(s) to print")
+    metrics.set_defaults(func=_cmd_metrics)
 
     init_feeds = subparsers.add_parser(
         "init-feeds", help="write a ready-to-edit feed configuration file")

@@ -15,6 +15,7 @@ from ..feeds import FeedDescriptor, FeedDocument, FeedFetcher, parse_document
 from ..feeds.scheduler import FeedScheduler
 from ..misp import MispEvent, MispInstance
 from ..misp.warninglists import WarninglistIndex
+from ..obs import MetricsRegistry, NULL_REGISTRY, Tracer
 from .aggregate import Aggregator
 from .compose import CiocComposer
 from .correlate import Connection, EventCorrelator
@@ -56,7 +57,9 @@ class OsintDataCollector:
                  drop_irrelevant_text: bool = False,
                  relevance_threshold: float = 0.75,
                  scheduler: Optional[FeedScheduler] = None,
-                 warninglists: Optional[WarninglistIndex] = None) -> None:
+                 warninglists: Optional[WarninglistIndex] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self._fetcher = fetcher
         self._feeds = list(feeds)
         self._scheduler = scheduler
@@ -64,7 +67,17 @@ class OsintDataCollector:
         self._misp = misp
         self._clock = clock or SimulatedClock()
         self._normalizer = normalizer or Normalizer()
-        self.deduplicator = Deduplicator()
+        self.deduplicator = Deduplicator(metrics=metrics)
+        self._tracer = tracer or Tracer(enabled=False)
+        metrics = metrics or NULL_REGISTRY
+        self._m_feed_events = metrics.counter(
+            "caop_feed_events_total", "Raw records parsed per feed")
+        self._m_parse_errors = metrics.counter(
+            "caop_feed_parse_errors_total", "Feed documents rejected by the parser")
+        self._m_benign = metrics.counter(
+            "caop_benign_filtered_total", "Events dropped by warninglist filtering")
+        self._m_ciocs = metrics.counter(
+            "caop_ciocs_created_total", "Composed cIoCs shipped to MISP")
         self._aggregator = Aggregator()
         self._correlator = EventCorrelator()
         self._composer = CiocComposer(
@@ -86,67 +99,84 @@ class OsintDataCollector:
         """Run one full collection cycle; returns (cIoCs, report)."""
         report = CollectionReport()
         documents: List[FeedDocument] = []
-        if self._scheduler is not None:
-            to_fetch = self._scheduler.due_feeds()
-        else:
-            to_fetch = self._feeds
-        for descriptor in to_fetch:
-            try:
-                documents.append(self._fetcher.fetch(descriptor))
-                report.feeds_fetched += 1
-                if self._scheduler is not None:
-                    self._scheduler.mark_fetched(descriptor)
-            except FeedError:
-                report.feeds_failed += 1
+        with self._tracer.span("fetch"):
+            if self._scheduler is not None:
+                to_fetch = self._scheduler.due_feeds()
+            else:
+                to_fetch = self._feeds
+            for descriptor in to_fetch:
+                try:
+                    documents.append(self._fetcher.fetch(descriptor))
+                    report.feeds_fetched += 1
+                    if self._scheduler is not None:
+                        self._scheduler.mark_fetched(descriptor)
+                except FeedError:
+                    report.feeds_failed += 1
 
         events: List[NormalizedEvent] = []
-        for document in documents:
-            try:
-                records = parse_document(document)
-            except ParseError:
-                # A feed serving garbage must not take the cycle down; it
-                # counts as failed and the remaining feeds proceed.
-                report.feeds_failed += 1
-                report.feeds_fetched -= 1
-                continue
-            report.records_parsed += len(records)
-            events.extend(self._normalizer.normalize_all(records))
+        with self._tracer.span("normalize"):
+            for document in documents:
+                try:
+                    records = parse_document(document)
+                except ParseError:
+                    # A feed serving garbage must not take the cycle down; it
+                    # counts as failed and the remaining feeds proceed.
+                    report.feeds_failed += 1
+                    report.feeds_fetched -= 1
+                    self._m_parse_errors.inc(feed=document.descriptor.name)
+                    continue
+                report.records_parsed += len(records)
+                self._m_feed_events.inc(len(records), feed=document.descriptor.name)
+                events.extend(self._normalizer.normalize_all(records))
         report.events_normalized = len(events)
 
-        fresh, duplicates = self.deduplicator.filter(events)
+        with self._tracer.span("dedup"):
+            fresh, duplicates = self.deduplicator.filter(events)
         report.duplicates_removed = len(duplicates)
 
-        if self._warninglists is not None:
-            kept = []
-            for event in fresh:
-                if not event.is_text and self._warninglists.is_benign(event.value):
-                    report.benign_filtered += 1
-                else:
-                    kept.append(event)
-            fresh = kept
+        with self._tracer.span("filter"):
+            if self._warninglists is not None:
+                kept = []
+                for event in fresh:
+                    if not event.is_text and self._warninglists.is_benign(event.value):
+                        report.benign_filtered += 1
+                    else:
+                        kept.append(event)
+                fresh = kept
+                if report.benign_filtered:
+                    self._m_benign.inc(report.benign_filtered)
 
-        if self._drop_irrelevant_text:
-            fresh = [
-                event for event in fresh
-                if not event.is_text
-                or event.relevant
-                or (event.relevance_confidence or 0.0) < self._relevance_threshold
-            ]
+            if self._drop_irrelevant_text:
+                fresh = [
+                    event for event in fresh
+                    if not event.is_text
+                    or event.relevant
+                    or (event.relevance_confidence or 0.0) < self._relevance_threshold
+                ]
 
         groups = self._aggregator.aggregate(fresh)
         report.categories = {c: len(batch) for c, batch in groups.items()}
 
-        ciocs: List[MispEvent] = []
         self.last_connections = []
-        for category, batch in groups.items():
-            subsets, connections = self._correlator.correlate(batch)
-            report.subsets += len(subsets)
-            report.connections += len(connections)
-            self.last_connections.extend(connections)
-            for subset in subsets:
-                cioc = self._composer.compose(category, subset)
-                if self._misp is not None:
+        correlated: List[Tuple[str, List[List[NormalizedEvent]]]] = []
+        with self._tracer.span("correlate"):
+            for category, batch in groups.items():
+                subsets, connections = self._correlator.correlate(batch)
+                report.subsets += len(subsets)
+                report.connections += len(connections)
+                self.last_connections.extend(connections)
+                correlated.append((category, subsets))
+
+        ciocs: List[MispEvent] = []
+        with self._tracer.span("compose"):
+            for category, subsets in correlated:
+                for subset in subsets:
+                    ciocs.append(self._composer.compose(category, subset))
+
+        with self._tracer.span("store"):
+            if self._misp is not None:
+                for cioc in ciocs:
                     self._misp.add_event(cioc)
-                ciocs.append(cioc)
         report.ciocs_created = len(ciocs)
+        self._m_ciocs.inc(len(ciocs))
         return ciocs, report

@@ -15,8 +15,9 @@ that cross-feed sighting count is exactly what the ``osint_source`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .normalize import NormalizedEvent
 
 
@@ -39,9 +40,16 @@ class DedupStats:
 class Deduplicator:
     """Stateful duplicate filter keyed on the content uid."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._seen_feeds: Dict[str, Set[str]] = {}
         self.stats = DedupStats()
+        metrics = metrics or NULL_REGISTRY
+        self._m_events = metrics.counter(
+            "caop_dedup_events_total",
+            "Normalized events partitioned by dedup outcome")
+        self._m_ratio = metrics.gauge(
+            "caop_dedup_hit_ratio",
+            "Lifetime fraction of received events removed as duplicates")
 
     def seen(self, uid: str) -> bool:
         """Whether this content uid has been observed before."""
@@ -69,6 +77,11 @@ class Deduplicator:
                     self.stats.cross_feed_duplicates += 1
                 self.stats.duplicates += 1
                 duplicates.append(event)
+        if fresh:
+            self._m_events.inc(len(fresh), outcome="unique")
+        if duplicates:
+            self._m_events.inc(len(duplicates), outcome="duplicate")
+        self._m_ratio.set(self.stats.reduction_ratio)
         return fresh, duplicates
 
     def known_events(self) -> int:

@@ -19,6 +19,7 @@ from ..cvss import CveDatabase
 from ..infra import INFRASTRUCTURE_TAG, AlarmManager, Inventory
 from ..misp import MispAttribute, MispEvent, MispInstance, to_stix2_bundle
 from ..misp.instance import TOPIC_EVENT
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from ..stix import StixObject
 from .compose import tags_to_feeds
 from .heuristics import EvaluationContext, HeuristicRegistry, default_registry
@@ -56,7 +57,8 @@ class HeuristicComponent:
                  cve_db: Optional[CveDatabase] = None,
                  registry: Optional[HeuristicRegistry] = None,
                  clock: Optional[Clock] = None,
-                 galaxy_matcher: Optional["GalaxyMatcher"] = None) -> None:
+                 galaxy_matcher: Optional["GalaxyMatcher"] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         from ..misp.galaxy import GalaxyMatcher
 
         self._misp = misp
@@ -71,6 +73,12 @@ class HeuristicComponent:
         self.processed = 0
         self.skipped = 0
         self.galaxy_hits = 0
+        self._metrics = metrics
+        registry = metrics or NULL_REGISTRY
+        self._m_enriched = registry.counter(
+            "caop_eiocs_total", "cIoCs enriched into eIoCs")
+        self._m_skipped = registry.counter(
+            "caop_enrich_skipped_total", "Events ineligible for enrichment")
 
     def process_pending(self) -> List[EnrichmentResult]:
         """Drain the zmq feed and enrich every eligible cIoC."""
@@ -89,14 +97,17 @@ class HeuristicComponent:
         event = self._misp.store.get_event(event_uuid)
         if event is None:
             self.skipped += 1
+            self._m_skipped.inc(reason="missing")
             return None
         if event.has_tag(INFRASTRUCTURE_TAG) or event.has_tag(TAG_EIOC):
             self.skipped += 1
+            self._m_skipped.inc(reason="ineligible")
             return None
 
         object_results = self.score_event(event)
         if not object_results:
             self.skipped += 1
+            self._m_skipped.inc(reason="unscorable")
             return None
         best = max(object_results, key=lambda pair: pair[1].score)
         score = best[1]
@@ -122,6 +133,7 @@ class HeuristicComponent:
                 self._misp.store.save_event(stored)
         eioc = self._misp.tag_event(event.uuid, TAG_EIOC)
         self.processed += 1
+        self._m_enriched.inc()
         return EnrichmentResult(
             event_uuid=event.uuid,
             score=score,
@@ -157,7 +169,8 @@ class HeuristicComponent:
                     source_types=source_types,
                     osint_feeds=osint_feeds,
                 )
-                results.append((obj["id"], heuristic.evaluate(context)))
+                results.append(
+                    (obj["id"], heuristic.evaluate(context, metrics=self._metrics)))
         return results
 
     def _source_types_for(self, event: MispEvent) -> FrozenSet[str]:

@@ -22,10 +22,12 @@ Two weighting schemes appear in the paper and both are implemented:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ...errors import ValidationError
+from ...obs import MetricsRegistry, SCORE_BUCKETS
 from ..ioc import FeatureScore, ThreatScoreResult
 from .context import EvaluationContext
 
@@ -132,8 +134,15 @@ class Heuristic:
         """The ordered feature names of this heuristic."""
         return [f.name for f in self.features]
 
-    def evaluate(self, context: EvaluationContext) -> ThreatScoreResult:
-        """Run every extractor, weight, and apply Equation 1."""
+    def evaluate(self, context: EvaluationContext,
+                 metrics: Optional[MetricsRegistry] = None) -> ThreatScoreResult:
+        """Run every extractor, weight, and apply Equation 1.
+
+        With a registry attached, the evaluation wall time feeds
+        ``caop_heuristic_eval_seconds{heuristic=...}`` and the resulting
+        threat score feeds the ``caop_threat_score`` distribution.
+        """
+        started = time.perf_counter() if metrics is not None else 0.0
         raw: List[FeatureScore] = []
         for definition in self.features:
             value, label = definition.extractor(context)
@@ -156,7 +165,18 @@ class Heuristic:
                 timeliness=definition.criteria.timeliness,
                 variety=definition.criteria.variety,
             ))
-        return score_features(self.name, raw, self.weighting)
+        result = score_features(self.name, raw, self.weighting)
+        if metrics is not None:
+            metrics.histogram(
+                "caop_heuristic_eval_seconds",
+                "Wall time of one heuristic evaluation",
+            ).observe(time.perf_counter() - started, heuristic=self.name)
+            metrics.histogram(
+                "caop_threat_score",
+                "Distribution of Equation 1 threat scores",
+                buckets=SCORE_BUCKETS,
+            ).observe(result.score, heuristic=self.name)
+        return result
 
 
 def score_features(heuristic_name: str, scores: Sequence[FeatureScore],

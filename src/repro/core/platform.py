@@ -37,6 +37,7 @@ from ..infra import (
     paper_inventory,
 )
 from ..misp import MispInstance
+from ..obs import MetricsRegistry, Tracer
 from .collector import CollectionReport, OsintDataCollector
 from .enrich import EnrichmentResult, HeuristicComponent
 from .ioc import ReducedIoc
@@ -55,6 +56,9 @@ class CycleReport:
     riocs_suppressed: int = 0
     dashboard_pushes: int = 0
     scores: List[float] = field(default_factory=list)
+    #: Stage name -> wall seconds, flattened from the cycle's span trace
+    #: (empty when the platform runs with telemetry disabled).
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_score(self) -> float:
@@ -75,6 +79,9 @@ class PlatformConfig:
     #: Filter known-benign values (public resolvers, RFC1918, top sites).
     use_warninglists: bool = True
     org: str = "CAOP"
+    #: Record metrics and per-stage spans (disable only to measure the
+    #: telemetry overhead itself; see bench_x13_obs_overhead).
+    metrics_enabled: bool = True
 
 
 class ContextAwareOSINTPlatform:
@@ -87,7 +94,9 @@ class ContextAwareOSINTPlatform:
                  heuristics: HeuristicComponent,
                  rioc_generator: RIocGenerator,
                  dashboard: DashboardServer,
-                 clock: Clock) -> None:
+                 clock: Clock,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         from .decay import ScoreDecayEngine
         from .sightings import SightingProcessor
 
@@ -99,9 +108,15 @@ class ContextAwareOSINTPlatform:
         self.rioc_generator = rioc_generator
         self.dashboard = dashboard
         self.clock = clock
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or Tracer(metrics=self.metrics)
         self.sightings = SightingProcessor(misp, heuristics, clock=clock)
         self.decay = ScoreDecayEngine(clock=clock)
         self.history: List[CycleReport] = []
+        self._m_cycles = self.metrics.counter(
+            "caop_cycles_total", "Completed platform cycles")
+        self._m_cycle_seconds = self.metrics.histogram(
+            "caop_cycle_seconds", "Wall time of one full platform cycle")
 
     @classmethod
     def build_default(cls, config: Optional[PlatformConfig] = None,
@@ -152,9 +167,11 @@ class ContextAwareOSINTPlatform:
         clock = clock or SimulatedClock()
         inventory = inventory or paper_inventory()
         descriptors = list(descriptors)
-        fetcher = FeedFetcher(transport, clock=clock)
+        metrics = MetricsRegistry(enabled=config.metrics_enabled)
+        tracer = Tracer(metrics=metrics, enabled=config.metrics_enabled)
+        fetcher = FeedFetcher(transport, clock=clock, metrics=metrics)
 
-        misp = MispInstance(org=config.org)
+        misp = MispInstance(org=config.org, metrics=metrics)
         sensors = SensorNetwork(inventory, clock=clock, seed=config.seed,
                                 alarm_rate=config.sensor_alarm_rate)
         infra_collector = InfrastructureDataCollector(
@@ -163,13 +180,14 @@ class ContextAwareOSINTPlatform:
         osint_collector = OsintDataCollector(
             fetcher, descriptors, misp=misp, clock=clock,
             drop_irrelevant_text=config.drop_irrelevant_text,
-            warninglists=WarninglistIndex() if config.use_warninglists else None)
+            warninglists=WarninglistIndex() if config.use_warninglists else None,
+            metrics=metrics, tracer=tracer)
         heuristics = HeuristicComponent(
             misp, inventory=inventory,
             alarm_manager=sensors.alarm_manager,
-            cve_db=CveDatabase(), clock=clock)
-        rioc_generator = RIocGenerator(inventory, clock=clock)
-        dashboard = DashboardServer(inventory)
+            cve_db=CveDatabase(), clock=clock, metrics=metrics)
+        rioc_generator = RIocGenerator(inventory, clock=clock, metrics=metrics)
+        dashboard = DashboardServer(inventory, metrics=metrics)
         return cls(
             osint_collector=osint_collector,
             infra_collector=infra_collector,
@@ -179,36 +197,58 @@ class ContextAwareOSINTPlatform:
             rioc_generator=rioc_generator,
             dashboard=dashboard,
             clock=clock,
+            metrics=metrics,
+            tracer=tracer,
         )
 
     def run_cycle(self) -> CycleReport:
-        """One full platform round: sense -> collect -> enrich -> reduce -> push."""
-        # 1. Infrastructure side: sensors tick, alarms reach the dashboard,
-        #    internal IoCs reach MISP (stored only; no zmq feed).
-        new_alarms = self.sensors.tick(steps=6)
-        for alarm in new_alarms:
-            self.dashboard.push_alarm(alarm)
-        infra_event = self.infra_collector.ship_to_misp()
+        """One full platform round: sense -> collect -> enrich -> reduce -> push.
 
-        # 2. OSINT side: collect feeds into cIoCs (MISP publishes each on zmq).
-        _ciocs, collection = self.osint_collector.collect()
+        Each stage runs inside a named span; the resulting per-stage timing
+        breakdown lands on :attr:`CycleReport.timings` and in the
+        ``caop_span_seconds`` histogram of :attr:`metrics`.
+        """
+        with self.tracer.span("cycle") as cycle_span:
+            # 1. Infrastructure side: sensors tick, alarms reach the dashboard,
+            #    internal IoCs reach MISP (stored only; no zmq feed).
+            with self.tracer.span("sense"):
+                new_alarms = self.sensors.tick(steps=6)
+                for alarm in new_alarms:
+                    self.dashboard.push_alarm(alarm)
+                infra_event = self.infra_collector.ship_to_misp()
 
-        # 3. Heuristic analysis: drain the feed, score, enrich.
-        enrichments = self.heuristics.process_pending()
+            # 2. OSINT side: collect feeds into cIoCs (MISP publishes each on
+            #    zmq).  The collector opens its own child spans (fetch ->
+            #    normalize -> dedup -> filter -> correlate -> compose -> store).
+            with self.tracer.span("collect"):
+                _ciocs, collection = self.osint_collector.collect()
 
-        # 4. Reduction + visualization: rIoCs to the dashboard sockets.
-        report = CycleReport(collection=collection)
-        report.new_alarms = len(new_alarms)
-        report.infrastructure_events = 1 if infra_event is not None else 0
-        report.eiocs_created = len(enrichments)
-        for enrichment in enrichments:
-            report.scores.append(enrichment.score.score)
-            rioc = self.rioc_generator.generate(enrichment.eioc)
-            if rioc is None:
-                report.riocs_suppressed += 1
-                continue
-            report.riocs_created += 1
-            report.dashboard_pushes += self.dashboard.push_rioc(rioc)
+            # 3. Heuristic analysis: drain the feed, score, enrich.
+            with self.tracer.span("enrich"):
+                enrichments = self.heuristics.process_pending()
+
+            # 4. Reduction + visualization: rIoCs to the dashboard sockets.
+            report = CycleReport(collection=collection)
+            report.new_alarms = len(new_alarms)
+            report.infrastructure_events = 1 if infra_event is not None else 0
+            report.eiocs_created = len(enrichments)
+            riocs: List[ReducedIoc] = []
+            with self.tracer.span("reduce"):
+                for enrichment in enrichments:
+                    report.scores.append(enrichment.score.score)
+                    rioc = self.rioc_generator.generate(enrichment.eioc)
+                    if rioc is None:
+                        report.riocs_suppressed += 1
+                    else:
+                        riocs.append(rioc)
+            with self.tracer.span("push"):
+                for rioc in riocs:
+                    report.riocs_created += 1
+                    report.dashboard_pushes += self.dashboard.push_rioc(rioc)
+        if cycle_span is not None:
+            report.timings = cycle_span.flatten()
+            self._m_cycle_seconds.observe(cycle_span.duration_seconds)
+        self._m_cycles.inc()
         self.history.append(report)
         return report
 

@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 from ..clock import Clock, SimulatedClock
 from ..infra import Inventory
 from ..misp import MispEvent
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .enrich import BREAKDOWN_COMMENT
 from .ioc import ReducedIoc, THREAT_SCORE_COMMENT, threat_score_of
 
@@ -33,17 +34,25 @@ class RIocGenerator:
     """Matches eIoCs against the inventory and emits rIoCs."""
 
     def __init__(self, inventory: Inventory,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._inventory = inventory
         self._clock = clock or SimulatedClock()
         self.generated = 0
         self.suppressed = 0
+        metrics = metrics or NULL_REGISTRY
+        self._m_generated = metrics.counter(
+            "caop_riocs_generated_total", "eIoCs matched to the inventory")
+        self._m_suppressed = metrics.counter(
+            "caop_riocs_suppressed_total",
+            "eIoCs dropped, labelled by suppression reason")
 
     def generate(self, eioc: MispEvent) -> Optional[ReducedIoc]:
         """Produce the rIoC for an eIoC, or None when nothing matches."""
         score = threat_score_of(eioc)
         if score is None:
             self.suppressed += 1
+            self._m_suppressed.inc(reason="unscored")
             return None
         blob = event_text_blob(eioc)
 
@@ -74,6 +83,7 @@ class RIocGenerator:
             via_common = True
         else:
             self.suppressed += 1
+            self._m_suppressed.inc(reason="no_match")
             return None
 
         vulnerabilities = eioc.attributes_of_type("vulnerability")
@@ -94,6 +104,7 @@ class RIocGenerator:
             created_at=self._clock.now(),
         )
         self.generated += 1
+        self._m_generated.inc()
         return rioc
 
     def generate_all(self, eiocs: List[MispEvent]) -> List[ReducedIoc]:

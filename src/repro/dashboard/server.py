@@ -10,8 +10,10 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..bus import MessageBroker, SocketIOClient, SocketIOServer
+from ..clock import parse_timestamp
 from ..core.ioc import ReducedIoc
 from ..infra import Alarm, Inventory
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .state import DashboardState
 
 EVENT_RIOC = "rioc"
@@ -23,9 +25,14 @@ class DashboardServer:
     """Owns the dashboard state and its socket.io transport."""
 
     def __init__(self, inventory: Inventory,
-                 broker: Optional[MessageBroker] = None) -> None:
+                 broker: Optional[MessageBroker] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.state = DashboardState(inventory)
         self.sio = SocketIOServer(broker=broker)
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_pushes = self.metrics.counter(
+            "caop_dashboard_pushes_total",
+            "socket.io emits to analyst clients, labelled by event kind")
         # The dashboard web app itself is one socket.io client.
         self._app_client = self.sio.connect()
         self.sio.enter_room(self._app_client, ROOM_ANALYSTS)
@@ -36,7 +43,9 @@ class DashboardServer:
 
     def push_rioc(self, rioc: ReducedIoc) -> int:
         """Emit an rIoC to every connected analyst client."""
-        return self.sio.emit(EVENT_RIOC, rioc.to_dict(), room=ROOM_ANALYSTS)
+        delivered = self.sio.emit(EVENT_RIOC, rioc.to_dict(), room=ROOM_ANALYSTS)
+        self._m_pushes.inc(delivered, event=EVENT_RIOC)
+        return delivered
 
     def push_alarm(self, alarm: Alarm) -> int:
         """Emit an alarm to every analyst client."""
@@ -51,7 +60,9 @@ class DashboardServer:
             "count": alarm.count,
             "timestamp": alarm.timestamp.isoformat() if alarm.timestamp else None,
         }
-        return self.sio.emit(EVENT_ALARM, payload, room=ROOM_ANALYSTS)
+        delivered = self.sio.emit(EVENT_ALARM, payload, room=ROOM_ANALYSTS)
+        self._m_pushes.inc(delivered, event=EVENT_ALARM)
+        return delivered
 
     def connect_client(self) -> SocketIOClient:
         """Attach an extra analyst browser session."""
@@ -59,16 +70,30 @@ class DashboardServer:
         self.sio.enter_room(client, ROOM_ANALYSTS)
         return client
 
+    # -- telemetry view -----------------------------------------------------------
+
+    def render_metrics(self, accept: str = "text/plain") -> str:
+        """The ``/metrics`` surface: platform telemetry in the asked format.
+
+        ``accept`` follows content negotiation: any media type mentioning
+        ``json`` returns the JSON snapshot; everything else (the scraper
+        default) returns Prometheus-style text exposition.
+        """
+        if "json" in accept.lower():
+            return self.metrics.render_json(indent=2)
+        return self.metrics.render_prometheus()
+
     # -- event handlers keeping the state current --------------------------------
 
     def _on_rioc(self, data: Any) -> None:
         self.state.ingest_rioc_dict(data)
 
     def _on_alarm(self, data: Any) -> None:
-        import datetime as _dt
+        # parse_timestamp tolerates naive and Z-suffixed strings alike and
+        # always yields an aware UTC datetime.
         timestamp = None
         if data.get("timestamp"):
-            timestamp = _dt.datetime.fromisoformat(data["timestamp"])
+            timestamp = parse_timestamp(data["timestamp"])
         self.state.ingest_alarm(Alarm(
             node=data["node"],
             severity=data["severity"],

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..clock import Clock, SimulatedClock
 from ..errors import FeedError
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .generators import FeedGenerator
 from .model import FeedDescriptor, FeedDocument
 
@@ -70,19 +71,29 @@ class FeedFetcher:
     """Fetches configured feeds through a transport, with bounded retries."""
 
     def __init__(self, transport: SimulatedTransport, clock: Optional[Clock] = None,
-                 max_retries: int = 2) -> None:
+                 max_retries: int = 2,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_retries < 0:
             raise FeedError("max_retries must be non-negative")
         self._transport = transport
         self._clock = clock or SimulatedClock()
         self._max_retries = max_retries
+        metrics = metrics or NULL_REGISTRY
+        self._m_latency = metrics.histogram(
+            "caop_feed_fetch_seconds", "Transport latency per successful fetch")
+        self._m_retries = metrics.counter(
+            "caop_feed_fetch_retries_total", "Transient failures retried per feed")
+        self._m_failures = metrics.counter(
+            "caop_feed_fetch_failures_total",
+            "Fetches abandoned after exhausting retries")
 
     def fetch(self, descriptor: FeedDescriptor) -> FeedDocument:
         """Fetch one feed snapshot, retrying transient failures."""
         last_error: Optional[FeedError] = None
         for attempt in range(self._max_retries + 1):
             try:
-                body, _latency = self._transport.get(descriptor.url)
+                body, latency = self._transport.get(descriptor.url)
+                self._m_latency.observe(latency, feed=descriptor.name)
                 return FeedDocument(
                     descriptor=descriptor,
                     body=body,
@@ -92,6 +103,8 @@ class FeedFetcher:
                 last_error = exc
                 if attempt < self._max_retries:
                     self._transport.stats.retries += 1
+                    self._m_retries.inc(feed=descriptor.name)
+        self._m_failures.inc(feed=descriptor.name)
         raise FeedError(
             f"feed {descriptor.name} failed after {self._max_retries + 1} attempts"
         ) from last_error

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..clock import Clock, SimulatedClock
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .model import FeedDescriptor
 
 
@@ -42,12 +43,18 @@ class FeedScheduler:
     """Tracks which feeds are due for a fetch."""
 
     def __init__(self, descriptors: Iterable[FeedDescriptor],
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._clock = clock or SimulatedClock()
         self._entries: Dict[str, ScheduleEntry] = {
             descriptor.name: ScheduleEntry(descriptor)
             for descriptor in descriptors
         }
+        metrics = metrics or NULL_REGISTRY
+        self._m_due = metrics.gauge(
+            "caop_feeds_due", "Feeds due for a fetch at the last poll")
+        self._m_fetched = metrics.counter(
+            "caop_feed_fetches_marked_total", "Successful fetches recorded per feed")
 
     def add(self, descriptor: FeedDescriptor) -> None:
         """Add one entry."""
@@ -56,8 +63,10 @@ class FeedScheduler:
     def due_feeds(self) -> List[FeedDescriptor]:
         """Descriptors whose refresh interval has elapsed (or never fetched)."""
         now = self._clock.now()
-        return [entry.descriptor for entry in self._entries.values()
-                if entry.due(now)]
+        due = [entry.descriptor for entry in self._entries.values()
+               if entry.due(now)]
+        self._m_due.set(len(due))
+        return due
 
     def mark_fetched(self, descriptor: FeedDescriptor,
                      when: Optional[_dt.datetime] = None) -> None:
@@ -65,6 +74,7 @@ class FeedScheduler:
         entry = self._entries.get(descriptor.name)
         if entry is not None:
             entry.last_fetched = when or self._clock.now()
+            self._m_fetched.inc(feed=descriptor.name)
 
     def next_wakeup(self) -> Optional[_dt.datetime]:
         """The earliest instant at which any feed becomes due."""

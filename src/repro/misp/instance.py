@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 from ..bus import MessageBroker, ZmqPublisher
 from ..errors import SharingError, StorageError
 from ..ids import IdGenerator
+from ..obs import MetricsRegistry
 from .export import EXPORT_MODULES, to_stix2_bundle
 from .model import Distribution, MispAttribute, MispEvent, MispTag
 from .sharing_groups import SharingGroup
@@ -39,10 +40,11 @@ class MispInstance:
 
     def __init__(self, org: str = "CAOP", store: Optional[MispStore] = None,
                  broker: Optional[MessageBroker] = None,
-                 id_generator: Optional[IdGenerator] = None) -> None:
+                 id_generator: Optional[IdGenerator] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.org = org
-        self.store = store or MispStore()
-        self.broker = broker or MessageBroker()
+        self.store = store or MispStore(metrics=metrics)
+        self.broker = broker or MessageBroker(metrics=metrics)
         self.zmq = ZmqPublisher(self.broker)
         self._peers: List["MispInstance"] = []
         self.sync_stats = SyncStats()

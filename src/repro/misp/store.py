@@ -13,6 +13,7 @@ import sqlite3
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import StorageError
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .model import MispAttribute, MispEvent
 
 _SCHEMA = """
@@ -67,10 +68,19 @@ CREATE INDEX IF NOT EXISTS idx_audit_event ON audit_log(event_uuid);
 class MispStore:
     """Relational persistence for events, attributes, tags and correlations."""
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:",
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._conn = sqlite3.connect(path)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
+        metrics = metrics or NULL_REGISTRY
+        self._m_events = metrics.counter(
+            "caop_misp_events_stored_total",
+            "Event rows written, labelled by audit action")
+        self._m_attributes = metrics.counter(
+            "caop_misp_attributes_stored_total", "Attribute rows written")
+        self._m_correlations = metrics.counter(
+            "caop_misp_correlations_total", "Correlation edges persisted")
 
     def close(self) -> None:
         """Release the underlying resources."""
@@ -126,6 +136,8 @@ class MispStore:
                     "INSERT OR IGNORE INTO event_tags (event_uuid, name) VALUES (?,?)",
                     (event.uuid, tag.name),
                 )
+        self._m_events.inc(action="updated" if exists else "created")
+        self._m_attributes.inc(len(event.all_attributes()))
 
     def has_event(self, uuid: str) -> bool:
         """Whether an event uuid is stored."""
@@ -241,10 +253,12 @@ class MispStore:
                          source_event: str, target_event: str, value: str) -> None:
         """Persist one correlation edge (idempotent)."""
         with self._conn:
-            self._conn.execute(
+            cursor = self._conn.execute(
                 "INSERT OR IGNORE INTO correlations VALUES (?,?,?,?,?)",
                 (source_attribute, target_attribute, source_event, target_event, value),
             )
+        if cursor.rowcount > 0:
+            self._m_correlations.inc()
 
     def correlations_for_event(self, event_uuid: str) -> List[Dict[str, str]]:
         """Correlation rows touching one event."""

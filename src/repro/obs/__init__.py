@@ -1,0 +1,33 @@
+"""Observability substrate: metrics registry + span tracing.
+
+Every pipeline component accepts an optional :class:`MetricsRegistry`; the
+platform wiring (`ContextAwareOSINTPlatform.build_with_feeds`) creates one
+registry + one :class:`Tracer` and threads them through the whole Fig. 1
+architecture.  See ``docs/OBSERVABILITY.md`` for the metric catalog.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    SCORE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from .trace import SPAN_METRIC, Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "SCORE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "SPAN_METRIC",
+    "Span",
+    "Tracer",
+]

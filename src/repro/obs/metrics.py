@@ -1,0 +1,393 @@
+"""Metrics primitives: the platform's telemetry registry.
+
+The paper's Operational Module is evaluated by how fast and how completely
+cIoCs flow from OSINT feeds through MISP and the heuristic component to the
+dashboard.  This module is the substrate that makes that flow measurable:
+a :class:`MetricsRegistry` holds named :class:`Counter`, :class:`Gauge` and
+:class:`Histogram` families, each optionally labelled
+(``feed_events_total{feed="malware-domains"}``), and renders them either as
+a JSON-able snapshot (for benches and dashboards) or as Prometheus-style
+text exposition (for scrapers and the ``/metrics`` view).
+
+Design points:
+
+- **Thread-safe.**  Sensors, feed pollers and consumers may run on
+  different threads; every mutation happens under a per-family lock and
+  exposition takes a consistent pass over the registry.
+- **Disable-able.**  A registry built with ``enabled=False`` turns every
+  ``inc``/``set``/``observe`` into an early-return no-op, so the overhead
+  benchmark can compare instrumented against uninstrumented runs without
+  re-wiring the platform.
+- **Get-or-create.**  ``registry.counter(name)`` returns the existing
+  family when the name is already registered (and raises on a kind
+  mismatch), so independent components can share series safely.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+#: Default latency buckets (seconds): sub-millisecond to ten seconds.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default buckets for threat scores (Equation 1 yields values in [0, 5]).
+SCORE_BUCKETS: Tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: A label set frozen into a hashable, deterministically ordered key.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValidationError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in key)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Metric:
+    """Base class for one named metric family (all series share the name)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 registry: "MetricsRegistry") -> None:
+        if not _NAME_RE.match(name):
+            raise ValidationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help_text
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._series: Dict[LabelKey, Any] = {}
+
+    @property
+    def _enabled(self) -> bool:
+        return self._registry.enabled
+
+    def label_sets(self) -> List[Dict[str, str]]:
+        """Every label combination this family has recorded."""
+        with self._lock:
+            return [dict(key) for key in self._series]
+
+    def clear(self) -> None:
+        """Drop every recorded series (the family itself stays registered)."""
+        with self._lock:
+            self._series.clear()
+
+    # Subclasses implement the sample walk used by snapshot/exposition.
+    def _samples(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def _exposition_lines(self) -> List[str]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (must be non-negative) to the labelled series."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (amount={amount})")
+        if not self._enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0.0 when never incremented)."""
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        with self._lock:
+            return float(sum(self._series.values()))
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            items = sorted(self._series.items())
+        return [{"labels": dict(key), "value": value} for key, value in items]
+
+    def _exposition_lines(self) -> List[str]:
+        return [f"{self.name}{_render_labels(key)} {_format_value(value)}"
+                for key, value in sorted(self._series.items())]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, hit ratio, ...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Pin the labelled series to ``value``."""
+        if not self._enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        if not self._enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0.0 when never set)."""
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+    _samples = Counter._samples
+    _exposition_lines = Counter._exposition_lines
+
+
+class _HistogramSeries:
+    """Mutable per-label-set state: non-cumulative bucket counts + sum."""
+
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # + the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution (latency, score spread).
+
+    Buckets are upper bounds, ascending; an implicit ``+Inf`` bucket catches
+    the tail.  Exposition is cumulative, Prometheus-style.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        super().__init__(name, help_text, registry)
+        bounds = tuple(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        if not bounds:
+            raise ValidationError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValidationError(
+                f"histogram {name} buckets must be strictly ascending")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labelled series."""
+        if not self._enabled:
+            return
+        key = _label_key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.bucket_counts[index] += 1
+            series.count += 1
+            series.sum += value
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations in one labelled series."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations in one labelled series."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.sum if series is not None else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        """Mean observation (0.0 when the series is empty)."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return 0.0
+            return series.sum / series.count
+
+    def cumulative_buckets(self, **labels: Any) -> List[Tuple[str, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs ending with ``+Inf``."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            counts = (list(series.bucket_counts) if series is not None
+                      else [0] * (len(self.buckets) + 1))
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            pairs.append((_format_value(bound), running))
+        pairs.append(("+Inf", running + counts[-1]))
+        return pairs
+
+    def _samples(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            items = sorted(
+                (key, list(series.bucket_counts), series.count, series.sum)
+                for key, series in self._series.items())
+        samples = []
+        for key, counts, count, total in items:
+            cumulative: Dict[str, int] = {}
+            running = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                running += bucket_count
+                cumulative[_format_value(bound)] = running
+            cumulative["+Inf"] = running + counts[-1]
+            samples.append({"labels": dict(key), "count": count,
+                            "sum": total, "buckets": cumulative})
+        return samples
+
+    def _exposition_lines(self) -> List[str]:
+        lines: List[str] = []
+        for sample in self._samples():
+            key = _label_key(sample["labels"])
+            for bound, cumulative in sample["buckets"].items():
+                bucket_key = key + (("le", bound),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(bucket_key)} {cumulative}")
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(sample['sum'])}")
+            lines.append(
+                f"{self.name}_count{_render_labels(key)} {sample['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric families with JSON and Prometheus-style exposition."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.RLock()
+        self.enabled = enabled
+
+    # -- registration (get-or-create) -----------------------------------------
+
+    def _get_or_create(self, name: str, kind: type, **kwargs: Any) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValidationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind.kind}")  # type: ignore[attr-defined]
+                return existing
+            metric = kind(name, registry=self, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create a counter family."""
+        return self._get_or_create(name, Counter, help_text=help_text)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create a gauge family."""
+        return self._get_or_create(name, Gauge, help_text=help_text)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create a histogram family with fixed buckets."""
+        return self._get_or_create(
+            name, Histogram, help_text=help_text, buckets=buckets)  # type: ignore[return-value]
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The registered family for ``name``, if any."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def enable(self) -> None:
+        """Resume recording."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn every mutation into a no-op (families stay registered)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every series in every family (families stay registered)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.clear()
+
+    # -- exposition ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-able view: name -> {type, help, samples}."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {
+            metric.name: {
+                "type": metric.kind,
+                "help": metric.help,
+                "samples": metric._samples(),
+            }
+            for metric in sorted(metrics, key=lambda m: m.name)
+        }
+
+    def render_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot serialized to a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (``# HELP`` / ``# TYPE`` blocks)."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: List[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric._exposition_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: Shared always-disabled registry: components fall back to it when no
+#: registry is wired in, so instrumentation code never needs a None check.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -51,6 +51,47 @@ class TestBroker:
         assert sub.dropped == 2
         assert [m.payload for m in sub.drain()] == [2, 3]
 
+    def test_drop_accounting_tracks_evicted_topic(self):
+        # Regression: the topic lost to backpressure is the *evicted*
+        # message's, which differs from the incoming topic on wildcard
+        # subscriptions.
+        broker = MessageBroker()
+        broker.subscribe("osint.*", max_pending=2)
+        broker.publish("osint.old", "a")
+        broker.publish("osint.old", "b")
+        broker.publish("osint.new", "c")   # evicts the first osint.old
+        broker.publish("osint.new", "d")   # evicts the second osint.old
+        broker.publish("osint.new", "e")   # evicts the first osint.new
+        assert broker.stats.dropped == 3
+        assert broker.stats.dropped_topics == {"osint.old": 2, "osint.new": 1}
+        # publish accounting is untouched by drops
+        assert broker.stats.topics == {"osint.old": 2, "osint.new": 3}
+
+    def test_drop_ratio_exposes_backpressure_loss(self):
+        broker = MessageBroker()
+        assert broker.stats.drop_ratio == 0.0
+        broker.subscribe("t", max_pending=1)
+        broker.publish("t", 1)
+        assert broker.stats.drop_ratio == 0.0
+        broker.publish("t", 2)
+        broker.publish("t", 3)
+        # 3 enqueue attempts, 2 evictions
+        assert broker.stats.delivered == 3
+        assert broker.stats.dropped == 2
+        assert broker.stats.drop_ratio == pytest.approx(2 / 3)
+
+    def test_broker_metrics_mirror_stats(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        broker = MessageBroker(metrics=registry)
+        broker.subscribe("t", max_pending=1)
+        broker.publish("t", 1)
+        broker.publish("t", 2)
+        assert registry.counter("caop_bus_published_total").total() == 2
+        assert registry.counter("caop_bus_delivered_total").total() == 2
+        assert registry.counter("caop_bus_dropped_total").value(topic="t") == 1
+
     def test_unsubscribe_stops_delivery(self):
         broker = MessageBroker()
         sub = broker.subscribe("t")
