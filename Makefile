@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-timing examples metrics-demo verify clean
+.PHONY: install test bench bench-timing bench-ingest examples metrics-demo verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,6 +11,9 @@ bench:
 
 bench-timing:
 	pytest benchmarks/ --benchmark-only
+
+bench-ingest:
+	PYTHONPATH=src pytest benchmarks/bench_x14_ingest_throughput.py -s --benchmark-disable
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

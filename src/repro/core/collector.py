@@ -104,14 +104,17 @@ class OsintDataCollector:
                 to_fetch = self._scheduler.due_feeds()
             else:
                 to_fetch = self._feeds
-            for descriptor in to_fetch:
-                try:
-                    documents.append(self._fetcher.fetch(descriptor))
-                    report.feeds_fetched += 1
-                    if self._scheduler is not None:
-                        self._scheduler.mark_fetched(descriptor)
-                except FeedError:
+            # fetch_many runs on the fetcher's worker pool (serial when
+            # workers=1) and yields results in descriptor order, so the
+            # report and the scheduler bookkeeping stay deterministic.
+            for descriptor, document, error in self._fetcher.fetch_many(to_fetch):
+                if error is not None:
                     report.feeds_failed += 1
+                    continue
+                documents.append(document)
+                report.feeds_fetched += 1
+                if self._scheduler is not None:
+                    self._scheduler.mark_fetched(descriptor)
 
         events: List[NormalizedEvent] = []
         with self._tracer.span("normalize"):
@@ -120,9 +123,11 @@ class OsintDataCollector:
                     records = parse_document(document)
                 except ParseError:
                     # A feed serving garbage must not take the cycle down; it
-                    # counts as failed and the remaining feeds proceed.
+                    # counts as failed and the remaining feeds proceed.  The
+                    # fetched counter only moves back for documents it
+                    # actually counted, so it can never go negative.
                     report.feeds_failed += 1
-                    report.feeds_fetched -= 1
+                    report.feeds_fetched = max(0, report.feeds_fetched - 1)
                     self._m_parse_errors.inc(feed=document.descriptor.name)
                     continue
                 report.records_parsed += len(records)
@@ -174,9 +179,10 @@ class OsintDataCollector:
                     ciocs.append(self._composer.compose(category, subset))
 
         with self._tracer.span("store"):
-            if self._misp is not None:
-                for cioc in ciocs:
-                    self._misp.add_event(cioc)
+            if self._misp is not None and ciocs:
+                # One transaction + one correlation pass for the whole
+                # cycle's cIoCs instead of per-event round trips.
+                self._misp.add_events(ciocs)
         report.ciocs_created = len(ciocs)
         self._m_ciocs.inc(len(ciocs))
         return ciocs, report

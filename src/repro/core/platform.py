@@ -78,6 +78,10 @@ class PlatformConfig:
     drop_irrelevant_text: bool = False
     #: Filter known-benign values (public resolvers, RFC1918, top sites).
     use_warninglists: bool = True
+    #: Worker threads for the collector's feed-fetch stage.  The transport's
+    #: per-request RNG keeps results identical to workers=1; see
+    #: docs/PERFORMANCE.md.
+    fetch_workers: int = 4
     org: str = "CAOP"
     #: Record metrics and per-stage spans (disable only to measure the
     #: telemetry overhead itself; see bench_x13_obs_overhead).
@@ -169,7 +173,8 @@ class ContextAwareOSINTPlatform:
         descriptors = list(descriptors)
         metrics = MetricsRegistry(enabled=config.metrics_enabled)
         tracer = Tracer(metrics=metrics, enabled=config.metrics_enabled)
-        fetcher = FeedFetcher(transport, clock=clock, metrics=metrics)
+        fetcher = FeedFetcher(transport, clock=clock, metrics=metrics,
+                              workers=config.fetch_workers)
 
         misp = MispInstance(org=config.org, metrics=metrics)
         sensors = SensorNetwork(inventory, clock=clock, seed=config.seed,

@@ -3,14 +3,25 @@
 The real platform polls HTTP endpoints; here a :class:`SimulatedTransport`
 maps URLs to generator-backed documents with configurable latency and
 failure injection, so collector retry behaviour is testable offline.
+
+Both the transport and the fetcher are thread-safe: ``FeedFetcher`` can run
+its fetches on a bounded worker pool (``workers > 1``) and the transport
+derives every request's latency/failure draw from a *per-request* seeded RNG
+(keyed on ``(seed, url, request-index)``), so the outcome of each fetch is
+identical no matter how worker threads interleave — parallel and serial runs
+produce the same documents, the same retries and the same failures.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import hashlib
 import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..clock import Clock, SimulatedClock
 from ..errors import FeedError
@@ -29,18 +40,28 @@ class TransportStats:
 
 
 class SimulatedTransport:
-    """URL -> document source with latency + fault injection."""
+    """URL -> document source with latency + fault injection.
+
+    ``realtime=True`` makes ``get`` actually sleep the drawn latency, which
+    is what the ingest-throughput benchmark uses to measure the wall-clock
+    win of fetching feeds concurrently.  Tests leave it off so simulated
+    latency stays free.
+    """
 
     def __init__(self, clock: Optional[Clock] = None, seed: int = 0,
                  failure_rate: float = 0.0,
-                 latency_range: Tuple[float, float] = (0.05, 0.4)) -> None:
+                 latency_range: Tuple[float, float] = (0.05, 0.4),
+                 realtime: bool = False) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise FeedError("failure_rate must be within [0, 1)")
         self._sources: Dict[str, Callable[[_dt.datetime], str]] = {}
         self._clock = clock or SimulatedClock()
-        self._rng = random.Random(seed)
+        self._seed = seed
         self._failure_rate = failure_rate
         self._latency_range = latency_range
+        self._realtime = realtime
+        self._lock = threading.Lock()
+        self._request_counts: Dict[str, int] = {}
         self.stats = TransportStats()
 
     def register(self, url: str, body_fn: Callable[[_dt.datetime], str]) -> None:
@@ -52,32 +73,65 @@ class SimulatedTransport:
         """Map a descriptor's URL to a feed generator."""
         self.register(descriptor.url, generator.body)
 
+    def record_retry(self) -> None:
+        """Count one retried request (called by the fetcher, thread-safe)."""
+        with self._lock:
+            self.stats.retries += 1
+
     def get(self, url: str) -> Tuple[str, float]:
-        """Fetch a body; returns (body, simulated_latency_seconds)."""
-        self.stats.requests += 1
-        latency = self._rng.uniform(*self._latency_range)
-        self.stats.total_latency_seconds += latency
-        if self._rng.random() < self._failure_rate:
-            self.stats.failures += 1
+        """Fetch a body; returns (body, simulated_latency_seconds).
+
+        The latency and failure draws come from an RNG seeded on
+        ``(seed, url, per-url request index)``: the Nth request for a URL
+        behaves the same whether it is issued serially or from a pool
+        thread, which keeps parallel fetching deterministic.
+        """
+        with self._lock:
+            index = self._request_counts.get(url, 0)
+            self._request_counts[url] = index + 1
+            digest = hashlib.sha256(
+                f"{self._seed}:{url}:{index}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            latency = rng.uniform(*self._latency_range)
+            failed = rng.random() < self._failure_rate
+            self.stats.requests += 1
+            self.stats.total_latency_seconds += latency
+        if self._realtime:
+            time.sleep(latency)
+        if failed:
+            with self._lock:
+                self.stats.failures += 1
             raise FeedError(f"transient transport failure fetching {url}")
         source = self._sources.get(url)
         if source is None:
-            self.stats.failures += 1
+            with self._lock:
+                self.stats.failures += 1
             raise FeedError(f"unknown feed URL {url}")
-        return source(self._clock.now()), latency
+        with self._lock:
+            now = self._clock.now()
+        return source(now), latency
 
 
 class FeedFetcher:
-    """Fetches configured feeds through a transport, with bounded retries."""
+    """Fetches configured feeds through a transport, with bounded retries.
+
+    ``workers`` bounds the thread pool used by :meth:`fetch_many` /
+    :meth:`fetch_all`; 1 keeps the historical serial behaviour.  Results are
+    always returned in descriptor order regardless of completion order.
+    """
 
     def __init__(self, transport: SimulatedTransport, clock: Optional[Clock] = None,
                  max_retries: int = 2,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 workers: int = 1) -> None:
         if max_retries < 0:
             raise FeedError("max_retries must be non-negative")
+        if workers < 1:
+            raise FeedError("workers must be positive")
         self._transport = transport
         self._clock = clock or SimulatedClock()
         self._max_retries = max_retries
+        self._workers = workers
         metrics = metrics or NULL_REGISTRY
         self._m_latency = metrics.histogram(
             "caop_feed_fetch_seconds", "Transport latency per successful fetch")
@@ -86,6 +140,14 @@ class FeedFetcher:
         self._m_failures = metrics.counter(
             "caop_feed_fetch_failures_total",
             "Fetches abandoned after exhausting retries")
+        self._m_pool = metrics.gauge(
+            "caop_fetch_pool_workers",
+            "Worker threads used by the last fetch_many call")
+
+    @property
+    def workers(self) -> int:
+        """The configured worker-pool bound."""
+        return self._workers
 
     def fetch(self, descriptor: FeedDescriptor) -> FeedDocument:
         """Fetch one feed snapshot, retrying transient failures."""
@@ -102,21 +164,56 @@ class FeedFetcher:
             except FeedError as exc:
                 last_error = exc
                 if attempt < self._max_retries:
-                    self._transport.stats.retries += 1
+                    self._transport.record_retry()
                     self._m_retries.inc(feed=descriptor.name)
         self._m_failures.inc(feed=descriptor.name)
         raise FeedError(
             f"feed {descriptor.name} failed after {self._max_retries + 1} attempts"
         ) from last_error
 
+    def _try_fetch(self, descriptor: FeedDescriptor
+                   ) -> Tuple[Optional[FeedDocument], Optional[FeedError]]:
+        try:
+            return self.fetch(descriptor), None
+        except FeedError as exc:
+            return None, exc
+
+    def fetch_many(self, descriptors: Sequence[FeedDescriptor],
+                   workers: Optional[int] = None
+                   ) -> List[Tuple[FeedDescriptor, Optional[FeedDocument],
+                                   Optional[FeedError]]]:
+        """Fetch every feed, possibly concurrently.
+
+        Returns ``(descriptor, document, error)`` triples in *descriptor
+        order* — exactly one of document/error is set per feed.  Retries
+        stay sequential within a feed (inside one worker), so per-feed
+        behaviour matches the serial path request for request.
+        """
+        descriptors = list(descriptors)
+        if not descriptors:
+            return []
+        pool_size = workers if workers is not None else self._workers
+        pool_size = max(1, min(pool_size, len(descriptors)))
+        self._m_pool.set(pool_size)
+        if pool_size == 1:
+            return [(descriptor,) + self._try_fetch(descriptor)
+                    for descriptor in descriptors]
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = [pool.submit(self._try_fetch, descriptor)
+                       for descriptor in descriptors]
+            results = [future.result() for future in futures]
+        return [(descriptor, document, error)
+                for descriptor, (document, error) in zip(descriptors, results)]
+
     def fetch_all(self, descriptors: List[FeedDescriptor],
                   skip_failed: bool = True) -> List[FeedDocument]:
         """Fetch every feed; failed feeds are skipped (and counted) or raised."""
         documents: List[FeedDocument] = []
-        for descriptor in descriptors:
-            try:
-                documents.append(self.fetch(descriptor))
-            except FeedError:
+        for _descriptor, document, error in self.fetch_many(descriptors):
+            if error is not None:
                 if not skip_failed:
-                    raise
+                    raise error
+                continue
+            assert document is not None
+            documents.append(document)
         return documents

@@ -10,7 +10,7 @@ remote instances according to their distribution level.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..bus import MessageBroker, ZmqPublisher
 from ..errors import SharingError, StorageError
@@ -59,11 +59,26 @@ class MispInstance:
         Re-adding the same uuid replaces the stored version (MISP edit
         semantics).
         """
-        self.store.save_event(event)
-        self._correlate(event)
+        return self.add_events([event], publish_feed=publish_feed)[0]
+
+    def add_events(self, events: Sequence[MispEvent],
+                   publish_feed: bool = True) -> List[MispEvent]:
+        """Store a batch of events, correlate them, publish each on zmq.
+
+        This is the bulk-ingestion entry point the collector's store stage
+        uses: the whole batch is persisted in one transaction and correlated
+        with one value lookup, yet produces exactly the events, audit trail
+        and correlation edges that adding each event in turn would.
+        """
+        events = list(events)
+        if not events:
+            return events
+        self.store.save_events(events)
+        self._correlate_batch(events)
         if publish_feed:
-            self.zmq.send(TOPIC_EVENT, event.to_dict())
-        return event
+            for event in events:
+                self.zmq.send(TOPIC_EVENT, event.to_dict())
+        return events
 
     def add_attribute(self, event_uuid: str, attribute: MispAttribute,
                       publish_feed: bool = True) -> MispEvent:
@@ -104,21 +119,48 @@ class MispInstance:
 
     def _correlate(self, event: MispEvent) -> int:
         """MISP-style value correlation: link equal correlatable values."""
-        created = 0
-        for attribute in event.all_attributes():
-            if not attribute.correlatable:
-                continue
-            for other_event, other_attribute in self.store.correlatable_attributes(
-                    attribute.value, exclude_event=event.uuid):
-                self.store.save_correlation(
-                    source_attribute=attribute.uuid,
-                    target_attribute=other_attribute,
-                    source_event=event.uuid,
-                    target_event=other_event,
-                    value=attribute.value,
-                )
-                created += 1
-        return created
+        return self._correlate_batch([event])
+
+    def _correlate_batch(self, events: Sequence[MispEvent]) -> int:
+        """Correlate a batch of just-stored events against the store.
+
+        One chunked ``IN (...)`` lookup resolves every correlatable value of
+        the batch, then all edges go through one ``executemany`` insert.
+        Edges are exactly those the serial per-event path creates: event *i*
+        links only against events already stored before it — pre-existing
+        ones plus batch members *j < i* — never against itself or later
+        batch members (those report the edge from their side).
+        """
+        events = list(events)
+        if not events:
+            return 0
+        batch_order = {event.uuid: index for index, event in enumerate(events)}
+        correlatable: List[List[MispAttribute]] = []
+        values: List[str] = []
+        for event in events:
+            attributes = [attribute for attribute in event.all_attributes()
+                          if attribute.correlatable]
+            correlatable.append(attributes)
+            values.extend(attribute.value for attribute in attributes)
+        if not values:
+            return 0
+        matches = self.store.correlatable_attributes_many(values)
+        edges: List[tuple] = []
+        for index, (event, attributes) in enumerate(zip(events, correlatable)):
+            for attribute in attributes:
+                for other_event, other_attribute in matches.get(
+                        attribute.value, ()):
+                    if other_event == event.uuid:
+                        continue
+                    other_index = batch_order.get(other_event)
+                    if other_index is not None and other_index >= index:
+                        continue
+                    edges.append((
+                        attribute.uuid, other_attribute,
+                        event.uuid, other_event, attribute.value,
+                    ))
+        self.store.save_correlations(edges)
+        return len(edges)
 
     def correlations(self, event_uuid: str) -> List[Dict[str, str]]:
         """Correlation rows touching one event."""
@@ -204,13 +246,23 @@ class MispInstance:
 
     def receive_event(self, event: MispEvent) -> None:
         """Peer-facing ingestion endpoint (no re-publish on the zmq feed)."""
-        self.store.save_event(event)
-        self._correlate(event)
-        self.sync_stats.pulled_events += 1
+        self.receive_events([event])
+
+    def receive_events(self, events: Sequence[MispEvent]) -> None:
+        """Batched peer-facing ingestion: one transaction, one correlation pass."""
+        events = list(events)
+        if not events:
+            return
+        self.store.save_events(events)
+        self._correlate_batch(events)
+        self.sync_stats.pulled_events += len(events)
 
     def pull_from(self, peer: "MispInstance") -> int:
-        """Pull every shareable published event from a peer."""
-        pulled = 0
+        """Pull every shareable published event from a peer.
+
+        Accepted events are persisted and correlated as one batch.
+        """
+        copies: List[MispEvent] = []
         for event in peer.store.list_events(published_only=True):
             if event.distribution in (Distribution.ORGANISATION_ONLY,
                                       Distribution.COMMUNITY_ONLY):
@@ -225,7 +277,8 @@ class MispInstance:
             copy = MispEvent.from_dict(event.to_dict())
             if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
                 copy.distribution = Distribution.COMMUNITY_ONLY
-            self.store.save_event(copy)
-            self._correlate(copy)
-            pulled += 1
-        return pulled
+            copies.append(copy)
+        if copies:
+            self.store.save_events(copies)
+            self._correlate_batch(copies)
+        return len(copies)

@@ -93,6 +93,53 @@ class TestMultiFeed:
         assert 0.0 <= report.volume_reduction < 1.0
 
 
+class TestParseFailureCounting:
+    def build(self, bodies, clock, scheduler=False):
+        from repro.feeds.scheduler import FeedScheduler
+
+        transport = SimulatedTransport(clock=clock)
+        descriptors = []
+        for name, body in bodies.items():
+            descriptor = FeedDescriptor(
+                name=name, url=f"https://feeds.example/{name}",
+                format=FeedFormat.CSV if name.endswith(".csv")
+                else FeedFormat.PLAINTEXT,
+                category="malware-domains")
+            transport.register(descriptor.url, lambda _now, b=body: b)
+            descriptors.append(descriptor)
+        fetcher = FeedFetcher(transport, clock=clock, max_retries=0)
+        feed_scheduler = FeedScheduler(descriptors, clock=clock) \
+            if scheduler else None
+        return OsintDataCollector(fetcher, descriptors, clock=clock,
+                                  scheduler=feed_scheduler)
+
+    def test_garbage_feeds_never_drive_fetched_negative(self, clock):
+        # Every fetched document that fails to parse moves from fetched to
+        # failed; the counter is clamped so it can never go below zero.
+        collector = self.build(
+            {"bad-one.csv": "", "bad-two.csv": "", "good": "ok.example\n"},
+            clock)
+        _, report = collector.collect()
+        assert report.feeds_fetched == 1
+        assert report.feeds_failed == 2
+
+    def test_all_garbage_feeds_report_zero_fetched(self, clock):
+        collector = self.build({"bad.csv": "", "worse.csv": ""}, clock)
+        _, report = collector.collect()
+        assert report.feeds_fetched == 0
+        assert report.feeds_failed == 2
+
+    def test_scheduler_path_garbage_feed_clamped(self, clock):
+        collector = self.build({"bad.csv": ""}, clock, scheduler=True)
+        _, report = collector.collect()
+        assert report.feeds_fetched == 0
+        assert report.feeds_failed == 1
+        # Second cycle: nothing due yet, counters stay at zero, no negatives.
+        _, second = collector.collect()
+        assert second.feeds_fetched == 0
+        assert second.feeds_failed == 0
+
+
 class TestRelevanceFiltering:
     def test_drop_irrelevant_text(self, clock):
         body = (

@@ -1,7 +1,10 @@
 """Tests for the SQLite-backed MISP store."""
 
+import datetime as dt
+
 import pytest
 
+from repro.clock import PAPER_NOW, SimulatedClock
 from repro.errors import StorageError
 from repro.misp import Distribution, MispAttribute, MispEvent, MispStore
 
@@ -109,6 +112,21 @@ class TestSearch:
             store.save_event(make_event(info=f"e{i}"))
         assert len(store.list_events(limit=3)) == 3
 
+    def test_list_events_limit_is_bound_not_interpolated(self, store):
+        # The limit travels as a bound parameter; non-integer input fails
+        # fast in int() instead of reaching the SQL text.
+        store.save_event(make_event())
+        assert len(store.list_events(limit="1")) == 1
+        with pytest.raises((TypeError, ValueError)):
+            store.list_events(limit="1; DROP TABLE events")
+        assert store.event_count() == 1
+
+    def test_list_events_limit_with_published_only(self, store):
+        for i in range(4):
+            store.save_event(make_event(info=f"p{i}", published=True))
+        store.save_event(make_event(info="draft"))
+        assert len(store.list_events(limit=2, published_only=True)) == 2
+
     def test_correlatable_attributes_excludes_event(self, store):
         first = make_event()
         second = make_event(info="second")
@@ -161,3 +179,41 @@ class TestAuditLog:
 
     def test_history_of_unknown_event_is_empty(self, store):
         assert store.event_history("nope") == []
+
+    def test_delete_records_event_timestamp_not_zero(self, store):
+        event = make_event()
+        store.save_event(event)
+        store.delete_event(event.uuid)
+        history = store.event_history(event.uuid)
+        assert [h["action"] for h in history] == ["created", "deleted"]
+        assert history[-1]["logged_at"] == int(event.timestamp.timestamp())
+        assert history[-1]["logged_at"] > 0
+
+    def test_delete_uses_supplied_clock(self):
+        clock = SimulatedClock(PAPER_NOW)
+        store = MispStore(clock=clock)
+        event = make_event()
+        store.save_event(event)
+        clock.advance(dt.timedelta(hours=3))
+        store.delete_event(event.uuid)
+        history = store.event_history(event.uuid)
+        expected = int((PAPER_NOW + dt.timedelta(hours=3)).timestamp())
+        assert history[-1]["logged_at"] == expected
+
+    def test_event_history_ordering_survives_full_lifecycle(self):
+        clock = SimulatedClock(PAPER_NOW)
+        store = MispStore(clock=clock)
+        event = make_event()
+        store.save_event(event)
+        event.info = "edited"
+        store.save_event(event)
+        clock.advance(dt.timedelta(minutes=5))
+        store.delete_event(event.uuid)
+        history = store.event_history(event.uuid)
+        assert [h["action"] for h in history] == [
+            "created", "updated", "deleted"]
+        seqs = [h["seq"] for h in history]
+        assert seqs == sorted(seqs)
+        stamps = [h["logged_at"] for h in history]
+        assert stamps == sorted(stamps)
+        assert stamps[-1] > stamps[0]
