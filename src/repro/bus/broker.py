@@ -46,10 +46,16 @@ class BrokerStats:
 
     @property
     def drop_ratio(self) -> float:
-        """Fraction of enqueue attempts that evicted an older message."""
-        if self.delivered == 0:
+        """Fraction of enqueue attempts that evicted an older message.
+
+        The denominator is every enqueue attempt — deliveries plus the
+        evictions they caused — so the ratio is bounded by 1.0 even when
+        each delivery drops an older message.
+        """
+        attempts = self.delivered + self.dropped
+        if attempts == 0:
             return 0.0
-        return self.dropped / self.delivered
+        return self.dropped / attempts
 
 
 class Subscription:
@@ -126,6 +132,9 @@ class MessageBroker:
         self._callbacks: List[tuple[str, Callable[[Message], None]]] = []
         self._sequence = 0
         self.stats = BrokerStats()
+        #: Optional :class:`~repro.resilience.FaultInjector` consulted on
+        #: every publish (component ``broker``, key = topic).
+        self.fault_injector = None
         # BrokerStats stays the cheap attribute API the benches read; the
         # registry carries the same counts into the /metrics exposition.
         metrics = metrics or NULL_REGISTRY
@@ -154,6 +163,8 @@ class MessageBroker:
 
     def publish(self, topic: str, payload: Any) -> Message:
         """Publish a payload on a topic, fanning out to all matchers."""
+        if self.fault_injector is not None:
+            self.fault_injector.check("broker", topic)
         self._sequence += 1
         message = Message(topic=topic, payload=payload, sequence=self._sequence)
         self.stats.published += 1

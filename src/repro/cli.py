@@ -4,6 +4,8 @@ Subcommands::
 
     caop run        run N platform cycles (optionally persisting the MISP
                     store to a SQLite file) and print the dashboard
+    caop deadletter run cycles under injected faults and inspect/replay the
+                    dead-letter quarantine
     caop rce-demo   the paper's §IV use case (Table V + Figures 3/4)
     caop show       render views over a persisted MISP store
     caop cvss       score a CVSS v3 vector
@@ -45,7 +47,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"cycle {cycle}: {report.collection.ciocs_created} cIoCs, "
               f"{report.eiocs_created} eIoCs "
               f"(mean TS {report.mean_score:.2f}), "
-              f"{report.riocs_created} rIoCs, {report.new_alarms} alarms")
+              f"{report.riocs_created} rIoCs, {report.new_alarms} alarms"
+              + (f" [degraded: {', '.join(sorted(report.stage_errors))}]"
+                 if report.degraded else ""))
+    health = platform.health()
+    degraded_cycles = sum(1 for r in platform.history if r.degraded)
+    print(f"platform health: {health.overall()} "
+          f"({degraded_cycles} degraded cycle(s))")
     print()
     print(render_topology(platform.dashboard.state))
     if args.store:
@@ -86,6 +94,50 @@ def _cmd_init_feeds(args: argparse.Namespace) -> int:
     with open(args.path, "w") as handle:
         json.dump(default_feed_config(), handle, indent=2)
     print(f"feed configuration written to {args.path}")
+    return 0
+
+
+def _cmd_deadletter(args: argparse.Namespace) -> int:
+    from .core import ContextAwareOSINTPlatform, PlatformConfig
+    from .resilience import FaultInjector, FaultPlan, FaultRule
+
+    rules = []
+    if args.failure_rate > 0:
+        rules.append(FaultRule(component="transport", rate=args.failure_rate,
+                               reason="transport fault (cli)"))
+    if args.parse_fault:
+        rules.append(FaultRule(component="parse", key=args.parse_fault,
+                               rate=1.0, reason="parse fault (cli)"))
+    injector = (FaultInjector(FaultPlan(rules=tuple(rules), seed=args.seed))
+                if rules else None)
+    config = PlatformConfig(seed=args.seed, feed_entries=args.entries,
+                            fault_injector=injector)
+    platform = ContextAwareOSINTPlatform.build_default(config)
+    reports = platform.run(args.cycles)
+    degraded = sum(1 for report in reports if report.degraded)
+    print(f"{args.cycles} cycle(s) run, {degraded} degraded")
+    entries = platform.deadletters.entries()
+    if not entries:
+        print("dead-letter queue is empty")
+    else:
+        print(f"dead-letter queue: {len(entries)} entries")
+        print(f"  {'kind':<10} {'source':<24} {'attempts':>8}  reason")
+        for letter in entries:
+            print(f"  {letter.kind:<10} {letter.source:<24} "
+                  f"{letter.attempts:>8}  {letter.reason[:60]}")
+    if args.save:
+        platform.deadletters.save(args.save)
+        print(f"dead-letter queue written to {args.save}")
+    if args.replay:
+        if injector is not None:
+            injector.clear()
+        outcome = platform.replay_deadletters()
+        print(f"replay: {outcome.attempted} attempted, "
+              f"{outcome.documents_replayed} document(s) and "
+              f"{outcome.events_replayed} event(s) re-driven, "
+              f"{outcome.ciocs_created} cIoCs, {outcome.eiocs_created} eIoCs, "
+              f"{outcome.requeued} re-queued")
+        print(f"queue depth after replay: {len(platform.deadletters)}")
     return 0
 
 
@@ -273,6 +325,23 @@ def build_parser() -> argparse.ArgumentParser:
         "init-feeds", help="write a ready-to-edit feed configuration file")
     init_feeds.add_argument("path")
     init_feeds.set_defaults(func=_cmd_init_feeds)
+
+    deadletter = subparsers.add_parser(
+        "deadletter",
+        help="run cycles under injected faults and inspect the quarantine")
+    deadletter.add_argument("--cycles", type=int, default=3)
+    deadletter.add_argument("--seed", type=int, default=7)
+    deadletter.add_argument("--entries", type=int, default=60,
+                            help="entries per synthetic feed")
+    deadletter.add_argument("--failure-rate", type=float, default=0.3,
+                            help="injected transport fault rate (0..1)")
+    deadletter.add_argument("--parse-fault", default=None, metavar="FEED",
+                            help="make this feed's documents fail parsing")
+    deadletter.add_argument("--save", default=None,
+                            help="write the queue to this JSON file")
+    deadletter.add_argument("--replay", action="store_true",
+                            help="clear the faults and replay the queue")
+    deadletter.set_defaults(func=_cmd_deadletter)
 
     rce = subparsers.add_parser("rce-demo", help="the paper's §IV use case")
     rce.set_defaults(func=_cmd_rce_demo)

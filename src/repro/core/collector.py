@@ -10,12 +10,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..clock import Clock, SimulatedClock
-from ..errors import FeedError, ParseError
+from ..errors import FeedError, ParseError, StorageError
 from ..feeds import FeedDescriptor, FeedDocument, FeedFetcher, parse_document
 from ..feeds.scheduler import FeedScheduler
 from ..misp import MispEvent, MispInstance
 from ..misp.warninglists import WarninglistIndex
 from ..obs import MetricsRegistry, NULL_REGISTRY, Tracer
+from ..resilience.deadletter import DeadLetterQueue
+from ..resilience.faults import FaultInjector
 from .aggregate import Aggregator
 from .compose import CiocComposer
 from .correlate import Connection, EventCorrelator
@@ -37,6 +39,12 @@ class CollectionReport:
     subsets: int = 0
     connections: int = 0
     ciocs_created: int = 0
+    #: Documents quarantined to the dead-letter queue this cycle.
+    documents_quarantined: int = 0
+    #: Composed events quarantined after the store stage exhausted retries.
+    events_quarantined: int = 0
+    #: The store stage's failure, when it degraded (None on success).
+    store_error: Optional[str] = None
 
     @property
     def volume_reduction(self) -> float:
@@ -59,8 +67,12 @@ class OsintDataCollector:
                  scheduler: Optional[FeedScheduler] = None,
                  warninglists: Optional[WarninglistIndex] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 deadletters: Optional[DeadLetterQueue] = None,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         self._fetcher = fetcher
+        self._deadletters = deadletters
+        self._fault_injector = fault_injector
         self._feeds = list(feeds)
         self._scheduler = scheduler
         self._warninglists = warninglists
@@ -107,6 +119,8 @@ class OsintDataCollector:
             # fetch_many runs on the fetcher's worker pool (serial when
             # workers=1) and yields results in descriptor order, so the
             # report and the scheduler bookkeeping stay deterministic.
+            # Failed/breaker-skipped feeds are NOT marked fetched, so the
+            # scheduler keeps them due next cycle.
             for descriptor, document, error in self._fetcher.fetch_many(to_fetch):
                 if error is not None:
                     report.feeds_failed += 1
@@ -115,13 +129,28 @@ class OsintDataCollector:
                 report.feeds_fetched += 1
                 if self._scheduler is not None:
                     self._scheduler.mark_fetched(descriptor)
+        return self.process_documents(documents, report)
 
+    def process_documents(self, documents: Sequence[FeedDocument],
+                          report: Optional[CollectionReport] = None
+                          ) -> Tuple[List[MispEvent], CollectionReport]:
+        """Run fetched documents through parse → ... → store.
+
+        This is the post-fetch tail of :meth:`collect`, split out so the
+        dead-letter queue can replay quarantined documents through the
+        identical pipeline once their fault has cleared.
+        """
+        if report is None:
+            report = CollectionReport()
         events: List[NormalizedEvent] = []
         with self._tracer.span("normalize"):
             for document in documents:
                 try:
+                    if self._fault_injector is not None:
+                        self._fault_injector.check(
+                            "parse", document.descriptor.name)
                     records = parse_document(document)
-                except ParseError:
+                except ParseError as exc:
                     # A feed serving garbage must not take the cycle down; it
                     # counts as failed and the remaining feeds proceed.  The
                     # fetched counter only moves back for documents it
@@ -129,6 +158,10 @@ class OsintDataCollector:
                     report.feeds_failed += 1
                     report.feeds_fetched = max(0, report.feeds_fetched - 1)
                     self._m_parse_errors.inc(feed=document.descriptor.name)
+                    if self._deadletters is not None:
+                        self._deadletters.quarantine_document(
+                            document, reason=f"parse: {exc}")
+                        report.documents_quarantined += 1
                     continue
                 report.records_parsed += len(records)
                 self._m_feed_events.inc(len(records), feed=document.descriptor.name)
@@ -178,11 +211,19 @@ class OsintDataCollector:
                 for subset in subsets:
                     ciocs.append(self._composer.compose(category, subset))
 
-        with self._tracer.span("store"):
-            if self._misp is not None and ciocs:
-                # One transaction + one correlation pass for the whole
-                # cycle's cIoCs instead of per-event round trips.
-                self._misp.add_events(ciocs)
+        try:
+            with self._tracer.span("store"):
+                if self._misp is not None and ciocs:
+                    # One transaction + one correlation pass for the whole
+                    # cycle's cIoCs instead of per-event round trips.
+                    self._misp.add_events(ciocs)
+        except StorageError as exc:
+            # The MISP instance already retried (and, when wired with a
+            # dead-letter queue, quarantined the batch); the cycle degrades
+            # instead of dying and the remaining stages still run.
+            report.store_error = str(exc)
+            if self._deadletters is not None:
+                report.events_quarantined += len(ciocs)
         report.ciocs_created = len(ciocs)
         self._m_ciocs.inc(len(ciocs))
         return ciocs, report

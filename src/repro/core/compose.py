@@ -13,6 +13,7 @@ import datetime as _dt
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..clock import Clock, SimulatedClock
+from ..ids import content_uuid
 from ..misp import MispAttribute, MispEvent, MispObject
 from .dedup import Deduplicator
 from .ioc import TAG_CIOC
@@ -112,6 +113,16 @@ class CiocComposer:
             event.add_tag(feed_tag(feed_name))
         if any_text:
             event.add_tag(RELEVANT_TAG if any_relevant else IRRELEVANT_TAG)
+        # Content-derived ids: the same correlated subset always composes to
+        # the same uuids, so a cIoC replayed from the dead-letter queue is
+        # byte-identical to the one a fault-free run would have stored.
+        event.uuid = content_uuid(
+            "cioc", category, *sorted(n.uid for n in subset))
+        for index, obj in enumerate(event.objects):
+            obj.uuid = content_uuid("cioc-object", event.uuid, str(index))
+        for index, attribute in enumerate(event.all_attributes()):
+            attribute.uuid = content_uuid(
+                "cioc-attribute", event.uuid, str(index))
         return event
 
     def _summary(self, category: str, subset: Sequence[NormalizedEvent]) -> str:

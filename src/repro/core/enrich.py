@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..bus import ZmqSubscriber
 from ..clock import Clock, SimulatedClock
 from ..cvss import CveDatabase
+from ..ids import content_uuid
 from ..infra import INFRASTRUCTURE_TAG, AlarmManager, Inventory
 from ..misp import MispAttribute, MispEvent, MispInstance, to_stix2_bundle
 from ..misp.instance import TOPIC_EVENT
@@ -112,16 +113,24 @@ class HeuristicComponent:
         best = max(object_results, key=lambda pair: pair[1].score)
         score = best[1]
 
-        # Write the score back as new attributes + the enriched tag.
+        # Write the score back as new attributes + the enriched tag.  The
+        # uuids are content-derived (keyed on the event and its current
+        # attribute count) so a replayed event enriches to byte-identical
+        # state; the count keeps a re-scored event from colliding.
         self._misp.add_attribute(event.uuid, MispAttribute(
             type="float", value=f"{score.score:.4f}",
             comment=THREAT_SCORE_COMMENT, to_ids=False,
             timestamp=self._clock.now(),
+            uuid=content_uuid(
+                "eioc-score", event.uuid, str(len(event.all_attributes()))),
         ), publish_feed=False)
         self._misp.add_attribute(event.uuid, MispAttribute(
             type="text", value=json.dumps(score.breakdown(), sort_keys=True),
             comment=BREAKDOWN_COMMENT, to_ids=False,
             timestamp=self._clock.now(),
+            uuid=content_uuid(
+                "eioc-breakdown", event.uuid,
+                str(len(event.all_attributes()))),
         ), publish_feed=False)
         # Contextual enrichment: galaxy clusters (threat actors, tooling)
         # mentioned by the intelligence get their misp-galaxy tags.

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..clock import Clock, SimulatedClock
 from ..cvss import CveDatabase
 from ..dashboard.server import DashboardServer
+from ..errors import ReproError
 from ..feeds import (
     FeedDescriptor,
     FeedFetcher,
@@ -38,6 +39,20 @@ from ..infra import (
 )
 from ..misp import MispInstance
 from ..obs import MetricsRegistry, Tracer
+from ..resilience import (
+    HEALTH_DEGRADED,
+    HEALTH_FAILING,
+    HEALTH_OK,
+    BreakerState,
+    CircuitBreakerBoard,
+    ComponentHealth,
+    DeadLetterQueue,
+    FaultInjector,
+    PlatformHealth,
+    ReplayReport,
+    RetryPolicy,
+    sleeper_for,
+)
 from .collector import CollectionReport, OsintDataCollector
 from .enrich import EnrichmentResult, HeuristicComponent
 from .ioc import ReducedIoc
@@ -59,6 +74,14 @@ class CycleReport:
     #: Stage name -> wall seconds, flattened from the cycle's span trace
     #: (empty when the platform runs with telemetry disabled).
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Stage name -> error message, for every stage that failed this cycle
+    #: (stage isolation: the remaining stages still ran).
+    stage_errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any stage failed this cycle."""
+        return bool(self.stage_errors)
 
     @property
     def mean_score(self) -> float:
@@ -86,6 +109,24 @@ class PlatformConfig:
     #: Record metrics and per-stage spans (disable only to measure the
     #: telemetry overhead itself; see bench_x13_obs_overhead).
     metrics_enabled: bool = True
+    #: Transient-failure retries per feed fetch (and per store batch).
+    fetch_retries: int = 2
+    store_retries: int = 2
+    #: Backoff shape for those retries; jitter is deterministic per
+    #: (feed, attempt) — see docs/RESILIENCE.md.
+    retry_base_delay_seconds: float = 0.5
+    retry_max_delay_seconds: float = 60.0
+    retry_jitter: float = 0.5
+    #: How backoff is applied: "virtual" advances the SimulatedClock,
+    #: "real" sleeps wall-clock, "none" records without moving any clock.
+    backoff_mode: str = "virtual"
+    #: Consecutive fetch failures before a feed's breaker opens, and how
+    #: long (on the platform clock) it stays open before a half-open probe.
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_seconds: float = 900.0
+    #: Optional scripted fault injector threaded through transport, store,
+    #: parse and broker seams (chaos testing; see docs/RESILIENCE.md).
+    fault_injector: Optional[FaultInjector] = None
 
 
 class ContextAwareOSINTPlatform:
@@ -100,7 +141,10 @@ class ContextAwareOSINTPlatform:
                  dashboard: DashboardServer,
                  clock: Clock,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 deadletters: Optional[DeadLetterQueue] = None,
+                 breakers: Optional[CircuitBreakerBoard] = None,
+                 sensor_steps_per_cycle: int = 6) -> None:
         from .decay import ScoreDecayEngine
         from .sightings import SightingProcessor
 
@@ -116,11 +160,17 @@ class ContextAwareOSINTPlatform:
         self.tracer = tracer or Tracer(metrics=self.metrics)
         self.sightings = SightingProcessor(misp, heuristics, clock=clock)
         self.decay = ScoreDecayEngine(clock=clock)
+        self.deadletters = deadletters
+        self.breakers = breakers
+        self.sensor_steps_per_cycle = sensor_steps_per_cycle
         self.history: List[CycleReport] = []
         self._m_cycles = self.metrics.counter(
             "caop_cycles_total", "Completed platform cycles")
         self._m_cycle_seconds = self.metrics.histogram(
             "caop_cycle_seconds", "Wall time of one full platform cycle")
+        self._m_degraded = self.metrics.counter(
+            "caop_degraded_cycles_total",
+            "Cycles that completed with at least one failed stage")
 
     @classmethod
     def build_default(cls, config: Optional[PlatformConfig] = None,
@@ -173,10 +223,38 @@ class ContextAwareOSINTPlatform:
         descriptors = list(descriptors)
         metrics = MetricsRegistry(enabled=config.metrics_enabled)
         tracer = Tracer(metrics=metrics, enabled=config.metrics_enabled)
-        fetcher = FeedFetcher(transport, clock=clock, metrics=metrics,
-                              workers=config.fetch_workers)
+        if config.fault_injector is not None and transport.fault_injector is None:
+            transport.fault_injector = config.fault_injector
+        sleeper = sleeper_for(config.backoff_mode, clock)
+        deadletters = DeadLetterQueue(clock=clock, metrics=metrics)
+        breakers = CircuitBreakerBoard(
+            clock=clock,
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown_seconds=config.breaker_cooldown_seconds,
+            metrics=metrics)
+        fetcher = FeedFetcher(
+            transport, clock=clock, metrics=metrics,
+            workers=config.fetch_workers,
+            retry_policy=RetryPolicy(
+                max_retries=config.fetch_retries,
+                base_delay_seconds=config.retry_base_delay_seconds,
+                max_delay_seconds=config.retry_max_delay_seconds,
+                jitter=config.retry_jitter,
+                seed=config.seed),
+            breakers=breakers,
+            sleeper=sleeper)
 
-        misp = MispInstance(org=config.org, metrics=metrics)
+        misp = MispInstance(
+            org=config.org, metrics=metrics, clock=clock,
+            store_retry_policy=RetryPolicy(
+                max_retries=config.store_retries,
+                base_delay_seconds=config.retry_base_delay_seconds,
+                max_delay_seconds=config.retry_max_delay_seconds,
+                jitter=config.retry_jitter,
+                seed=config.seed),
+            sleeper=sleeper,
+            deadletters=deadletters,
+            fault_injector=config.fault_injector)
         sensors = SensorNetwork(inventory, clock=clock, seed=config.seed,
                                 alarm_rate=config.sensor_alarm_rate)
         infra_collector = InfrastructureDataCollector(
@@ -186,7 +264,9 @@ class ContextAwareOSINTPlatform:
             fetcher, descriptors, misp=misp, clock=clock,
             drop_irrelevant_text=config.drop_irrelevant_text,
             warninglists=WarninglistIndex() if config.use_warninglists else None,
-            metrics=metrics, tracer=tracer)
+            metrics=metrics, tracer=tracer,
+            deadletters=deadletters,
+            fault_injector=config.fault_injector)
         heuristics = HeuristicComponent(
             misp, inventory=inventory,
             alarm_manager=sensors.alarm_manager,
@@ -204,6 +284,9 @@ class ContextAwareOSINTPlatform:
             clock=clock,
             metrics=metrics,
             tracer=tracer,
+            deadletters=deadletters,
+            breakers=breakers,
+            sensor_steps_per_cycle=config.sensor_steps_per_cycle,
         )
 
     def run_cycle(self) -> CycleReport:
@@ -212,49 +295,141 @@ class ContextAwareOSINTPlatform:
         Each stage runs inside a named span; the resulting per-stage timing
         breakdown lands on :attr:`CycleReport.timings` and in the
         ``caop_span_seconds`` histogram of :attr:`metrics`.
+
+        Stages are *isolated*: a stage that raises
+        :class:`~repro.errors.ReproError` is recorded under
+        :attr:`CycleReport.stage_errors` and the remaining stages still run,
+        so one failing component degrades the cycle instead of aborting it.
+        Unexpected (non-``ReproError``) exceptions still propagate — those
+        are bugs, not faults.
         """
+        report = CycleReport(collection=CollectionReport())
         with self.tracer.span("cycle") as cycle_span:
             # 1. Infrastructure side: sensors tick, alarms reach the dashboard,
             #    internal IoCs reach MISP (stored only; no zmq feed).
-            with self.tracer.span("sense"):
-                new_alarms = self.sensors.tick(steps=6)
-                for alarm in new_alarms:
-                    self.dashboard.push_alarm(alarm)
-                infra_event = self.infra_collector.ship_to_misp()
+            new_alarms: List = []
+            infra_event = None
+            try:
+                with self.tracer.span("sense"):
+                    new_alarms = self.sensors.tick(
+                        steps=self.sensor_steps_per_cycle)
+                    for alarm in new_alarms:
+                        self.dashboard.push_alarm(alarm)
+                    infra_event = self.infra_collector.ship_to_misp()
+            except ReproError as exc:
+                report.stage_errors["sense"] = str(exc)
 
             # 2. OSINT side: collect feeds into cIoCs (MISP publishes each on
             #    zmq).  The collector opens its own child spans (fetch ->
             #    normalize -> dedup -> filter -> correlate -> compose -> store).
-            with self.tracer.span("collect"):
-                _ciocs, collection = self.osint_collector.collect()
+            #    A store-stage failure is absorbed inside collect() (the
+            #    events are quarantined) and surfaces as ``store_error``.
+            try:
+                with self.tracer.span("collect"):
+                    _ciocs, collection = self.osint_collector.collect()
+                report.collection = collection
+                if collection.store_error is not None:
+                    report.stage_errors["store"] = collection.store_error
+            except ReproError as exc:
+                report.stage_errors["collect"] = str(exc)
 
             # 3. Heuristic analysis: drain the feed, score, enrich.
-            with self.tracer.span("enrich"):
-                enrichments = self.heuristics.process_pending()
+            enrichments: List[EnrichmentResult] = []
+            try:
+                with self.tracer.span("enrich"):
+                    enrichments = self.heuristics.process_pending()
+            except ReproError as exc:
+                report.stage_errors["enrich"] = str(exc)
 
             # 4. Reduction + visualization: rIoCs to the dashboard sockets.
-            report = CycleReport(collection=collection)
             report.new_alarms = len(new_alarms)
             report.infrastructure_events = 1 if infra_event is not None else 0
             report.eiocs_created = len(enrichments)
             riocs: List[ReducedIoc] = []
-            with self.tracer.span("reduce"):
-                for enrichment in enrichments:
-                    report.scores.append(enrichment.score.score)
-                    rioc = self.rioc_generator.generate(enrichment.eioc)
-                    if rioc is None:
-                        report.riocs_suppressed += 1
-                    else:
-                        riocs.append(rioc)
-            with self.tracer.span("push"):
-                for rioc in riocs:
-                    report.riocs_created += 1
-                    report.dashboard_pushes += self.dashboard.push_rioc(rioc)
+            try:
+                with self.tracer.span("reduce"):
+                    for enrichment in enrichments:
+                        report.scores.append(enrichment.score.score)
+                        rioc = self.rioc_generator.generate(enrichment.eioc)
+                        if rioc is None:
+                            report.riocs_suppressed += 1
+                        else:
+                            riocs.append(rioc)
+            except ReproError as exc:
+                report.stage_errors["reduce"] = str(exc)
+            try:
+                with self.tracer.span("push"):
+                    for rioc in riocs:
+                        report.riocs_created += 1
+                        report.dashboard_pushes += self.dashboard.push_rioc(rioc)
+            except ReproError as exc:
+                report.stage_errors["push"] = str(exc)
         if cycle_span is not None:
             report.timings = cycle_span.flatten()
             self._m_cycle_seconds.observe(cycle_span.duration_seconds)
         self._m_cycles.inc()
+        if report.degraded:
+            self._m_degraded.inc()
         self.history.append(report)
+        health = self.health()
+        health.export(self.metrics)
+        self.dashboard.update_health(health)
+        return report
+
+    def health(self) -> PlatformHealth:
+        """Snapshot component health: feed breakers, pipeline stages, DLQ.
+
+        Breaker states map directly (closed -> ok, half-open -> degraded,
+        open -> failing).  A stage that failed in the last cycle is degraded;
+        failing if it failed in the last *two*.  The dead-letter queue is
+        degraded while anything sits quarantined.
+        """
+        components: List[ComponentHealth] = []
+        if self.breakers is not None:
+            for name, state in sorted(self.breakers.states().items()):
+                if state == BreakerState.OPEN:
+                    status = HEALTH_FAILING
+                elif state == BreakerState.HALF_OPEN:
+                    status = HEALTH_DEGRADED
+                else:
+                    status = HEALTH_OK
+                components.append(ComponentHealth(
+                    component=f"feed:{name}", status=status,
+                    detail=f"breaker {state}"))
+        last = self.history[-1] if self.history else None
+        prev = self.history[-2] if len(self.history) > 1 else None
+        for stage in ("sense", "collect", "store", "enrich", "reduce", "push"):
+            if last is not None and stage in last.stage_errors:
+                repeated = prev is not None and stage in prev.stage_errors
+                components.append(ComponentHealth(
+                    component=f"stage:{stage}",
+                    status=HEALTH_FAILING if repeated else HEALTH_DEGRADED,
+                    detail=last.stage_errors[stage]))
+            else:
+                components.append(ComponentHealth(
+                    component=f"stage:{stage}", status=HEALTH_OK))
+        if self.deadletters is not None:
+            depth = len(self.deadletters)
+            components.append(ComponentHealth(
+                component="deadletter",
+                status=HEALTH_DEGRADED if depth else HEALTH_OK,
+                detail=f"{depth} quarantined" if depth else ""))
+        return PlatformHealth(components=components)
+
+    def replay_deadletters(self) -> ReplayReport:
+        """Re-drive quarantined documents and events through the pipeline.
+
+        Call after the underlying fault clears (e.g. the store recovers):
+        documents go back through the collector's parse->compose->store
+        chain, events go straight to MISP, and anything the heuristic
+        component now sees is scored into eIoCs.
+        """
+        if self.deadletters is None:
+            return ReplayReport()
+        report = self.deadletters.replay(
+            collector=self.osint_collector, misp=self.misp)
+        enrichments = self.heuristics.process_pending()
+        report.eiocs_created = len(enrichments)
         return report
 
     def run(self, cycles: int) -> List[CycleReport]:

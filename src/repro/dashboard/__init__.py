@@ -1,7 +1,13 @@
 """Output module: dashboard state, renderers, views, sessions, server."""
 
 from .geo import GeoHit, GeoSummaryView, LOCATION_INDEX
-from .render import render_html, render_issue_details, render_node_details, render_topology
+from .render import (
+    render_health,
+    render_html,
+    render_issue_details,
+    render_node_details,
+    render_topology,
+)
 from .sessions import Action, AnalystSession, SessionEvent, SessionRecorder
 from .server import EVENT_ALARM, EVENT_RIOC, ROOM_ANALYSTS, DashboardServer
 from .state import DashboardState, NodeBadge, NodeDetails
@@ -21,6 +27,7 @@ __all__ = [
     "AnalystSession",
     "SessionEvent",
     "SessionRecorder",
+    "render_health",
     "render_html",
     "render_issue_details",
     "render_node_details",

@@ -83,6 +83,35 @@ def render_issue_details(rioc: ReducedIoc) -> str:
     return "\n".join(lines)
 
 
+_HEALTH_GLYPH = {
+    "ok": "+",
+    "degraded": "!",
+    "failing": "X",
+}
+
+
+def render_health(health) -> str:
+    """ASCII health panel: one marker line per component, worst-state header.
+
+    ``health`` is a :class:`~repro.resilience.PlatformHealth` snapshot
+    (feed breakers, pipeline stages, dead-letter queue).
+    """
+    overall = health.overall()
+    lines: List[str] = [
+        f"Platform health: {overall.upper()}",
+        "=" * 52,
+    ]
+    for component in health.components:
+        glyph = _HEALTH_GLYPH.get(component.status, "?")
+        line = f"  [{glyph}] {component.component:<24} {component.status}"
+        if component.detail:
+            line += f"  ({component.detail[:48]})"
+        lines.append(line)
+    lines.append("-" * 52)
+    lines.append("legend: [+] ok   [!] degraded   [X] failing")
+    return "\n".join(lines)
+
+
 _SEVERITY_COLOUR = {
     Severity.GREEN: "#2e7d32",
     Severity.YELLOW: "#f9a825",

@@ -30,6 +30,9 @@ class DashboardServer:
         self.state = DashboardState(inventory)
         self.sio = SocketIOServer(broker=broker)
         self.metrics = metrics or NULL_REGISTRY
+        #: Latest :class:`~repro.resilience.PlatformHealth` snapshot the
+        #: platform pushed (None until the first cycle completes).
+        self.health: Optional[Any] = None
         self._m_pushes = self.metrics.counter(
             "caop_dashboard_pushes_total",
             "socket.io emits to analyst clients, labelled by event kind")
@@ -69,6 +72,10 @@ class DashboardServer:
         client = self.sio.connect()
         self.sio.enter_room(client, ROOM_ANALYSTS)
         return client
+
+    def update_health(self, health: Any) -> None:
+        """Record the platform's latest component-health snapshot."""
+        self.health = health
 
     # -- telemetry view -----------------------------------------------------------
 

@@ -28,8 +28,27 @@ class StorageError(ReproError):
     """A storage backend rejected an operation (duplicate key, missing row...)."""
 
 
+class TransientStorageError(StorageError):
+    """A storage failure that may succeed on retry (lock contention, injected
+    fault...).  Retry policies act on this subtype only; plain
+    :class:`StorageError` stays permanent."""
+
+
 class FeedError(ReproError):
     """An OSINT feed could not be fetched or decoded."""
+
+
+class TransientFeedError(FeedError):
+    """A fetch failure worth retrying (flaky transport, timeout)."""
+
+
+class PermanentFeedError(FeedError):
+    """A fetch failure that can never succeed (unknown URL, malformed
+    descriptor) — retrying it only burns attempts."""
+
+
+class BreakerOpenError(TransientFeedError):
+    """A fetch was skipped because the feed's circuit breaker is open."""
 
 
 class SharingError(ReproError):

@@ -24,8 +24,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..clock import Clock, SimulatedClock
-from ..errors import FeedError
+from ..errors import (
+    BreakerOpenError,
+    FeedError,
+    PermanentFeedError,
+    TransientFeedError,
+)
 from ..obs import MetricsRegistry, NULL_REGISTRY
+from ..resilience.breaker import BreakerState, CircuitBreakerBoard
+from ..resilience.retry import RetryPolicy, sleeper_for
 from .generators import FeedGenerator
 from .model import FeedDescriptor, FeedDocument
 
@@ -51,7 +58,8 @@ class SimulatedTransport:
     def __init__(self, clock: Optional[Clock] = None, seed: int = 0,
                  failure_rate: float = 0.0,
                  latency_range: Tuple[float, float] = (0.05, 0.4),
-                 realtime: bool = False) -> None:
+                 realtime: bool = False,
+                 fault_injector=None) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise FeedError("failure_rate must be within [0, 1)")
         self._sources: Dict[str, Callable[[_dt.datetime], str]] = {}
@@ -63,6 +71,10 @@ class SimulatedTransport:
         self._lock = threading.Lock()
         self._request_counts: Dict[str, int] = {}
         self.stats = TransportStats()
+        #: Optional :class:`~repro.resilience.FaultInjector` consulted on
+        #: every request with the transport's own per-URL request index, so
+        #: scripted transport faults align at any worker count.
+        self.fault_injector = fault_injector
 
     def register(self, url: str, body_fn: Callable[[_dt.datetime], str]) -> None:
         """Map a URL to a body-producing callable."""
@@ -101,36 +113,66 @@ class SimulatedTransport:
         if failed:
             with self._lock:
                 self.stats.failures += 1
-            raise FeedError(f"transient transport failure fetching {url}")
+            raise TransientFeedError(
+                f"transient transport failure fetching {url}")
+        injector = self.fault_injector
+        if injector is not None:
+            try:
+                injector.check("transport", url, index=index)
+            except FeedError:
+                with self._lock:
+                    self.stats.failures += 1
+                raise
         source = self._sources.get(url)
         if source is None:
             with self._lock:
                 self.stats.failures += 1
-            raise FeedError(f"unknown feed URL {url}")
+            raise PermanentFeedError(f"unknown feed URL {url}")
         with self._lock:
             now = self._clock.now()
         return source(now), latency
 
 
 class FeedFetcher:
-    """Fetches configured feeds through a transport, with bounded retries.
+    """Fetches configured feeds through a transport, with disciplined retries.
 
     ``workers`` bounds the thread pool used by :meth:`fetch_many` /
     :meth:`fetch_all`; 1 keeps the historical serial behaviour.  Results are
     always returned in descriptor order regardless of completion order.
+
+    Transient failures are retried under a :class:`RetryPolicy` (exponential
+    backoff with deterministic per-``(feed, attempt)`` jitter); permanent
+    failures (unknown URL, malformed descriptor) abort immediately instead of
+    burning attempts.  An optional :class:`CircuitBreakerBoard` trips a
+    per-feed breaker after consecutive fetch failures: open feeds are skipped
+    (a :class:`BreakerOpenError` result) and half-open feeds get a single
+    probe attempt, so a dead feed stops consuming retries and pool slots.
+
+    Backoff never sleeps inside a worker: each fetch *accumulates* its delay
+    and :meth:`fetch_many` applies the total once through the sleeper after
+    the pool drains (summed in descriptor order).  Documents therefore carry
+    the same ``fetched_at`` whether the pool has 1 worker or 8, and a
+    :class:`~repro.clock.SimulatedClock` advances by the identical total.
     """
 
     def __init__(self, transport: SimulatedTransport, clock: Optional[Clock] = None,
                  max_retries: int = 2,
                  metrics: Optional[MetricsRegistry] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breakers: Optional[CircuitBreakerBoard] = None,
+                 sleeper=None) -> None:
         if max_retries < 0:
             raise FeedError("max_retries must be non-negative")
         if workers < 1:
             raise FeedError("workers must be positive")
         self._transport = transport
         self._clock = clock or SimulatedClock()
-        self._max_retries = max_retries
+        self._retry = retry_policy or RetryPolicy(max_retries=max_retries)
+        self._max_retries = self._retry.max_retries
+        self._breakers = breakers
+        self._sleeper = sleeper if sleeper is not None else \
+            sleeper_for("virtual", self._clock)
         self._workers = workers
         metrics = metrics or NULL_REGISTRY
         self._m_latency = metrics.histogram(
@@ -140,6 +182,12 @@ class FeedFetcher:
         self._m_failures = metrics.counter(
             "caop_feed_fetch_failures_total",
             "Fetches abandoned after exhausting retries")
+        self._m_permanent = metrics.counter(
+            "caop_feed_fetch_permanent_failures_total",
+            "Fetches aborted on permanent errors (no retries attempted)")
+        self._m_backoff = metrics.histogram(
+            "caop_retry_backoff_seconds",
+            "Backoff computed before each retry attempt")
         self._m_pool = metrics.gauge(
             "caop_fetch_pool_workers",
             "Worker threads used by the last fetch_many call")
@@ -149,34 +197,69 @@ class FeedFetcher:
         """The configured worker-pool bound."""
         return self._workers
 
-    def fetch(self, descriptor: FeedDescriptor) -> FeedDocument:
-        """Fetch one feed snapshot, retrying transient failures."""
+    @property
+    def breakers(self) -> Optional[CircuitBreakerBoard]:
+        """The per-feed breaker board, when one is wired."""
+        return self._breakers
+
+    def _fetch_once(self, descriptor: FeedDescriptor
+                    ) -> Tuple[Optional[FeedDocument], Optional[FeedError], float]:
+        """One guarded fetch: (document, error, accumulated backoff seconds).
+
+        Never sleeps — the caller applies the returned backoff through the
+        sleeper so worker threads cannot race on the clock.
+        """
+        breaker = self._breakers.breaker(descriptor.name) \
+            if self._breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            return None, BreakerOpenError(
+                f"breaker open for feed {descriptor.name}"), 0.0
+        # A half-open breaker admits a single probe, not a retry burst.
+        probing = breaker is not None and breaker.state == BreakerState.HALF_OPEN
+        attempts = 1 if probing else self._max_retries + 1
+        backoff = 0.0
         last_error: Optional[FeedError] = None
-        for attempt in range(self._max_retries + 1):
+        for attempt in range(attempts):
             try:
                 body, latency = self._transport.get(descriptor.url)
+            except PermanentFeedError as exc:
+                self._m_permanent.inc(feed=descriptor.name)
+                if breaker is not None:
+                    breaker.record_failure()
+                return None, exc, backoff
+            except FeedError as exc:
+                last_error = exc
+                if attempt < attempts - 1:
+                    self._transport.record_retry()
+                    self._m_retries.inc(feed=descriptor.name)
+                    delay = self._retry.delay(descriptor.name, attempt)
+                    self._m_backoff.observe(delay, component="fetch")
+                    backoff += delay
+            else:
                 self._m_latency.observe(latency, feed=descriptor.name)
+                if breaker is not None:
+                    breaker.record_success()
                 return FeedDocument(
                     descriptor=descriptor,
                     body=body,
                     fetched_at=self._clock.now(),
-                )
-            except FeedError as exc:
-                last_error = exc
-                if attempt < self._max_retries:
-                    self._transport.record_retry()
-                    self._m_retries.inc(feed=descriptor.name)
+                ), None, backoff
+        if breaker is not None:
+            breaker.record_failure()
         self._m_failures.inc(feed=descriptor.name)
-        raise FeedError(
-            f"feed {descriptor.name} failed after {self._max_retries + 1} attempts"
-        ) from last_error
+        error = FeedError(
+            f"feed {descriptor.name} failed after {attempts} attempts")
+        error.__cause__ = last_error
+        return None, error, backoff
 
-    def _try_fetch(self, descriptor: FeedDescriptor
-                   ) -> Tuple[Optional[FeedDocument], Optional[FeedError]]:
-        try:
-            return self.fetch(descriptor), None
-        except FeedError as exc:
-            return None, exc
+    def fetch(self, descriptor: FeedDescriptor) -> FeedDocument:
+        """Fetch one feed snapshot, retrying transient failures with backoff."""
+        document, error, backoff = self._fetch_once(descriptor)
+        self._sleeper.sleep(backoff)
+        if error is not None:
+            raise error
+        assert document is not None
+        return document
 
     def fetch_many(self, descriptors: Sequence[FeedDescriptor],
                    workers: Optional[int] = None
@@ -187,7 +270,9 @@ class FeedFetcher:
         Returns ``(descriptor, document, error)`` triples in *descriptor
         order* — exactly one of document/error is set per feed.  Retries
         stay sequential within a feed (inside one worker), so per-feed
-        behaviour matches the serial path request for request.
+        behaviour matches the serial path request for request.  The cycle's
+        total retry backoff is applied once, after the pool drains, summed
+        in descriptor order — identical for any worker count.
         """
         descriptors = list(descriptors)
         if not descriptors:
@@ -196,14 +281,17 @@ class FeedFetcher:
         pool_size = max(1, min(pool_size, len(descriptors)))
         self._m_pool.set(pool_size)
         if pool_size == 1:
-            return [(descriptor,) + self._try_fetch(descriptor)
-                    for descriptor in descriptors]
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            futures = [pool.submit(self._try_fetch, descriptor)
+            results = [self._fetch_once(descriptor)
                        for descriptor in descriptors]
-            results = [future.result() for future in futures]
+        else:
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                futures = [pool.submit(self._fetch_once, descriptor)
+                           for descriptor in descriptors]
+                results = [future.result() for future in futures]
+        self._sleeper.sleep(sum(backoff for _doc, _err, backoff in results))
         return [(descriptor, document, error)
-                for descriptor, (document, error) in zip(descriptors, results)]
+                for descriptor, (document, error, _backoff)
+                in zip(descriptors, results)]
 
     def fetch_all(self, descriptors: List[FeedDescriptor],
                   skip_failed: bool = True) -> List[FeedDocument]:

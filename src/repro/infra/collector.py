@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..clock import Clock, SimulatedClock
+from ..ids import content_uuid
 from ..misp import Distribution, MispAttribute, MispEvent, MispInstance
 from .alarms import Alarm, AlarmManager
 from .inventory import Inventory
@@ -118,6 +119,15 @@ class InfrastructureDataCollector:
         )
         for attribute in attributes:
             event.add_attribute(attribute)
+        # Content-derived ids keep infrastructure events identical across
+        # runs (and across fetch-pool sizes), which the chaos-recovery
+        # parity checks rely on.
+        event.uuid = content_uuid(
+            "infra-event", event.timestamp.isoformat(),
+            *sorted(f"{a.type}:{a.value}:{a.comment}" for a in attributes))
+        for index, attribute in enumerate(attributes):
+            attribute.uuid = content_uuid(
+                "infra-attribute", event.uuid, str(index))
         event.add_tag(INFRASTRUCTURE_TAG)
         # Internal telemetry is recipients-only: it must never cross the
         # sharing gateway even if an operator mis-sets its distribution.

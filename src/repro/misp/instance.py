@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..bus import MessageBroker, ZmqPublisher
-from ..errors import SharingError, StorageError
+from ..clock import Clock
+from ..errors import SharingError, StorageError, TransientStorageError
 from ..ids import IdGenerator
-from ..obs import MetricsRegistry
+from ..obs import MetricsRegistry, NULL_REGISTRY
 from .export import EXPORT_MODULES, to_stix2_bundle
 from .model import Distribution, MispAttribute, MispEvent, MispTag
 from .sharing_groups import SharingGroup
@@ -41,15 +42,31 @@ class MispInstance:
     def __init__(self, org: str = "CAOP", store: Optional[MispStore] = None,
                  broker: Optional[MessageBroker] = None,
                  id_generator: Optional[IdGenerator] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 clock: Optional[Clock] = None,
+                 store_retry_policy=None,
+                 sleeper=None,
+                 deadletters=None,
+                 fault_injector=None) -> None:
         self.org = org
-        self.store = store or MispStore(metrics=metrics)
+        self.store = store or MispStore(metrics=metrics, clock=clock,
+                                        fault_injector=fault_injector)
         self.broker = broker or MessageBroker(metrics=metrics)
+        if fault_injector is not None and self.broker.fault_injector is None:
+            self.broker.fault_injector = fault_injector
         self.zmq = ZmqPublisher(self.broker)
         self._peers: List["MispInstance"] = []
         self.sync_stats = SyncStats()
         self._ids = id_generator or IdGenerator()
         self.sharing_groups: Dict[str, SharingGroup] = {}
+        self._store_retry = store_retry_policy
+        self._sleeper = sleeper
+        self._deadletters = deadletters
+        self._fault_injector = fault_injector
+        registry = metrics or NULL_REGISTRY
+        self._m_backoff = registry.histogram(
+            "caop_retry_backoff_seconds",
+            "Backoff computed before each retry attempt")
 
     # -- ingestion ------------------------------------------------------------
 
@@ -73,12 +90,46 @@ class MispInstance:
         events = list(events)
         if not events:
             return events
-        self.store.save_events(events)
+        self._save_with_retry(events)
         self._correlate_batch(events)
         if publish_feed:
             for event in events:
                 self.zmq.send(TOPIC_EVENT, event.to_dict())
         return events
+
+    def _save_with_retry(self, events: List[MispEvent]) -> None:
+        """Persist a batch, retrying transient storage faults with backoff.
+
+        Exhausted batches are quarantined to the dead-letter queue (when one
+        is wired) before the :class:`StorageError` propagates, so a flaky
+        store degrades the cycle without losing the composed events —
+        ``DeadLetterQueue.replay`` re-ingests them once the fault clears.
+        Permanent storage errors (duplicate uuid with ``replace=False``...)
+        are never retried.
+        """
+        attempt = 0
+        while True:
+            try:
+                if self._fault_injector is not None:
+                    self._fault_injector.check("store", "add_events")
+                self.store.save_events(events)
+                return
+            except TransientStorageError as exc:
+                if self._store_retry is not None and \
+                        attempt < self._store_retry.max_retries:
+                    delay = self._store_retry.delay("misp-store", attempt)
+                    self._m_backoff.observe(delay, component="store")
+                    if self._sleeper is not None:
+                        self._sleeper.sleep(delay)
+                    attempt += 1
+                    continue
+                if self._deadletters is not None:
+                    self._deadletters.quarantine_events(
+                        events, reason=f"store: {exc}")
+                    raise StorageError(
+                        f"save_events failed after {attempt + 1} attempt(s); "
+                        f"{len(events)} events quarantined") from exc
+                raise
 
     def add_attribute(self, event_uuid: str, attribute: MispAttribute,
                       publish_feed: bool = True) -> MispEvent:

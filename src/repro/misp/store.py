@@ -95,9 +95,14 @@ class MispStore:
 
     def __init__(self, path: str = ":memory:",
                  metrics: Optional[MetricsRegistry] = None,
-                 clock: Optional[Clock] = None) -> None:
+                 clock: Optional[Clock] = None,
+                 fault_injector=None) -> None:
         self._conn = sqlite3.connect(path)
         self._clock = clock
+        #: Optional :class:`~repro.resilience.FaultInjector` consulted at
+        #: the top of every :meth:`save_events` (component ``store``, key
+        #: ``save_events``), before the transaction starts.
+        self.fault_injector = fault_injector
         #: Python→SQLite round trips (execute/executemany calls) issued so
         #: far; the ingest benchmark compares this between the per-event and
         #: the batched persistence paths.
@@ -155,6 +160,8 @@ class MispStore:
         events = list(events)
         if not events:
             return
+        if self.fault_injector is not None:
+            self.fault_injector.check("store", "save_events")
         uuids = [event.uuid for event in events]
         if len(set(uuids)) != len(uuids):
             # Intra-batch uuid collisions need per-event replace semantics

@@ -1,0 +1,71 @@
+"""Fault tolerance for the always-on pipeline: breakers, backoff, quarantine.
+
+The operational loop of the paper's platform must keep cIoCs flowing when
+individual feeds, stores or stages misbehave.  This package provides the
+clock-driven machinery the rest of the pipeline threads through:
+
+- :class:`CircuitBreaker` / :class:`CircuitBreakerBoard` — per-feed
+  closed → open → half-open breakers measured on the platform clock;
+- :class:`RetryPolicy` + sleepers — exponential backoff with
+  deterministic jitter that advances the simulated clock instead of
+  sleeping;
+- :class:`DeadLetterQueue` — replayable quarantine for parse-failing
+  documents and store-exhausted events;
+- :class:`PlatformHealth` — per-component ok/degraded/failing snapshots;
+- :class:`FaultInjector` — scripted, deterministic fault plans powering
+  the chaos suite and ``bench_x15_chaos_recovery``.
+
+See ``docs/RESILIENCE.md`` for semantics and the fault-plan format.
+"""
+
+from .breaker import STATE_VALUES, BreakerState, CircuitBreaker, CircuitBreakerBoard
+from .deadletter import (
+    KIND_DOCUMENT,
+    KIND_EVENT,
+    DeadLetter,
+    DeadLetterQueue,
+    ReplayReport,
+)
+from .faults import COMPONENT_ERRORS, FaultInjector, FaultPlan, FaultRule
+from .health import (
+    HEALTH_DEGRADED,
+    HEALTH_FAILING,
+    HEALTH_OK,
+    HEALTH_VALUES,
+    ComponentHealth,
+    PlatformHealth,
+)
+from .retry import (
+    ClockAdvancingSleeper,
+    RealSleeper,
+    RecordingSleeper,
+    RetryPolicy,
+    sleeper_for,
+)
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
+    "ClockAdvancingSleeper",
+    "ComponentHealth",
+    "COMPONENT_ERRORS",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "HEALTH_DEGRADED",
+    "HEALTH_FAILING",
+    "HEALTH_OK",
+    "HEALTH_VALUES",
+    "KIND_DOCUMENT",
+    "KIND_EVENT",
+    "PlatformHealth",
+    "RealSleeper",
+    "RecordingSleeper",
+    "ReplayReport",
+    "RetryPolicy",
+    "STATE_VALUES",
+    "sleeper_for",
+]

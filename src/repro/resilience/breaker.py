@@ -1,0 +1,177 @@
+"""Per-feed circuit breakers measured on the platform clock.
+
+A breaker is *closed* (requests flow) until ``failure_threshold``
+consecutive failures open it.  While *open*, every request is refused
+without touching the transport.  Once ``cooldown_seconds`` have elapsed on
+the injected :class:`~repro.clock.Clock`, the next request transitions the
+breaker to *half-open* and goes through as a single probe (no retry
+burst): success closes the breaker, failure re-opens it and restarts the
+cooldown.  All transitions are timestamped on the same clock, so a
+simulated run replays the identical open/close sequence every time.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..clock import Clock, SimulatedClock
+from ..errors import ConfigurationError
+from ..obs import MetricsRegistry, NULL_REGISTRY
+
+
+class BreakerState:
+    """The three breaker states (string constants)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: Gauge encoding for ``caop_breaker_state``.
+STATE_VALUES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """One feed's breaker: closed → open → half-open probe → closed."""
+
+    def __init__(self, name: str, clock: Optional[Clock] = None,
+                 failure_threshold: int = 3,
+                 cooldown_seconds: float = 300.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ConfigurationError("cooldown_seconds must be non-negative")
+        self.name = name
+        self._clock = clock or SimulatedClock()
+        self._threshold = failure_threshold
+        self._cooldown = _dt.timedelta(seconds=cooldown_seconds)
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[_dt.datetime] = None
+        self._probe_inflight = False
+        #: (state, transition timestamp) history, initial state excluded.
+        self.transitions: List[Tuple[str, _dt.datetime]] = []
+        metrics = metrics or NULL_REGISTRY
+        self._m_state = metrics.gauge(
+            "caop_breaker_state",
+            "Breaker state per feed (0=closed, 1=half-open, 2=open)")
+        self._m_opens = metrics.counter(
+            "caop_breaker_opens_total", "Breaker close→open transitions per feed")
+        self._m_state.set(STATE_VALUES[self._state], feed=name)
+
+    @property
+    def state(self) -> str:
+        """The current state string."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Consecutive failures recorded while closed."""
+        with self._lock:
+            return self._consecutive_failures
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        self.transitions.append((state, self._clock.now()))
+        self._m_state.set(STATE_VALUES[state], feed=self.name)
+        if state == BreakerState.OPEN:
+            self._opened_at = self._clock.now()
+            self._m_opens.inc(feed=self.name)
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        An open breaker past its cooldown moves to half-open and admits the
+        caller as the probe; further callers are refused until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            if self._state == BreakerState.CLOSED:
+                return True
+            if self._state == BreakerState.OPEN:
+                assert self._opened_at is not None
+                if self._clock.now() - self._opened_at >= self._cooldown:
+                    self._transition(BreakerState.HALF_OPEN)
+                    self._probe_inflight = True
+                    return True
+                return False
+            # Half-open: exactly one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        """A request succeeded: reset failures, close the breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != BreakerState.CLOSED:
+                self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """A request failed: count it; trip (or re-trip) past the threshold."""
+        with self._lock:
+            self._probe_inflight = False
+            if self._state == BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN)
+                return
+            if self._state == BreakerState.OPEN:
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self._threshold:
+                self._transition(BreakerState.OPEN)
+
+    def transition_log(self) -> List[Tuple[str, str]]:
+        """The transitions as (state, ISO timestamp) pairs (serializable)."""
+        with self._lock:
+            return [(state, when.isoformat()) for state, when in self.transitions]
+
+
+class CircuitBreakerBoard:
+    """Lazily-created per-feed breakers sharing one clock and config."""
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 failure_threshold: int = 3,
+                 cooldown_seconds: float = 300.0,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self._clock = clock or SimulatedClock()
+        self._threshold = failure_threshold
+        self._cooldown = cooldown_seconds
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """Get (or create) the breaker guarding feed ``name``."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name, clock=self._clock,
+                    failure_threshold=self._threshold,
+                    cooldown_seconds=self._cooldown,
+                    metrics=self._metrics)
+                self._breakers[name] = breaker
+            return breaker
+
+    def states(self) -> Dict[str, str]:
+        """feed name → current state, for every breaker created so far."""
+        with self._lock:
+            return {name: breaker.state
+                    for name, breaker in self._breakers.items()}
+
+    def transition_logs(self) -> Dict[str, List[Tuple[str, str]]]:
+        """feed name → (state, ISO timestamp) transition history."""
+        with self._lock:
+            return {name: breaker.transition_log()
+                    for name, breaker in self._breakers.items()}

@@ -1,0 +1,254 @@
+"""Dead-letter quarantine for documents and events the pipeline rejects.
+
+Two kinds of payload land here: raw :class:`FeedDocument` snapshots whose
+parse/normalize failed, and composed :class:`MispEvent` batches that
+exhausted their store retries.  Every entry carries the failure reason and
+a clock timestamp; entries deduplicate on content (re-quarantining the
+same payload bumps ``attempts`` instead of growing the queue).  ``replay``
+drains the queue back through the collector (documents) and the MISP
+instance (events) once the fault has cleared; payloads that fail again
+re-quarantine themselves through the same hooks.
+
+The module deliberately avoids importing the feeds/misp packages at module
+level (they import the resilience package themselves); payloads are held
+as opaque objects and only (de)serialized lazily.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..clock import Clock, SimulatedClock, format_timestamp, parse_timestamp
+from ..errors import ReproError
+from ..obs import MetricsRegistry, NULL_REGISTRY
+
+KIND_DOCUMENT = "document"
+KIND_EVENT = "event"
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined payload: a feed document or a composed event."""
+
+    kind: str
+    source: str
+    reason: str
+    quarantined_at: _dt.datetime
+    attempts: int = 1
+    document: Any = None
+    event: Any = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (used by ``caop deadletter`` and save/load)."""
+        payload: Dict[str, Any] = {
+            "kind": self.kind,
+            "source": self.source,
+            "reason": self.reason,
+            "quarantined_at": format_timestamp(self.quarantined_at),
+            "attempts": self.attempts,
+        }
+        if self.document is not None:
+            descriptor = self.document.descriptor
+            payload["document"] = {
+                "descriptor": {
+                    "name": descriptor.name,
+                    "url": descriptor.url,
+                    "format": descriptor.format,
+                    "category": descriptor.category,
+                },
+                "body": self.document.body,
+                "fetched_at": format_timestamp(self.document.fetched_at),
+                "etag": self.document.etag,
+            }
+        if self.event is not None:
+            payload["event"] = self.event.to_dict()
+        return payload
+
+
+@dataclass
+class ReplayReport:
+    """What one ``DeadLetterQueue.replay`` pass accomplished."""
+
+    attempted: int = 0
+    documents_replayed: int = 0
+    events_replayed: int = 0
+    ciocs_created: int = 0
+    eiocs_created: int = 0
+    requeued: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+class DeadLetterQueue:
+    """Content-deduplicated quarantine with replay back into the pipeline."""
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 max_entries: int = 10_000) -> None:
+        self._clock = clock or SimulatedClock()
+        self._lock = threading.Lock()
+        self._entries: Dict[tuple, DeadLetter] = {}
+        self._max_entries = max_entries
+        metrics = metrics or NULL_REGISTRY
+        self._m_total = metrics.counter(
+            "caop_deadletter_total", "Payloads quarantined to the dead-letter queue")
+        self._m_depth = metrics.gauge(
+            "caop_deadletter_depth", "Entries currently quarantined")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> List[DeadLetter]:
+        """The quarantined entries, oldest first."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def _put(self, key: tuple, letter: DeadLetter) -> None:
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                existing.attempts += 1
+                existing.reason = letter.reason
+                existing.quarantined_at = letter.quarantined_at
+            elif len(self._entries) < self._max_entries:
+                self._entries[key] = letter
+            self._m_depth.set(len(self._entries))
+        self._m_total.inc(kind=letter.kind)
+
+    def quarantine_document(self, document: Any, reason: str,
+                            source: Optional[str] = None) -> None:
+        """Quarantine a raw feed document that failed parse/normalize."""
+        name = source or document.descriptor.name
+        body_digest = hashlib.sha256(document.body.encode()).hexdigest()
+        key = (KIND_DOCUMENT, name, body_digest)
+        self._put(key, DeadLetter(
+            kind=KIND_DOCUMENT, source=name, reason=reason,
+            quarantined_at=self._clock.now(), document=document))
+
+    def quarantine_events(self, events: Any, reason: str,
+                          source: str = "misp-store") -> None:
+        """Quarantine composed events that exhausted their store retries."""
+        for event in events:
+            key = (KIND_EVENT, event.uuid)
+            self._put(key, DeadLetter(
+                kind=KIND_EVENT, source=source, reason=reason,
+                quarantined_at=self._clock.now(), event=event))
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._m_depth.set(0)
+        return dropped
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self, collector: Any = None, misp: Any = None) -> ReplayReport:
+        """Push every entry back through the pipeline.
+
+        Documents re-enter via ``collector.process_documents`` (parse →
+        ... → store), events re-enter via ``misp.add_events``.  Entries
+        whose kind has no matching target stay quarantined; payloads that
+        fail again re-quarantine themselves through the collector/instance
+        hooks and show up in ``requeued``.
+        """
+        with self._lock:
+            snapshot = list(self._entries.items())
+            self._entries.clear()
+            self._m_depth.set(0)
+        report = ReplayReport(attempted=len(snapshot))
+        documents = [letter for _key, letter in snapshot
+                     if letter.kind == KIND_DOCUMENT]
+        events = [letter for _key, letter in snapshot
+                  if letter.kind == KIND_EVENT]
+        if documents:
+            if collector is None:
+                for _key, letter in snapshot:
+                    if letter.kind == KIND_DOCUMENT:
+                        self._put(_key, letter)
+            else:
+                try:
+                    ciocs, _sub = collector.process_documents(
+                        [letter.document for letter in documents])
+                    report.documents_replayed = len(documents)
+                    report.ciocs_created = len(ciocs)
+                except ReproError as exc:  # pragma: no cover - defensive
+                    report.errors.append(f"document replay: {exc}")
+        if events:
+            if misp is None:
+                for _key, letter in snapshot:
+                    if letter.kind == KIND_EVENT:
+                        self._put(_key, letter)
+            else:
+                try:
+                    misp.add_events([letter.event for letter in events])
+                    report.events_replayed = len(events)
+                except ReproError as exc:
+                    # add_events re-quarantined the batch (or raised a
+                    # permanent storage error); either way it is recorded.
+                    report.errors.append(f"event replay: {exc}")
+        report.requeued = len(self)
+        return report
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The whole queue as a JSON document."""
+        return json.dumps([letter.to_dict() for letter in self.entries()],
+                          indent=indent)
+
+    def save(self, path: str) -> None:
+        """Write the queue to ``path`` as JSON."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    def load(self, path: str) -> int:
+        """Merge entries from a JSON file back in; returns how many loaded."""
+        from ..feeds.model import FeedDescriptor, FeedDocument
+        from ..misp.model import MispEvent
+
+        with open(path) as handle:
+            payloads = json.load(handle)
+        loaded = 0
+        for payload in payloads:
+            kind = payload["kind"]
+            when = parse_timestamp(payload["quarantined_at"])
+            if kind == KIND_DOCUMENT:
+                raw = payload["document"]
+                descriptor = FeedDescriptor(
+                    name=raw["descriptor"]["name"],
+                    url=raw["descriptor"]["url"],
+                    format=raw["descriptor"]["format"],
+                    category=raw["descriptor"]["category"])
+                document = FeedDocument(
+                    descriptor=descriptor, body=raw["body"],
+                    fetched_at=parse_timestamp(raw["fetched_at"]),
+                    etag=raw.get("etag"))
+                digest = hashlib.sha256(document.body.encode()).hexdigest()
+                key = (KIND_DOCUMENT, payload["source"], digest)
+                letter = DeadLetter(
+                    kind=kind, source=payload["source"],
+                    reason=payload["reason"], quarantined_at=when,
+                    attempts=payload.get("attempts", 1), document=document)
+            elif kind == KIND_EVENT:
+                event = MispEvent.from_dict(payload["event"])
+                key = (KIND_EVENT, event.uuid)
+                letter = DeadLetter(
+                    kind=kind, source=payload["source"],
+                    reason=payload["reason"], quarantined_at=when,
+                    attempts=payload.get("attempts", 1), event=event)
+            else:
+                continue
+            with self._lock:
+                if key not in self._entries and \
+                        len(self._entries) < self._max_entries:
+                    self._entries[key] = letter
+                    loaded += 1
+                self._m_depth.set(len(self._entries))
+        return loaded

@@ -1,0 +1,70 @@
+"""Per-component health snapshots (ok / degraded / failing).
+
+The platform assembles one :class:`PlatformHealth` after every cycle from
+three signals: each feed's breaker state (closed → ok, half-open →
+degraded, open → failing), each pipeline stage's recent ``stage_errors``
+history (one errored cycle → degraded, two consecutive → failing), and the
+dead-letter queue depth.  The snapshot is exported as
+``caop_component_health`` gauges and rendered on the dashboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..obs import MetricsRegistry
+
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+HEALTH_FAILING = "failing"
+
+#: Gauge encoding for ``caop_component_health``.
+HEALTH_VALUES = {HEALTH_OK: 0, HEALTH_DEGRADED: 1, HEALTH_FAILING: 2}
+
+_SEVERITY = {HEALTH_OK: 0, HEALTH_DEGRADED: 1, HEALTH_FAILING: 2}
+
+
+@dataclass
+class ComponentHealth:
+    """One component's status with a short human-readable detail."""
+
+    component: str
+    status: str
+    detail: str = ""
+
+
+@dataclass
+class PlatformHealth:
+    """The whole platform's component statuses at one instant."""
+
+    components: List[ComponentHealth] = field(default_factory=list)
+
+    def status_of(self, component: str) -> Optional[str]:
+        """The status of one component, or None if not tracked."""
+        for entry in self.components:
+            if entry.component == component:
+                return entry.status
+        return None
+
+    def overall(self) -> str:
+        """The worst status across every component."""
+        worst = HEALTH_OK
+        for entry in self.components:
+            if _SEVERITY.get(entry.status, 0) > _SEVERITY[worst]:
+                worst = entry.status
+        return worst
+
+    def to_dict(self) -> Dict[str, Dict[str, str]]:
+        """component → {status, detail} (JSON-friendly)."""
+        return {entry.component: {"status": entry.status,
+                                  "detail": entry.detail}
+                for entry in self.components}
+
+    def export(self, metrics: MetricsRegistry) -> None:
+        """Publish the snapshot as ``caop_component_health`` gauges."""
+        gauge = metrics.gauge(
+            "caop_component_health",
+            "Component health (0=ok, 1=degraded, 2=failing)")
+        for entry in self.components:
+            gauge.set(HEALTH_VALUES[entry.status], component=entry.component)
