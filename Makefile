@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-timing bench-ingest chaos examples metrics-demo verify clean
+.PHONY: install test bench bench-timing bench-ingest bench-enrich chaos examples metrics-demo verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,9 @@ bench-timing:
 
 bench-ingest:
 	PYTHONPATH=src pytest benchmarks/bench_x14_ingest_throughput.py -s --benchmark-disable
+
+bench-enrich:
+	PYTHONPATH=src pytest benchmarks/bench_x16_enrich_throughput.py -s --benchmark-disable
 
 chaos:
 	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py benchmarks/bench_x15_chaos_recovery.py -s --benchmark-disable

@@ -33,6 +33,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         feed_entries=args.entries,
         drop_irrelevant_text=args.drop_irrelevant,
+        fetch_workers=args.fetch_workers,
+        enrich_workers=args.enrich_workers,
     )
     if args.feeds:
         platform = ContextAwareOSINTPlatform.build_from_feed_config(
@@ -64,7 +66,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .core import ContextAwareOSINTPlatform, PlatformConfig
 
-    config = PlatformConfig(seed=args.seed, feed_entries=args.entries)
+    config = PlatformConfig(seed=args.seed, feed_entries=args.entries,
+                            fetch_workers=args.fetch_workers,
+                            enrich_workers=args.enrich_workers)
     platform = ContextAwareOSINTPlatform.build_default(config)
     for cycle in range(1, args.cycles + 1):
         report = platform.run_cycle()
@@ -303,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="entries per synthetic feed")
     run.add_argument("--drop-irrelevant", action="store_true",
                      help="filter irrelevant news via the NLP classifier")
+    run.add_argument("--fetch-workers", type=int, default=4,
+                     help="worker threads for the feed-fetch stage")
+    run.add_argument("--enrich-workers", type=int, default=4,
+                     help="worker threads for the heuristic scoring stage")
     run.add_argument("--store", default=None,
                      help="persist the MISP store to this SQLite file")
     run.add_argument("--feeds", default=None,
@@ -316,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=7)
     metrics.add_argument("--entries", type=int, default=60,
                          help="entries per synthetic feed")
+    metrics.add_argument("--fetch-workers", type=int, default=4,
+                         help="worker threads for the feed-fetch stage")
+    metrics.add_argument("--enrich-workers", type=int, default=4,
+                         help="worker threads for the heuristic scoring stage")
     metrics.add_argument("--format", choices=("prometheus", "json", "both"),
                          default="both",
                          help="exposition format(s) to print")

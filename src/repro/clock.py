@@ -93,3 +93,20 @@ class SimulatedClock(Clock):
     def set(self, instant: _dt.datetime) -> None:
         """Pin the clock to an absolute instant."""
         self._now = ensure_utc(instant)
+
+
+class FixedClock(Clock):
+    """An immutable clock frozen at one instant.
+
+    Parallel stages hand each worker a :class:`FixedClock` snapshot taken on
+    the coordinating thread, so time-dependent computation (feature ages,
+    attribute timestamps) is independent of how worker threads interleave —
+    even when the platform clock is a ticking :class:`SimulatedClock`.
+    """
+
+    def __init__(self, instant: _dt.datetime) -> None:
+        self._instant = ensure_utc(instant)
+
+    def now(self) -> _dt.datetime:
+        """Return the frozen instant (aware UTC datetime)."""
+        return self._instant

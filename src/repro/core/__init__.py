@@ -21,7 +21,12 @@ from .decay import (
     ScoreDecayEngine,
 )
 from .dedup import DedupStats, Deduplicator
-from .enrich import BREAKDOWN_COMMENT, EnrichmentResult, HeuristicComponent
+from .enrich import (
+    BREAKDOWN_COMMENT,
+    EnrichmentContextCache,
+    EnrichmentResult,
+    HeuristicComponent,
+)
 from .ioc import (
     FeatureScore,
     ReducedIoc,
@@ -66,6 +71,7 @@ __all__ = [
     "DedupStats",
     "Deduplicator",
     "BREAKDOWN_COMMENT",
+    "EnrichmentContextCache",
     "EnrichmentResult",
     "HeuristicComponent",
     "FeatureScore",

@@ -127,6 +127,11 @@ class EventCorrelator:
             host = _url_host(event.value)
             if host and host in by_value:
                 for other in by_value[host]:
+                    # Only genuine domain events: a text event (or any other
+                    # indicator) whose value merely equals the host string is
+                    # not the infrastructure relationship this rule encodes.
+                    if other.indicator_type != "domain":
+                        continue
                     if other.uid != event.uid:
                         link(event, other, f"url host {host!r} matches domain")
 

@@ -33,6 +33,13 @@ class EvaluationContext:
     source_types: FrozenSet[str] = frozenset({"osint"})
     #: Names of the OSINT feeds that contributed (for source-diversity).
     osint_feeds: FrozenSet[str] = frozenset()
+    #: Memoized derived text/term lookups (several extractors consult the
+    #: same blob; a context covers one immutable object+event snapshot, so
+    #: computing them once per evaluation is safe).
+    _text_blob: Optional[str] = field(default=None, init=False, repr=False,
+                                      compare=False)
+    _inventory_terms: Optional[List[str]] = field(default=None, init=False,
+                                                  repr=False, compare=False)
 
     def now(self) -> _dt.datetime:
         """Return the current instant (aware UTC datetime)."""
@@ -42,6 +49,8 @@ class EvaluationContext:
 
     def text_blob(self) -> str:
         """All human-readable text on the object + event (for term matching)."""
+        if self._text_blob is not None:
+            return self._text_blob
         parts: List[str] = []
         for key in ("name", "description"):
             value = self.stix_object.get(key)
@@ -53,10 +62,13 @@ class EvaluationContext:
                 parts.append(attribute.value)
                 if attribute.comment:
                     parts.append(attribute.comment)
-        return " ".join(parts).lower()
+        self._text_blob = " ".join(parts).lower()
+        return self._text_blob
 
     def matched_inventory_terms(self) -> List[str]:
         """Inventory software terms mentioned by this IoC (longest first)."""
+        if self._inventory_terms is not None:
+            return list(self._inventory_terms)
         if self.inventory is None:
             return []
         blob = self.text_blob()
@@ -64,7 +76,8 @@ class EvaluationContext:
             term for term in self.inventory.all_software_terms()
             if term and term in blob
         ]
-        return sorted(hits, key=len, reverse=True)
+        self._inventory_terms = sorted(hits, key=len, reverse=True)
+        return list(self._inventory_terms)
 
     def age_of(self, timestamp: Optional[_dt.datetime]) -> Optional[_dt.timedelta]:
         """Age of a timestamp relative to the context clock."""

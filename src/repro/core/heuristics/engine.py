@@ -36,6 +36,10 @@ Extractor = Callable[[EvaluationContext], Tuple[Optional[int], str]]
 
 MAX_FEATURE_VALUE = 5
 
+#: Metric names published by :meth:`Heuristic.evaluate`.
+EVAL_SECONDS_METRIC = "caop_heuristic_eval_seconds"
+THREAT_SCORE_METRIC = "caop_threat_score"
+
 
 @dataclass(frozen=True)
 class CriteriaPoints:
@@ -138,9 +142,15 @@ class Heuristic:
                  metrics: Optional[MetricsRegistry] = None) -> ThreatScoreResult:
         """Run every extractor, weight, and apply Equation 1.
 
-        With a registry attached, the evaluation wall time feeds
+        Evaluation is pure with respect to this heuristic and the context:
+        nothing on the instance mutates, so one heuristic may evaluate many
+        contexts concurrently (the parallel enrichment pool relies on this;
+        extractors that consult ``context.store`` are the one exception —
+        see :class:`~repro.core.HeuristicComponent`).  With a registry
+        attached, the evaluation wall time feeds
         ``caop_heuristic_eval_seconds{heuristic=...}`` and the resulting
-        threat score feeds the ``caop_threat_score`` distribution.
+        threat score feeds the ``caop_threat_score`` distribution (the
+        registry is thread-safe).
         """
         started = time.perf_counter() if metrics is not None else 0.0
         raw: List[FeatureScore] = []
@@ -168,11 +178,11 @@ class Heuristic:
         result = score_features(self.name, raw, self.weighting)
         if metrics is not None:
             metrics.histogram(
-                "caop_heuristic_eval_seconds",
+                EVAL_SECONDS_METRIC,
                 "Wall time of one heuristic evaluation",
             ).observe(time.perf_counter() - started, heuristic=self.name)
             metrics.histogram(
-                "caop_threat_score",
+                THREAT_SCORE_METRIC,
                 "Distribution of Equation 1 threat scores",
                 buckets=SCORE_BUCKETS,
             ).observe(result.score, heuristic=self.name)

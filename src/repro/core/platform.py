@@ -105,6 +105,10 @@ class PlatformConfig:
     #: per-request RNG keeps results identical to workers=1; see
     #: docs/PERFORMANCE.md.
     fetch_workers: int = 4
+    #: Worker threads for the heuristic scoring stage.  Scoring is pure and
+    #: the write-back is committed in drain order, so results are identical
+    #: to workers=1; see docs/PERFORMANCE.md.
+    enrich_workers: int = 4
     org: str = "CAOP"
     #: Record metrics and per-stage spans (disable only to measure the
     #: telemetry overhead itself; see bench_x13_obs_overhead).
@@ -270,7 +274,8 @@ class ContextAwareOSINTPlatform:
         heuristics = HeuristicComponent(
             misp, inventory=inventory,
             alarm_manager=sensors.alarm_manager,
-            cve_db=CveDatabase(), clock=clock, metrics=metrics)
+            cve_db=CveDatabase(), clock=clock, metrics=metrics,
+            workers=config.enrich_workers)
         rioc_generator = RIocGenerator(inventory, clock=clock, metrics=metrics)
         dashboard = DashboardServer(inventory, metrics=metrics)
         return cls(

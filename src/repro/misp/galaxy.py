@@ -150,12 +150,20 @@ class GalaxyMatcher:
                 index = lowered.find(name, index + 1)
         return found
 
-    def tag_event(self, event: MispEvent) -> List[GalaxyCluster]:
-        """Scan an event's text and stamp galaxy tags; returns the matches."""
+    def scan_event(self, event: MispEvent) -> List[GalaxyCluster]:
+        """All clusters an event's text mentions (pure: no mutation).
+
+        Reads the info line plus every attribute value and comment.  Safe to
+        call from worker threads — tagging is the separate, mutating step.
+        """
         text = event.info + " " + " ".join(
             attribute.value + " " + attribute.comment
             for attribute in event.all_attributes())
-        clusters = self.find_clusters(text)
+        return self.find_clusters(text)
+
+    def tag_event(self, event: MispEvent) -> List[GalaxyCluster]:
+        """Scan an event's text and stamp galaxy tags; returns the matches."""
+        clusters = self.scan_event(event)
         for cluster in clusters:
             event.add_tag(cluster.tag())
         return clusters

@@ -131,6 +131,31 @@ class MispInstance:
                         f"{len(events)} events quarantined") from exc
                 raise
 
+    def apply_enrichments(self, events: Sequence[MispEvent],
+                          publish_feed: bool = False) -> List[MispEvent]:
+        """Persist one enrichment cycle's write-back as a single batch.
+
+        ``events`` are fully-built eIoCs: the heuristic component's planner
+        has already applied score/breakdown attributes, galaxy tags and the
+        enriched tag in memory.  The batch is stored in one transaction
+        (:meth:`MispStore.apply_enrichments`) and re-correlated with one
+        chunked value probe — replacing the ~6 store round trips per event
+        that the serial ``add_attribute``/``tag_event`` write-back issued.
+        With ``publish_feed`` the enriched events go out on the zmq event
+        feed in one publication pass (off by default: the historical
+        enrichment path never re-published, and re-publishing would make the
+        heuristic component re-drain its own output).
+        """
+        events = list(events)
+        if not events:
+            return events
+        self.store.apply_enrichments(events)
+        self._correlate_batch(events)
+        if publish_feed:
+            for event in events:
+                self.zmq.send(TOPIC_EVENT, event.to_dict())
+        return events
+
     def add_attribute(self, event_uuid: str, attribute: MispAttribute,
                       publish_feed: bool = True) -> MispEvent:
         """Append an attribute to a stored event (enrichment entry point)."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..clock import Clock
 from ..errors import StorageError
@@ -125,6 +125,10 @@ class MispStore:
         self._m_batch_size = metrics.histogram(
             "caop_store_batch_size", "Events persisted per save_events call",
             buckets=BATCH_SIZE_BUCKETS)
+        self._m_enrich_batch_size = metrics.histogram(
+            "caop_enrich_batch_size",
+            "Events written back per apply_enrichments call",
+            buckets=BATCH_SIZE_BUCKETS)
 
     def close(self) -> None:
         """Release the underlying resources."""
@@ -172,8 +176,32 @@ class MispStore:
             return
         self._save_events_batch(events, replace=replace)
 
+    def apply_enrichments(self, events: Sequence[MispEvent]) -> None:
+        """Write one enrichment cycle back in a single transaction.
+
+        ``events`` are fully-built eIoCs (score/breakdown attributes, galaxy
+        tags and the enriched tag already applied in memory).  The whole
+        batch lands through one set of ``executemany`` statements — the
+        replacement for the ~6 per-event round trips the serial
+        ``add_attribute``/``tag_event`` write-back used to issue — and each
+        event gets one ``enriched`` audit row instead of one ``updated`` row
+        per intermediate save.
+        """
+        events = list(events)
+        if not events:
+            return
+        if self.fault_injector is not None:
+            self.fault_injector.check("store", "apply_enrichments")
+        uuids = [event.uuid for event in events]
+        if len(set(uuids)) != len(uuids):
+            raise StorageError(
+                "apply_enrichments batch contains duplicate event uuids")
+        self._save_events_batch(events, replace=True, action="enriched")
+        self._m_enrich_batch_size.observe(len(events))
+
     def _save_events_batch(self, events: List[MispEvent],
-                           replace: bool) -> None:
+                           replace: bool,
+                           action: Optional[str] = None) -> None:
         uuids = [event.uuid for event in events]
         existing: set = set()
         for chunk in _chunks(uuids, _IN_CHUNK):
@@ -200,7 +228,8 @@ class MispStore:
             else:
                 created += 1
             audit_rows.append((
-                event.uuid, "updated" if exists else "created",
+                event.uuid,
+                action or ("updated" if exists else "created"),
                 f"{len(attributes)} attributes",
                 int(event.timestamp.timestamp()),
             ))
@@ -244,10 +273,13 @@ class MispStore:
                 self._executemany(
                     "INSERT OR IGNORE INTO event_tags (event_uuid, name)"
                     " VALUES (?,?)", tag_rows)
-        if created:
-            self._m_events.inc(created, action="created")
-        if updated:
-            self._m_events.inc(updated, action="updated")
+        if action is not None:
+            self._m_events.inc(len(events), action=action)
+        else:
+            if created:
+                self._m_events.inc(created, action="created")
+            if updated:
+                self._m_events.inc(updated, action="updated")
         self._m_attributes.inc(len(attribute_rows))
         self._m_batch_size.observe(len(events))
 
@@ -264,6 +296,37 @@ class MispStore:
         if row is None:
             return None
         return MispEvent.from_dict(json.loads(row[0]))
+
+    def get_events(self, uuids: Sequence[str]) -> Dict[str, Optional[MispEvent]]:
+        """Batch-fetch events with chunked ``IN (...)`` queries.
+
+        Returns ``uuid -> event`` for every requested uuid, preserving the
+        request order; uuids with no stored event map to ``None``.  N lookups
+        cost ``ceil(N / chunk)`` round trips instead of N.
+        """
+        result: Dict[str, Optional[MispEvent]] = {uuid: None for uuid in uuids}
+        unique = list(result)
+        for chunk in _chunks(unique, _IN_CHUNK):
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._execute(
+                f"SELECT uuid, blob FROM events WHERE uuid IN ({placeholders})",
+                chunk).fetchall()
+            for uuid, blob in rows:
+                result[uuid] = MispEvent.from_dict(json.loads(blob))
+        return result
+
+    def events_with_tag(self, tag: str, uuids: Sequence[str]) -> Set[str]:
+        """Which of the given event uuids carry a tag (one chunked query)."""
+        unique = list(dict.fromkeys(uuids))
+        found: Set[str] = set()
+        for chunk in _chunks(unique, _IN_CHUNK):
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._execute(
+                "SELECT DISTINCT event_uuid FROM event_tags"
+                f" WHERE name = ? AND event_uuid IN ({placeholders})",
+                [tag, *chunk]).fetchall()
+            found.update(row[0] for row in rows)
+        return found
 
     def delete_event(self, uuid: str) -> bool:
         """Delete an event (cascades to attributes)."""
@@ -434,6 +497,39 @@ class MispStore:
             }
             for r in rows
         ]
+
+    def correlations_for_events(
+            self, uuids: Sequence[str]) -> Dict[str, List[Dict[str, str]]]:
+        """Correlation rows touching each of many events, batched.
+
+        Returns ``uuid -> rows`` for every requested uuid (empty list when
+        an event has no correlations); a row linking two requested events
+        appears under both.  Row order per event matches
+        :meth:`correlations_for_event` (insertion order).
+        """
+        result: Dict[str, List[Dict[str, str]]] = {uuid: [] for uuid in uuids}
+        unique = list(result)
+        for chunk in _chunks(unique, _IN_CHUNK):
+            chunk_set = set(chunk)
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._execute(
+                "SELECT source_attribute, target_attribute, source_event,"
+                " target_event, value FROM correlations"
+                f" WHERE source_event IN ({placeholders})"
+                f" OR target_event IN ({placeholders})"
+                " ORDER BY rowid", [*chunk, *chunk]).fetchall()
+            for r in rows:
+                row = {
+                    "source_attribute": r[0], "target_attribute": r[1],
+                    "source_event": r[2], "target_event": r[3], "value": r[4],
+                }
+                # Attach only to uuids of *this* chunk: a row whose two
+                # sides land in different chunks is returned by both chunk
+                # queries and must not be double-counted.
+                for side in {r[2], r[3]}:
+                    if side in chunk_set:
+                        result[side].append(row)
+        return result
 
     def correlation_count(self) -> int:
         """Total stored correlation edges."""

@@ -162,6 +162,18 @@ class TestCorrelator:
         assert len(subsets) == 1
         assert any("url host" in c.reason for c in connections)
 
+    def test_url_host_ignores_non_domain_candidates(self, normalizer):
+        # Rule 2 is URL host == *domain* value; a text event whose value
+        # merely equals the host string must not be linked by it.
+        events = normalizer.normalize_all([
+            make_record(value="evil.example", indicator_type="text",
+                        category="security-news"),
+            make_record(value="http://evil.example/gate", indicator_type="url",
+                        category="malware-domains"),
+        ])
+        subsets, connections = EventCorrelator().correlate(events)
+        assert not any("url host" in c.reason for c in connections)
+
     def test_shared_field_links(self, normalizer):
         events = normalizer.normalize_all([
             make_record(value="a" * 64, indicator_type="sha256",

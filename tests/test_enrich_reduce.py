@@ -81,6 +81,20 @@ class TestHeuristicComponent:
         best = max(r.score for _id, r in result.object_results)
         assert result.score.score == best
 
+    def test_two_objects_of_same_type_both_scored(self, misp, inventory, clock):
+        # Scoring dedupe is keyed by STIX object id, not object type: two
+        # distinct indicators must both be evaluated.
+        component = HeuristicComponent(misp, inventory=inventory, clock=clock)
+        event = MispEvent(info="campaign with two domains")
+        event.add_attribute(MispAttribute(type="domain", value="evil.example"))
+        event.add_attribute(MispAttribute(type="domain", value="bad.example"))
+        event.add_tag(TAG_CIOC)
+        misp.add_event(event)
+        result = component.process_pending()[0]
+        assert len(result.object_results) == 2
+        ids = [obj_id for obj_id, _score in result.object_results]
+        assert len(set(ids)) == 2
+
     def test_infrastructure_correlation_lifts_source_diversity(
             self, misp, inventory, clock):
         # An infra event sharing a value with the cIoC flips the
