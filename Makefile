@@ -1,10 +1,13 @@
-.PHONY: install test bench bench-timing bench-ingest bench-enrich chaos examples metrics-demo verify clean
+.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share chaos examples metrics-demo verify clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+coverage:
+	pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=80
 
 bench:
 	pytest benchmarks/
@@ -17,6 +20,9 @@ bench-ingest:
 
 bench-enrich:
 	PYTHONPATH=src pytest benchmarks/bench_x16_enrich_throughput.py -s --benchmark-disable
+
+bench-share:
+	PYTHONPATH=src pytest benchmarks/bench_x17_share_throughput.py -s --benchmark-disable
 
 chaos:
 	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py benchmarks/bench_x15_chaos_recovery.py -s --benchmark-disable

@@ -1,0 +1,172 @@
+"""X17: share-throughput guard — parallel fan-out + render cache.
+
+The share→sync hot path has two scaling wings (docs/SHARING.md):
+
+1. **Parallel fan-out** — ``SharingGateway.sync_cycle`` walks each
+   entity's delta on a bounded worker pool.  Transports carry real
+   latency (network round trips); the bench models that with a
+   per-entity ``latency_seconds`` slept in ``realtime`` mode (the sleep
+   releases the GIL exactly like a socket write does).
+2. **Render cache** — payloads are serialized once per (content digest,
+   format) per cycle, no matter how many entities consume them, so a
+   12-entity fan-out of STIX consumers renders each event once and
+   serves 11 cache hits.
+
+Guards: the fan-out with 4 workers must be ≥2× faster than serial over
+latency-bearing transports with byte-identical remote state, the
+first-cycle render-cache hit rate must be ≥90%, and a steady-state
+second cycle must perform zero renders.  CI runs it as a regression gate
+(``make bench-share``).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.ids import IdGenerator
+from repro.misp import Distribution, MispAttribute, MispEvent, MispInstance
+from repro.sharing import ExternalEntity, SharingGateway, TaxiiServer
+
+from conftest import print_table
+
+SEED = 17
+EVENTS = 40
+ENTITIES = 12
+PARALLEL_WORKERS = 4
+SPEEDUP_TARGET = 2.0
+HIT_RATE_TARGET = 0.90
+TRANSPORT_LATENCY = 0.002  # simulated per-share network round trip
+ATTEMPTS = 3
+
+
+def synthetic_eiocs(events: int = EVENTS) -> list:
+    """A cycle's worth of eIoCs (same uuids per seed)."""
+    ids = IdGenerator(seed=SEED)
+    batch = []
+    for index in range(events):
+        event = MispEvent(info=f"eIoC {index}", uuid=ids.uuid(),
+                          distribution=Distribution.ALL_COMMUNITIES)
+        event.add_tag("caop:eioc")
+        event.add_attribute(MispAttribute(
+            type="domain", value=f"evil-{index}.example", uuid=ids.uuid()))
+        event.add_attribute(MispAttribute(
+            type="ip-src", value=f"198.51.100.{index + 1}", uuid=ids.uuid()))
+        batch.append(event)
+    return batch
+
+
+def build_rig(workers: int, events: int = EVENTS,
+              latency: float = TRANSPORT_LATENCY):
+    """A gateway fanning out to ``ENTITIES`` latency-bearing TAXII peers."""
+    clock = SimulatedClock(PAPER_NOW)
+    local = MispInstance(org="bench", clock=clock)
+    local.add_events(synthetic_eiocs(events))
+    server = TaxiiServer(clock=clock)
+    gateway = SharingGateway(local, workers=workers, clock=clock,
+                             realtime=latency > 0)
+    for index in range(ENTITIES):
+        name = f"partner-{index:02d}"
+        server.create_collection(name, f"Partner {index}")
+        gateway.register(ExternalEntity(
+            name=name, transport="taxii", taxii_server=server,
+            taxii_collection=name, latency_seconds=latency))
+    return gateway, server
+
+
+def timed_cycle(workers: int):
+    gateway, server = build_rig(workers)
+    start = time.perf_counter()
+    report = gateway.sync_cycle()
+    elapsed = time.perf_counter() - start
+    return elapsed, report, gateway, server
+
+
+def remote_state(server: TaxiiServer):
+    """Every collection's objects as sorted canonical blobs."""
+    return {
+        f"partner-{index:02d}": sorted(
+            json.dumps(obj, sort_keys=True)
+            for obj in server.get_objects(f"partner-{index:02d}"))
+        for index in range(ENTITIES)
+    }
+
+
+def record_state(gateway: SharingGateway):
+    return [(r.entity, r.event_uuid, r.payload_bytes, r.ok, r.detail)
+            for r in gateway.audit_log]
+
+
+def test_x17_parallel_share_speedup():
+    serial_time = parallel_time = None
+    for _attempt in range(ATTEMPTS):
+        serial_time, serial_report, serial_gateway, serial_server = \
+            timed_cycle(1)
+        parallel_time, parallel_report, parallel_gateway, parallel_server = \
+            timed_cycle(PARALLEL_WORKERS)
+        speedup = serial_time / parallel_time
+        if speedup >= SPEEDUP_TARGET:
+            break
+    print_table(
+        f"X17: share fan-out wall-clock, {EVENTS} eIoCs x {ENTITIES} "
+        f"entities, {TRANSPORT_LATENCY * 1000:.0f} ms transport latency",
+        "variant / wall time / speedup",
+        [
+            f"serial (1 worker)        {serial_time * 1000:8.1f} ms  1.00x",
+            f"parallel ({PARALLEL_WORKERS} workers)    "
+            f"{parallel_time * 1000:8.1f} ms  {speedup:.2f}x",
+        ])
+    # Determinism: worker count changes nothing observable.
+    assert serial_report.shared == parallel_report.shared == EVENTS * ENTITIES
+    assert record_state(parallel_gateway) == record_state(serial_gateway)
+    assert remote_state(parallel_server) == remote_state(serial_server)
+    assert parallel_gateway.watermarks() == serial_gateway.watermarks()
+    assert speedup >= SPEEDUP_TARGET, (
+        f"parallel share fan-out only {speedup:.2f}x faster than serial "
+        f"(target {SPEEDUP_TARGET}x) across {ATTEMPTS} attempts")
+
+
+def test_x17_render_cache_hit_rate():
+    gateway, _server = build_rig(PARALLEL_WORKERS, latency=0.0)
+    report = gateway.sync_cycle()
+    print_table(
+        f"X17: render cache, {EVENTS} eIoCs x {ENTITIES} STIX consumers",
+        "renders / hits / hit rate",
+        [f"first cycle   {report.renders:4d}  {report.render_hits:4d}  "
+         f"{report.render_hit_rate * 100:5.1f}%"])
+    # One render per event; the other ENTITIES-1 consumers hit the cache.
+    assert report.renders == EVENTS
+    assert report.render_hits == EVENTS * (ENTITIES - 1)
+    assert report.render_hit_rate >= HIT_RATE_TARGET, (
+        f"render-cache hit rate {report.render_hit_rate:.1%} "
+        f"below target {HIT_RATE_TARGET:.0%}")
+
+
+def test_x17_steady_state_renders_nothing():
+    gateway, _server = build_rig(PARALLEL_WORKERS, latency=0.0)
+    first = gateway.sync_cycle()
+    second = gateway.sync_cycle()
+    print_table(
+        "X17: steady-state delta sync",
+        "cycle / considered / shared / renders",
+        [
+            f"first    {first.events_considered:5d}  {first.shared:5d}  "
+            f"{first.renders:5d}",
+            f"second   {second.events_considered:5d}  {second.shared:5d}  "
+            f"{second.renders:5d}",
+        ])
+    assert first.shared == EVENTS * ENTITIES
+    assert second.events_considered == 0
+    assert second.shared == 0
+    assert second.renders == 0
+
+
+@pytest.mark.parametrize("workers", [1, PARALLEL_WORKERS])
+def test_bench_x17_share(benchmark, workers):
+    def run():
+        gateway, _server = build_rig(workers, events=10, latency=0.001)
+        return gateway.sync_cycle()
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.shared == 10 * ENTITIES

@@ -35,6 +35,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         drop_irrelevant_text=args.drop_irrelevant,
         fetch_workers=args.fetch_workers,
         enrich_workers=args.enrich_workers,
+        share_workers=args.share_workers,
     )
     if args.feeds:
         platform = ContextAwareOSINTPlatform.build_from_feed_config(
@@ -44,12 +45,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.store:
         # Rewire the default instance onto a persistent store.
         platform.misp.store = MispStore(args.store)
+    if args.share_entities:
+        from .sharing import ExternalEntity, TaxiiServer
+        server = TaxiiServer(clock=platform.clock)
+        for index in range(args.share_entities):
+            name = f"partner-{index}"
+            server.create_collection(name, f"Partner {index} indicators")
+            platform.gateway.register(ExternalEntity(
+                name=name, transport="taxii", taxii_server=server,
+                taxii_collection=name))
     for cycle in range(1, args.cycles + 1):
         report = platform.run_cycle()
+        shares = (f", {report.shares_sent} shares"
+                  if args.share_entities else "")
         print(f"cycle {cycle}: {report.collection.ciocs_created} cIoCs, "
               f"{report.eiocs_created} eIoCs "
               f"(mean TS {report.mean_score:.2f}), "
               f"{report.riocs_created} rIoCs, {report.new_alarms} alarms"
+              + shares
               + (f" [degraded: {', '.join(sorted(report.stage_errors))}]"
                  if report.degraded else ""))
     health = platform.health()
@@ -68,7 +81,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     config = PlatformConfig(seed=args.seed, feed_entries=args.entries,
                             fetch_workers=args.fetch_workers,
-                            enrich_workers=args.enrich_workers)
+                            enrich_workers=args.enrich_workers,
+                            share_workers=args.share_workers)
     platform = ContextAwareOSINTPlatform.build_default(config)
     for cycle in range(1, args.cycles + 1):
         report = platform.run_cycle()
@@ -309,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="filter irrelevant news via the NLP classifier")
     run.add_argument("--fetch-workers", type=int, default=4,
                      help="worker threads for the feed-fetch stage")
+    run.add_argument("--share-workers", type=int, default=4,
+                     help="worker threads for the sharing fan-out")
+    run.add_argument("--share-entities", type=int, default=0,
+                     help="register N in-process TAXII partner entities "
+                          "and share eIoCs to them each cycle")
     run.add_argument("--enrich-workers", type=int, default=4,
                      help="worker threads for the heuristic scoring stage")
     run.add_argument("--store", default=None,
@@ -326,6 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="entries per synthetic feed")
     metrics.add_argument("--fetch-workers", type=int, default=4,
                          help="worker threads for the feed-fetch stage")
+    metrics.add_argument("--share-workers", type=int, default=4,
+                         help="worker threads for the sharing fan-out")
     metrics.add_argument("--enrich-workers", type=int, default=4,
                          help="worker threads for the heuristic scoring stage")
     metrics.add_argument("--format", choices=("prometheus", "json", "both"),

@@ -70,6 +70,10 @@ class CycleReport:
     riocs_created: int = 0
     riocs_suppressed: int = 0
     dashboard_pushes: int = 0
+    #: eIoC shares delivered / failed by the sharing fan-out this cycle
+    #: (both 0 when no external entities are registered).
+    shares_sent: int = 0
+    share_failures: int = 0
     scores: List[float] = field(default_factory=list)
     #: Stage name -> wall seconds, flattened from the cycle's span trace
     #: (empty when the platform runs with telemetry disabled).
@@ -109,6 +113,12 @@ class PlatformConfig:
     #: the write-back is committed in drain order, so results are identical
     #: to workers=1; see docs/PERFORMANCE.md.
     enrich_workers: int = 4
+    #: Worker threads for the sharing fan-out (one entity per worker slot).
+    #: Payloads are pre-rendered and ledger writes are committed post-drain,
+    #: so any count produces identical ledgers; see docs/SHARING.md.
+    share_workers: int = 4
+    #: Transient-failure retries per share transport attempt.
+    share_retries: int = 2
     org: str = "CAOP"
     #: Record metrics and per-stage spans (disable only to measure the
     #: telemetry overhead itself; see bench_x13_obs_overhead).
@@ -148,6 +158,7 @@ class ContextAwareOSINTPlatform:
                  tracer: Optional[Tracer] = None,
                  deadletters: Optional[DeadLetterQueue] = None,
                  breakers: Optional[CircuitBreakerBoard] = None,
+                 gateway=None,
                  sensor_steps_per_cycle: int = 6) -> None:
         from .decay import ScoreDecayEngine
         from .sightings import SightingProcessor
@@ -166,6 +177,9 @@ class ContextAwareOSINTPlatform:
         self.decay = ScoreDecayEngine(clock=clock)
         self.deadletters = deadletters
         self.breakers = breakers
+        #: The sharing gateway (delta-sync fan-out to external entities);
+        #: the share stage is a no-op until entities are registered on it.
+        self.gateway = gateway
         self.sensor_steps_per_cycle = sensor_steps_per_cycle
         self.history: List[CycleReport] = []
         self._m_cycles = self.metrics.counter(
@@ -278,6 +292,26 @@ class ContextAwareOSINTPlatform:
             workers=config.enrich_workers)
         rioc_generator = RIocGenerator(inventory, clock=clock, metrics=metrics)
         dashboard = DashboardServer(inventory, metrics=metrics)
+        from ..sharing import SharingGateway
+        gateway = SharingGateway(
+            misp,
+            workers=config.share_workers,
+            retry_policy=RetryPolicy(
+                max_retries=config.share_retries,
+                base_delay_seconds=config.retry_base_delay_seconds,
+                max_delay_seconds=config.retry_max_delay_seconds,
+                jitter=config.retry_jitter,
+                seed=config.seed),
+            breakers=CircuitBreakerBoard(
+                clock=clock,
+                failure_threshold=config.breaker_failure_threshold,
+                cooldown_seconds=config.breaker_cooldown_seconds,
+                metrics=metrics),
+            deadletters=deadletters,
+            metrics=metrics,
+            clock=clock,
+            sleeper=sleeper,
+            fault_injector=config.fault_injector)
         return cls(
             osint_collector=osint_collector,
             infra_collector=infra_collector,
@@ -291,6 +325,7 @@ class ContextAwareOSINTPlatform:
             tracer=tracer,
             deadletters=deadletters,
             breakers=breakers,
+            gateway=gateway,
             sensor_steps_per_cycle=config.sensor_steps_per_cycle,
         )
 
@@ -369,6 +404,18 @@ class ContextAwareOSINTPlatform:
                         report.dashboard_pushes += self.dashboard.push_rioc(rioc)
             except ReproError as exc:
                 report.stage_errors["push"] = str(exc)
+
+            # 5. Sharing: delta-sync fan-out of new/changed eIoCs to the
+            #    registered external entities (no-op until any register).
+            if self.gateway is not None and self.gateway.entities:
+                try:
+                    with self.tracer.span("share"):
+                        share_report = self.gateway.sync_cycle()
+                    report.shares_sent = share_report.shared
+                    report.share_failures = (share_report.failed
+                                             + share_report.breaker_skipped)
+                except ReproError as exc:
+                    report.stage_errors["share"] = str(exc)
         if cycle_span is not None:
             report.timings = cycle_span.flatten()
             self._m_cycle_seconds.observe(cycle_span.duration_seconds)
@@ -401,9 +448,21 @@ class ContextAwareOSINTPlatform:
                 components.append(ComponentHealth(
                     component=f"feed:{name}", status=status,
                     detail=f"breaker {state}"))
+        if self.gateway is not None:
+            for name, state in sorted(self.gateway.breakers.states().items()):
+                if state == BreakerState.OPEN:
+                    status = HEALTH_FAILING
+                elif state == BreakerState.HALF_OPEN:
+                    status = HEALTH_DEGRADED
+                else:
+                    status = HEALTH_OK
+                components.append(ComponentHealth(
+                    component=f"entity:{name}", status=status,
+                    detail=f"breaker {state}"))
         last = self.history[-1] if self.history else None
         prev = self.history[-2] if len(self.history) > 1 else None
-        for stage in ("sense", "collect", "store", "enrich", "reduce", "push"):
+        for stage in ("sense", "collect", "store", "enrich", "reduce",
+                      "push", "share"):
             if last is not None and stage in last.stage_errors:
                 repeated = prev is not None and stage in prev.stage_errors
                 components.append(ComponentHealth(
@@ -426,13 +485,15 @@ class ContextAwareOSINTPlatform:
 
         Call after the underlying fault clears (e.g. the store recovers):
         documents go back through the collector's parse->compose->store
-        chain, events go straight to MISP, and anything the heuristic
+        chain, events go straight to MISP, quarantined shares re-drive
+        their transport through the gateway, and anything the heuristic
         component now sees is scored into eIoCs.
         """
         if self.deadletters is None:
             return ReplayReport()
         report = self.deadletters.replay(
-            collector=self.osint_collector, misp=self.misp)
+            collector=self.osint_collector, misp=self.misp,
+            gateway=self.gateway)
         enrichments = self.heuristics.process_pending()
         report.eiocs_created = len(enrichments)
         return report

@@ -12,13 +12,19 @@ single transaction via ``executemany``, and
 batch with one chunked ``IN (...)`` query.  ``sql_statements`` counts
 Python→SQLite round trips so benchmarks can prove the batched path issues
 fewer of them.
+
+The store also persists the sharing gateway's delta-sync ledger
+(``sync_state``/``sync_digests``): a per-entity audit-seq watermark plus the
+content digest last successfully shared with each entity, so a sync cycle
+touches only events that are new or changed since that entity's last
+successful sync (docs/SHARING.md).
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..clock import Clock
 from ..errors import StorageError
@@ -71,6 +77,17 @@ CREATE TABLE IF NOT EXISTS audit_log (
     logged_at INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_audit_event ON audit_log(event_uuid);
+CREATE TABLE IF NOT EXISTS sync_state (
+    entity TEXT PRIMARY KEY,
+    watermark INTEGER NOT NULL,
+    updated_at INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sync_digests (
+    entity TEXT NOT NULL,
+    event_uuid TEXT NOT NULL,
+    digest TEXT NOT NULL,
+    PRIMARY KEY (entity, event_uuid)
+);
 """
 
 #: Batch-size histogram buckets: one cycle's cIoC count lands here.
@@ -97,7 +114,10 @@ class MispStore:
                  metrics: Optional[MetricsRegistry] = None,
                  clock: Optional[Clock] = None,
                  fault_injector=None) -> None:
-        self._conn = sqlite3.connect(path)
+        # The sharing fan-out hands remote (peer) stores to worker threads;
+        # every cross-thread use is serialized behind the gateway's transport
+        # lock, so the connection only needs the same-thread check relaxed.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._clock = clock
         #: Optional :class:`~repro.resilience.FaultInjector` consulted at
         #: the top of every :meth:`save_events` (component ``store``, key
@@ -358,6 +378,104 @@ class MispStore:
     def audit_count(self) -> int:
         """Total audit-log rows."""
         return self._execute("SELECT COUNT(*) FROM audit_log").fetchone()[0]
+
+    # -- delta-sync ledger --------------------------------------------------------
+
+    def max_audit_seq(self) -> int:
+        """The highest audit-log sequence number written so far (0 if none).
+
+        The audit sequence is the store's monotonic change cursor: every
+        save/enrich/delete lands one row, so "what changed since seq S" is a
+        complete delta regardless of whether the edit bumped the event's own
+        timestamp.  The sharing gateway scans against this cursor.
+        """
+        row = self._execute("SELECT MAX(seq) FROM audit_log").fetchone()
+        return int(row[0]) if row and row[0] is not None else 0
+
+    def events_changed_since(self, after_seq: int,
+                             until_seq: Optional[int] = None
+                             ) -> List[Tuple[str, int]]:
+        """Events touched by audit rows in ``(after_seq, until_seq]``.
+
+        Returns ``(event_uuid, last_change_seq)`` pairs ordered by that last
+        change (then uuid, for a total deterministic order).  Deleted events
+        drop out naturally: the join keeps only uuids still present in
+        ``events``.
+        """
+        query = ("SELECT e.uuid, MAX(a.seq) AS last_seq"
+                 " FROM audit_log a JOIN events e ON e.uuid = a.event_uuid"
+                 " WHERE a.seq > ?")
+        params: List[Any] = [int(after_seq)]
+        if until_seq is not None:
+            query += " AND a.seq <= ?"
+            params.append(int(until_seq))
+        query += " GROUP BY e.uuid ORDER BY last_seq, e.uuid"
+        rows = self._execute(query, params).fetchall()
+        return [(row[0], int(row[1])) for row in rows]
+
+    def get_sync_watermark(self, entity: str) -> int:
+        """The audit-seq watermark of one sync entity (0 when never synced)."""
+        row = self._execute(
+            "SELECT watermark FROM sync_state WHERE entity = ?",
+            (entity,)).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def set_sync_watermark(self, entity: str, watermark: int) -> None:
+        """Persist an entity's watermark (stamped on the store clock)."""
+        logged_at = int(self._clock.now().timestamp()) \
+            if self._clock is not None else 0
+        with self._conn:
+            self._execute(
+                "INSERT OR REPLACE INTO sync_state (entity, watermark,"
+                " updated_at) VALUES (?,?,?)",
+                (entity, int(watermark), logged_at))
+
+    def sync_watermarks(self) -> Dict[str, int]:
+        """Every persisted entity watermark (entity -> audit seq)."""
+        rows = self._execute(
+            "SELECT entity, watermark FROM sync_state ORDER BY entity"
+        ).fetchall()
+        return {row[0]: int(row[1]) for row in rows}
+
+    def get_sync_digests(self, entity: str,
+                         uuids: Sequence[str]) -> Dict[str, str]:
+        """Last successfully-synced content digests for one entity.
+
+        Returns ``event_uuid -> digest`` for the requested uuids that have a
+        ledger row (chunked ``IN (...)`` lookups); absent uuids are simply
+        missing from the result.
+        """
+        unique = list(dict.fromkeys(uuids))
+        found: Dict[str, str] = {}
+        for chunk in _chunks(unique, _IN_CHUNK):
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._execute(
+                "SELECT event_uuid, digest FROM sync_digests"
+                f" WHERE entity = ? AND event_uuid IN ({placeholders})",
+                [entity, *chunk]).fetchall()
+            found.update({row[0]: row[1] for row in rows})
+        return found
+
+    def set_sync_digests(self, entity: str,
+                         digests: Mapping[str, str]) -> None:
+        """Record one cycle's synced digests in a single ``executemany``."""
+        if not digests:
+            return
+        with self._conn:
+            self._executemany(
+                "INSERT OR REPLACE INTO sync_digests"
+                " (entity, event_uuid, digest) VALUES (?,?,?)",
+                [(entity, uuid, digest)
+                 for uuid, digest in digests.items()])
+
+    def sync_digest_count(self, entity: Optional[str] = None) -> int:
+        """Ledger rows, optionally for one entity."""
+        if entity is None:
+            return self._execute(
+                "SELECT COUNT(*) FROM sync_digests").fetchone()[0]
+        return self._execute(
+            "SELECT COUNT(*) FROM sync_digests WHERE entity = ?",
+            (entity,)).fetchone()[0]
 
     def event_count(self) -> int:
         """Number of stored events."""

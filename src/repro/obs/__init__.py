@@ -7,6 +7,7 @@ architecture.  See ``docs/OBSERVABILITY.md`` for the metric catalog.
 """
 
 from .metrics import (
+    BYTES_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     SCORE_BUCKETS,
     Counter,
@@ -19,6 +20,7 @@ from .metrics import (
 from .trace import SPAN_METRIC, Span, Tracer
 
 __all__ = [
+    "BYTES_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
     "SCORE_BUCKETS",
     "Counter",

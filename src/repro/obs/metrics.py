@@ -42,6 +42,11 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 #: Default buckets for threat scores (Equation 1 yields values in [0, 5]).
 SCORE_BUCKETS: Tuple[float, ...] = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0)
 
+#: Payload-size buckets (bytes): one shared document or bundle lands here
+#: (``caop_share_payload_bytes`` and friends).
+BYTES_BUCKETS: Tuple[float, ...] = (
+    128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536, 262144, 1048576)
+
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 

@@ -22,6 +22,7 @@ from .breaker import STATE_VALUES, BreakerState, CircuitBreaker, CircuitBreakerB
 from .deadletter import (
     KIND_DOCUMENT,
     KIND_EVENT,
+    KIND_SHARE,
     DeadLetter,
     DeadLetterQueue,
     ReplayReport,
@@ -61,6 +62,7 @@ __all__ = [
     "HEALTH_VALUES",
     "KIND_DOCUMENT",
     "KIND_EVENT",
+    "KIND_SHARE",
     "PlatformHealth",
     "RealSleeper",
     "RecordingSleeper",

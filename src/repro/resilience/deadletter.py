@@ -29,11 +29,13 @@ from ..obs import MetricsRegistry, NULL_REGISTRY
 
 KIND_DOCUMENT = "document"
 KIND_EVENT = "event"
+KIND_SHARE = "share"
 
 
 @dataclass
 class DeadLetter:
-    """One quarantined payload: a feed document or a composed event."""
+    """One quarantined payload: a feed document, a composed event, or a
+    failed share (an event plus the external entity it was bound for)."""
 
     kind: str
     source: str
@@ -42,6 +44,8 @@ class DeadLetter:
     attempts: int = 1
     document: Any = None
     event: Any = None
+    #: For :data:`KIND_SHARE`: the external entity the share targeted.
+    entity: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (used by ``caop deadletter`` and save/load)."""
@@ -67,6 +71,8 @@ class DeadLetter:
             }
         if self.event is not None:
             payload["event"] = self.event.to_dict()
+        if self.entity is not None:
+            payload["entity"] = self.entity
         return payload
 
 
@@ -77,6 +83,7 @@ class ReplayReport:
     attempted: int = 0
     documents_replayed: int = 0
     events_replayed: int = 0
+    shares_replayed: int = 0
     ciocs_created: int = 0
     eiocs_created: int = 0
     requeued: int = 0
@@ -139,6 +146,13 @@ class DeadLetterQueue:
                 kind=KIND_EVENT, source=source, reason=reason,
                 quarantined_at=self._clock.now(), event=event))
 
+    def quarantine_share(self, entity: str, event: Any, reason: str) -> None:
+        """Quarantine a share that exhausted its transport retries."""
+        key = (KIND_SHARE, entity, event.uuid)
+        self._put(key, DeadLetter(
+            kind=KIND_SHARE, source=f"share:{entity}", reason=reason,
+            quarantined_at=self._clock.now(), event=event, entity=entity))
+
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
         with self._lock:
@@ -149,14 +163,17 @@ class DeadLetterQueue:
 
     # -- replay ---------------------------------------------------------------
 
-    def replay(self, collector: Any = None, misp: Any = None) -> ReplayReport:
+    def replay(self, collector: Any = None, misp: Any = None,
+               gateway: Any = None) -> ReplayReport:
         """Push every entry back through the pipeline.
 
         Documents re-enter via ``collector.process_documents`` (parse →
-        ... → store), events re-enter via ``misp.add_events``.  Entries
-        whose kind has no matching target stay quarantined; payloads that
-        fail again re-quarantine themselves through the collector/instance
-        hooks and show up in ``requeued``.
+        ... → store), events re-enter via ``misp.add_events``, failed
+        shares re-drive their transport via ``gateway.replay_share``.
+        Entries whose kind has no matching target stay quarantined;
+        payloads that fail again re-quarantine themselves through the
+        collector/instance hooks (or are re-queued directly for shares)
+        and show up in ``requeued``.
         """
         with self._lock:
             snapshot = list(self._entries.items())
@@ -167,6 +184,8 @@ class DeadLetterQueue:
                      if letter.kind == KIND_DOCUMENT]
         events = [letter for _key, letter in snapshot
                   if letter.kind == KIND_EVENT]
+        shares = [(key, letter) for key, letter in snapshot
+                  if letter.kind == KIND_SHARE]
         if documents:
             if collector is None:
                 for _key, letter in snapshot:
@@ -193,6 +212,19 @@ class DeadLetterQueue:
                     # add_events re-quarantined the batch (or raised a
                     # permanent storage error); either way it is recorded.
                     report.errors.append(f"event replay: {exc}")
+        for key, letter in shares:
+            if gateway is None:
+                self._put(key, letter)
+                continue
+            try:
+                delivered = gateway.replay_share(letter.entity, letter.event)
+            except ReproError as exc:
+                report.errors.append(f"share replay ({letter.entity}): {exc}")
+                delivered = False
+            if delivered:
+                report.shares_replayed += 1
+            else:
+                self._put(key, letter)
         report.requeued = len(self)
         return report
 
@@ -243,6 +275,15 @@ class DeadLetterQueue:
                     kind=kind, source=payload["source"],
                     reason=payload["reason"], quarantined_at=when,
                     attempts=payload.get("attempts", 1), event=event)
+            elif kind == KIND_SHARE:
+                event = MispEvent.from_dict(payload["event"])
+                entity = payload["entity"]
+                key = (KIND_SHARE, entity, event.uuid)
+                letter = DeadLetter(
+                    kind=kind, source=payload["source"],
+                    reason=payload["reason"], quarantined_at=when,
+                    attempts=payload.get("attempts", 1), event=event,
+                    entity=entity)
             else:
                 continue
             with self._lock:

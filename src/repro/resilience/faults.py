@@ -37,6 +37,7 @@ COMPONENT_ERRORS = {
     "store": TransientStorageError,
     "parse": ParseError,
     "broker": SharingError,
+    "share": SharingError,
 }
 
 

@@ -3,14 +3,34 @@
 from .external import ExternalEntity, SharingGateway, SharingRecord
 from .policy import DEFAULT_TLP, SharingPolicy, Tlp, mark_tlp, tlp_of
 from .siem import CorrelationRule, DetectionReport, SiemAlert, SiemConnector
+from .sync import (
+    FORMAT_MISP_JSON,
+    FORMAT_STIX,
+    RenderCache,
+    RenderedPayload,
+    ShareCycleReport,
+    SyncLedger,
+    digest_matches,
+    event_digest,
+    terminal_digest,
+)
 from .taxii import TaxiiClient, TaxiiCollection, TaxiiServer
 
 __all__ = [
     "ExternalEntity",
     "DEFAULT_TLP",
+    "FORMAT_MISP_JSON",
+    "FORMAT_STIX",
+    "RenderCache",
+    "RenderedPayload",
+    "ShareCycleReport",
     "SharingPolicy",
+    "SyncLedger",
     "Tlp",
+    "digest_matches",
+    "event_digest",
     "mark_tlp",
+    "terminal_digest",
     "tlp_of",
     "SharingGateway",
     "SharingRecord",
@@ -18,7 +38,7 @@ __all__ = [
     "DetectionReport",
     "SiemAlert",
     "SiemConnector",
-    "TaxiiClient",
     "TaxiiCollection",
+    "TaxiiClient",
     "TaxiiServer",
 ]

@@ -10,6 +10,7 @@ platforms in one process can exchange intelligence the standard way.
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -56,6 +57,10 @@ class TaxiiServer:
         self._collections: Dict[str, TaxiiCollection] = {}
         self._clock = clock or SimulatedClock()
         self.requests_served = 0
+        #: Serializes object writes — sharing gateways may push from
+        #: worker threads (each gateway holds its own transport lock, but
+        #: several gateways can target one server).
+        self._write_lock = threading.Lock()
 
     # -- server management -----------------------------------------------------
 
@@ -104,20 +109,22 @@ class TaxiiServer:
     def add_objects(self, collection_id: str,
                     objects: Sequence[Mapping]) -> Dict:
         """POST /collections/{id}/objects — returns a status resource."""
-        self.requests_served += 1
         collection = self._collection(collection_id)
         if not collection.can_write:
+            self.requests_served += 1
             raise SharingError(f"collection {collection_id!r} is read-only")
         now = self._clock.now()
         successes = 0
         failures = 0
-        for obj in objects:
-            try:
-                parse_object(obj)  # validate before accepting
-                collection._objects.append((now, dict(obj)))
-                successes += 1
-            except Exception:
-                failures += 1
+        with self._write_lock:
+            self.requests_served += 1
+            for obj in objects:
+                try:
+                    parse_object(obj)  # validate before accepting
+                    collection._objects.append((now, dict(obj)))
+                    successes += 1
+                except Exception:
+                    failures += 1
         return {
             "status": "complete",
             "success_count": successes,

@@ -3,19 +3,33 @@
 import datetime as dt
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.clock import SimulatedClock
 from repro.errors import SharingError, ValidationError
-from repro.misp import Distribution, MispAttribute, MispEvent, MispInstance
+from repro.misp import (
+    Distribution,
+    MispAttribute,
+    MispEvent,
+    MispInstance,
+    from_misp_json,
+    from_stix2_bundle,
+)
 from repro.sharing import (
+    FORMAT_MISP_JSON,
+    FORMAT_STIX,
     DetectionReport,
     ExternalEntity,
+    RenderCache,
     SharingGateway,
+    SharingPolicy,
     SiemConnector,
     TaxiiClient,
     TaxiiServer,
+    event_digest,
 )
-from repro.stix import Bundle, Indicator
+from repro.stix import Bundle, Indicator, parse_object
 
 
 def make_indicator(value="198.51.100.9"):
@@ -223,3 +237,130 @@ class TestSiemConnector:
     def test_invalid_threshold(self):
         with pytest.raises(ValidationError):
             SiemConnector(min_threat_score=9.9)
+
+
+# ---------------------------------------------------------------------------
+# Property-based transport round-trips
+# ---------------------------------------------------------------------------
+
+#: STIX pattern object paths collapse some MISP aliases (ip-dst shares
+#: ipv4-addr:value with ip-src, hostname shares domain-name:value with
+#: domain), so STIX round-trips are compared on the canonical type.
+STIX_CANONICAL_TYPE = {"ip-dst": "ip-src", "hostname": "domain"}
+
+_hex = "0123456789abcdef"
+_name = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+                min_size=1, max_size=12)
+
+
+@st.composite
+def attributes(draw):
+    kind = draw(st.sampled_from(
+        ["ip-src", "ip-dst", "domain", "hostname", "url", "md5", "sha256"]))
+    if kind in ("ip-src", "ip-dst"):
+        value = ".".join(str(draw(st.integers(1, 254))) for _ in range(4))
+    elif kind in ("domain", "hostname"):
+        value = f"{draw(_name)}.{draw(_name)}.example"
+    elif kind == "url":
+        value = f"http://{draw(_name)}.example/{draw(_name)}"
+    elif kind == "md5":
+        value = "".join(draw(st.sampled_from(_hex)) for _ in range(32))
+    else:
+        value = "".join(draw(st.sampled_from(_hex)) for _ in range(64))
+    return MispAttribute(type=kind, value=value)
+
+
+@st.composite
+def shareable_events(draw):
+    event = MispEvent(
+        info=f"eIoC {draw(_name)}",
+        distribution=Distribution.ALL_COMMUNITIES)
+    for attribute in draw(st.lists(attributes(), min_size=1, max_size=6)):
+        event.add_attribute(attribute)
+    return event
+
+
+def permitting_policy(entity_name):
+    policy = SharingPolicy()
+    policy.set_clearance(entity_name, "amber")
+    return policy
+
+
+def attribute_multiset(event, canonical=False):
+    out = []
+    for attribute in event.attributes:
+        kind = attribute.type
+        if canonical:
+            kind = STIX_CANONICAL_TYPE.get(kind, kind)
+        out.append((kind, attribute.value))
+    return sorted(out)
+
+
+class TestTransportRoundTrips:
+    @given(shareable_events())
+    @settings(max_examples=25, deadline=None)
+    def test_misp_transport_round_trip(self, event):
+        local = MispInstance(org="Local")
+        peer = MispInstance(org="Peer")
+        local.add_event(event)
+        gateway = SharingGateway(local, permitting_policy("peer"))
+        gateway.register(ExternalEntity(name="peer", transport="misp",
+                                        misp_instance=peer))
+        records = gateway.share_event(event.uuid)
+        assert records[0].ok
+        received = peer.store.get_event(event.uuid)
+        # MISP-to-MISP sync is lossless: the peer holds the same content.
+        assert received.to_dict() == event.to_dict()
+        assert event_digest(received) == event_digest(event)
+
+    @given(shareable_events())
+    @settings(max_examples=25, deadline=None)
+    def test_taxii_transport_round_trip(self, event):
+        clock = SimulatedClock()
+        local = MispInstance(org="Local")
+        local.add_event(event)
+        server = TaxiiServer(clock=clock)
+        server.create_collection("indicators", "Indicators")
+        gateway = SharingGateway(local, permitting_policy("cert"))
+        gateway.register(ExternalEntity(name="cert", transport="taxii",
+                                        taxii_server=server))
+        records = gateway.share_event(event.uuid)
+        assert records[0].ok
+        bundle = Bundle([parse_object(obj)
+                         for obj in server.get_objects("indicators")
+                         if obj["type"] in ("indicator", "vulnerability")])
+        reimported = from_stix2_bundle(bundle)
+        assert attribute_multiset(reimported, canonical=True) == \
+            attribute_multiset(event, canonical=True)
+
+    @given(shareable_events())
+    @settings(max_examples=25, deadline=None)
+    def test_stix_download_round_trip(self, event):
+        cache = RenderCache()
+        payload = cache.get_or_render(event, event_digest(event), FORMAT_STIX)
+        bundle = Bundle([parse_object(obj) for obj in payload.objects
+                         if obj["type"] in ("indicator", "vulnerability")])
+        reimported = from_stix2_bundle(bundle)
+        assert attribute_multiset(reimported, canonical=True) == \
+            attribute_multiset(event, canonical=True)
+
+    @given(shareable_events())
+    @settings(max_examples=25, deadline=None)
+    def test_misp_json_render_round_trip(self, event):
+        cache = RenderCache()
+        payload = cache.get_or_render(event, event_digest(event),
+                                      FORMAT_MISP_JSON)
+        reimported = from_misp_json(payload.text)
+        assert reimported.to_dict() == event.to_dict()
+
+    @given(shareable_events())
+    @settings(max_examples=25, deadline=None)
+    def test_digest_stable_under_rerender(self, event):
+        digest = event_digest(event)
+        for render_format in (FORMAT_MISP_JSON, FORMAT_STIX):
+            first = RenderCache().get_or_render(event, digest, render_format)
+            second = RenderCache().get_or_render(event, digest, render_format)
+            assert first.text == second.text
+        # Rendering never mutates the event: the digest is unchanged.
+        assert event_digest(event) == digest
+
