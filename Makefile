@@ -1,4 +1,4 @@
-.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share chaos examples metrics-demo verify clean
+.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace chaos examples metrics-demo obs-demo lint-metrics verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -24,6 +24,9 @@ bench-enrich:
 bench-share:
 	PYTHONPATH=src pytest benchmarks/bench_x17_share_throughput.py -s --benchmark-disable
 
+bench-trace:
+	PYTHONPATH=src pytest benchmarks/bench_x22_trace_overhead.py -s --benchmark-disable
+
 chaos:
 	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py benchmarks/bench_x15_chaos_recovery.py -s --benchmark-disable
 
@@ -40,7 +43,17 @@ examples:
 metrics-demo:
 	PYTHONPATH=src python -m repro.cli metrics --cycles 3
 
-verify: test bench examples metrics-demo
+obs-demo:
+	rm -f /tmp/caop-obs-demo.sqlite
+	PYTHONPATH=src python -m repro.cli run --cycles 2 --entries 20 --store /tmp/caop-obs-demo.sqlite
+	PYTHONPATH=src python -m repro.cli trace --latest /tmp/caop-obs-demo.sqlite
+	PYTHONPATH=src python -m repro.cli slo --cycles 4 --entries 20
+	rm -f /tmp/caop-obs-demo.sqlite
+
+lint-metrics:
+	PYTHONPATH=src python -m repro.obs.lint
+
+verify: test bench examples metrics-demo obs-demo lint-metrics
 
 clean:
 	rm -rf .pytest_cache .hypothesis build *.egg-info

@@ -8,6 +8,8 @@ Subcommands::
                     dead-letter quarantine
     caop rce-demo   the paper's §IV use case (Table V + Figures 3/4)
     caop show       render views over a persisted MISP store
+    caop trace      print an IoC's (cross-org) lineage tree from store(s)
+    caop slo        run cycles and print SLO burn-rate status
     caop cvss       score a CVSS v3 vector
     caop pattern    validate a STIX pattern
 
@@ -27,7 +29,6 @@ from .errors import ReproError
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core import ContextAwareOSINTPlatform, PlatformConfig
     from .dashboard import render_topology
-    from .misp import MispInstance, MispStore
 
     config = PlatformConfig(
         seed=args.seed,
@@ -36,15 +37,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fetch_workers=args.fetch_workers,
         enrich_workers=args.enrich_workers,
         share_workers=args.share_workers,
+        # Built into the wiring (not rewired post-build) so the sharing
+        # ledger and the provenance recorder land in the same file.
+        store_path=args.store,
     )
     if args.feeds:
         platform = ContextAwareOSINTPlatform.build_from_feed_config(
             args.feeds, config=config)
     else:
         platform = ContextAwareOSINTPlatform.build_default(config)
-    if args.store:
-        # Rewire the default instance onto a persistent store.
-        platform.misp.store = MispStore(args.store)
     if args.share_entities:
         from .sharing import ExternalEntity, TaxiiServer
         server = TaxiiServer(clock=platform.clock)
@@ -184,7 +185,11 @@ def _cmd_rce_demo(_args: argparse.Namespace) -> int:
 
 def _cmd_show(args: argparse.Namespace) -> int:
     from .dashboard.geo import GeoSummaryView
-    from .dashboard.views import CorrelationGraphView, KeywordSummaryView
+    from .dashboard.views import (
+        CorrelationGraphView,
+        EventJourneyView,
+        KeywordSummaryView,
+    )
     from .misp import MispStore
 
     store = MispStore(args.store)
@@ -195,10 +200,79 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print(CorrelationGraphView(store).render())
     print()
     print(KeywordSummaryView(store).render())
+    if store.provenance_count():
+        print()
+        print(EventJourneyView(store).render())
     geo = GeoSummaryView()
     if geo.ingest_store(store):
         print()
         print(geo.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .misp import MispStore
+    from .obs import render_lineage, stitch_lineage
+
+    if args.latest:
+        store_paths = list(args.targets)
+    else:
+        if len(args.targets) < 2:
+            print("error: need an event uuid followed by at least one "
+                  "store path (or --latest with store paths only)",
+                  file=sys.stderr)
+            return 2
+        store_paths = list(args.targets[1:])
+    stores = [(os.path.basename(path), MispStore(path))
+              for path in store_paths]
+    if args.latest:
+        event_uuid = stores[0][1].latest_traced_event()
+        if event_uuid is None:
+            print(f"error: no provenance recorded in {store_paths[0]}",
+                  file=sys.stderr)
+            return 1
+    else:
+        event_uuid = args.targets[0]
+    tree = stitch_lineage(stores, event_uuid)
+    if args.json:
+        print(json.dumps(tree, indent=2, sort_keys=True))
+    else:
+        print(render_lineage(tree))
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from .core import ContextAwareOSINTPlatform, PlatformConfig
+    from .obs import SloEngine, SloRule
+
+    config = PlatformConfig(seed=args.seed, feed_entries=args.entries)
+    platform = ContextAwareOSINTPlatform.build_default(config)
+    if args.rules:
+        import json
+
+        with open(args.rules) as handle:
+            rules = [SloRule.from_dict(entry) for entry in json.load(handle)]
+        platform.slo = SloEngine(rules=rules, metrics=platform.metrics)
+    for _ in range(args.cycles):
+        platform.run_cycle()
+    print(f"{args.cycles} cycle(s) observed")
+    print(f"  {'rule':<18} {'severity':<9} {'fast':>8} {'slow':>8} "
+          f"{'compliance':>11}")
+    for status in platform.slo.last_statuses():
+        print(f"  {status.rule.name:<18} {status.severity:<9} "
+              f"{status.fast_burn_rate:>7.2f}x {status.slow_burn_rate:>7.2f}x "
+              f"{status.compliance:>10.0%}")
+    alerts = platform.slo.alerts()
+    if alerts:
+        print()
+        for status in alerts:
+            print(f"  ALERT [{status.severity}] {status.rule.name}: "
+                  f"{status.detail}")
+    else:
+        print("  no SLO alerts")
     return 0
 
 
@@ -382,6 +456,31 @@ def build_parser() -> argparse.ArgumentParser:
     show = subparsers.add_parser("show", help="inspect a persisted MISP store")
     show.add_argument("store", help="path to the SQLite store")
     show.set_defaults(func=_cmd_show)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="print one IoC's lineage tree from persisted store(s)")
+    trace.add_argument(
+        "targets", nargs="+",
+        help="event uuid followed by store path(s); with --latest, "
+             "store path(s) only")
+    trace.add_argument("--latest", action="store_true",
+                       help="trace the most recently traced event of the "
+                            "first store")
+    trace.add_argument("--json", action="store_true",
+                       help="print the stitched lineage as JSON")
+    trace.set_defaults(func=_cmd_trace)
+
+    slo = subparsers.add_parser(
+        "slo", help="run cycles and print SLO burn-rate status")
+    slo.add_argument("--cycles", type=int, default=8)
+    slo.add_argument("--seed", type=int, default=7)
+    slo.add_argument("--entries", type=int, default=60,
+                     help="entries per synthetic feed")
+    slo.add_argument("--rules", default=None,
+                     help="JSON file with a list of SLO rule objects "
+                          "(see docs/OBSERVABILITY.md)")
+    slo.set_defaults(func=_cmd_slo)
 
     sight = subparsers.add_parser(
         "sight", help="record an infrastructure sighting and re-score an eIoC")

@@ -15,7 +15,15 @@ from ..feeds import FeedDescriptor, FeedDocument, FeedFetcher, parse_document
 from ..feeds.scheduler import FeedScheduler
 from ..misp import MispEvent, MispInstance
 from ..misp.warninglists import WarninglistIndex
-from ..obs import MetricsRegistry, NULL_REGISTRY, Tracer
+from ..obs import (
+    MetricsRegistry,
+    NULL_LOG,
+    NULL_RECORDER,
+    NULL_REGISTRY,
+    ProvenanceRecorder,
+    StructuredLog,
+    Tracer,
+)
 from ..resilience.deadletter import DeadLetterQueue
 from ..resilience.faults import FaultInjector
 from .aggregate import Aggregator
@@ -69,7 +77,9 @@ class OsintDataCollector:
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  deadletters: Optional[DeadLetterQueue] = None,
-                 fault_injector: Optional[FaultInjector] = None) -> None:
+                 fault_injector: Optional[FaultInjector] = None,
+                 provenance: Optional[ProvenanceRecorder] = None,
+                 log: Optional[StructuredLog] = None) -> None:
         self._fetcher = fetcher
         self._deadletters = deadletters
         self._fault_injector = fault_injector
@@ -81,6 +91,12 @@ class OsintDataCollector:
         self._normalizer = normalizer or Normalizer()
         self.deduplicator = Deduplicator(metrics=metrics)
         self._tracer = tracer or Tracer(enabled=False)
+        self._provenance = provenance or NULL_RECORDER
+        self._log = log or NULL_LOG
+        #: uid -> composed cIoC uuid, persistent across cycles (mirrors the
+        #: deduplicator's memory) so later duplicate sightings can be
+        #: attributed to the event that first absorbed the uid.
+        self._uid_events: Dict[str, str] = {}
         metrics = metrics or NULL_REGISTRY
         self._m_feed_events = metrics.counter(
             "caop_feed_events_total", "Raw records parsed per feed")
@@ -124,9 +140,13 @@ class OsintDataCollector:
             for descriptor, document, error in self._fetcher.fetch_many(to_fetch):
                 if error is not None:
                     report.feeds_failed += 1
+                    self._log.emit("collect", "feed_failed", level="warn",
+                                   feed=descriptor.name, error=str(error))
                     continue
                 documents.append(document)
                 report.feeds_fetched += 1
+                self._log.emit("collect", "feed_fetched",
+                               feed=descriptor.name)
                 if self._scheduler is not None:
                     self._scheduler.mark_fetched(descriptor)
         return self.process_documents(documents, report)
@@ -171,6 +191,11 @@ class OsintDataCollector:
         with self._tracer.span("dedup"):
             fresh, duplicates = self.deduplicator.filter(events)
         report.duplicates_removed = len(duplicates)
+        # Resolved to their absorbing cIoC after compose (the uid map may
+        # gain entries this cycle); the pair order is document order, so
+        # the recorded lineage is deterministic.
+        duplicate_pairs = [(event.uid, event.feed_name)
+                           for event in duplicates]
 
         with self._tracer.span("filter"):
             if self._warninglists is not None:
@@ -209,7 +234,10 @@ class OsintDataCollector:
         with self._tracer.span("compose"):
             for category, subsets in correlated:
                 for subset in subsets:
-                    ciocs.append(self._composer.compose(category, subset))
+                    cioc = self._composer.compose(category, subset)
+                    ciocs.append(cioc)
+                    self._record_cioc_lineage(cioc, subset)
+        self._record_duplicate_lineage(duplicate_pairs)
 
         try:
             with self._tracer.span("store"):
@@ -227,3 +255,29 @@ class OsintDataCollector:
         report.ciocs_created = len(ciocs)
         self._m_ciocs.inc(len(ciocs))
         return ciocs, report
+
+    def _record_cioc_lineage(self, cioc: MispEvent,
+                             subset: Sequence[NormalizedEvent]) -> None:
+        """``fetched``/``parsed`` lineage for one freshly composed cIoC."""
+        if not self._provenance.enabled:
+            return
+        for normalized in subset:
+            self._uid_events[normalized.uid] = cioc.uuid
+        for feed in sorted({n.feed_name for n in subset}):
+            self._provenance.record(
+                "fetched", cioc.uuid, actor="collector", detail=f"feed={feed}")
+        self._provenance.record(
+            "parsed", cioc.uuid, actor="collector",
+            detail=f"{len(subset)} normalized record(s)")
+
+    def _record_duplicate_lineage(
+            self, duplicate_pairs: Sequence[Tuple[str, str]]) -> None:
+        """``deduped-into`` lineage: duplicate sightings of absorbed uids."""
+        if not self._provenance.enabled:
+            return
+        for uid, feed in duplicate_pairs:
+            target = self._uid_events.get(uid)
+            if target is not None:
+                self._provenance.record(
+                    "deduped-into", target, actor="dedup",
+                    detail=f"feed={feed} uid={uid}")

@@ -45,7 +45,16 @@ from ..ids import content_uuid
 from ..infra import INFRASTRUCTURE_TAG, AlarmManager, Inventory
 from ..misp import MispAttribute, MispEvent, MispInstance, MispStore, to_stix2_bundle
 from ..misp.instance import TOPIC_EVENT
-from ..obs import MetricsRegistry, NULL_REGISTRY
+from ..obs import (
+    MetricsRegistry,
+    NULL_LOG,
+    NULL_RECORDER,
+    NULL_REGISTRY,
+    ProvenanceRecorder,
+    StructuredLog,
+    Tracer,
+    trace_id_for,
+)
 from ..stix import StixObject
 from .compose import tags_to_feeds
 from .heuristics import EvaluationContext, HeuristicRegistry, default_registry
@@ -265,7 +274,10 @@ class HeuristicComponent:
                  clock: Optional[Clock] = None,
                  galaxy_matcher: Optional["GalaxyMatcher"] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 tracer: Optional[Tracer] = None,
+                 provenance: Optional[ProvenanceRecorder] = None,
+                 log: Optional[StructuredLog] = None) -> None:
         from ..misp.galaxy import GalaxyMatcher
 
         if workers < 1:
@@ -280,6 +292,9 @@ class HeuristicComponent:
         self._subscriber = ZmqSubscriber(misp.broker)
         self._subscriber.subscribe(TOPIC_EVENT)
         self._workers = workers
+        self._tracer = tracer or Tracer(enabled=False)
+        self._provenance = provenance or NULL_RECORDER
+        self._log = log or NULL_LOG
         self.processed = 0
         self.skipped = 0
         self.galaxy_hits = 0
@@ -366,12 +381,21 @@ class HeuristicComponent:
         ]
         pool_size = max(1, min(self._workers, len(tasks)))
         self._m_pool.set(pool_size)
+        # Captured span context rides into the pool so per-event scoring
+        # spans nest under this cycle's enrich span instead of surfacing
+        # as orphan root traces.
+        parent_span = self._tracer.capture()
+
+        def score_task(task):
+            with self._tracer.attach(parent_span), \
+                    self._tracer.span("score_event"):
+                return self._score_task(*task)
+
         if pool_size == 1:
-            scored = [self._score_task(*task) for task in tasks]
+            scored = [score_task(task) for task in tasks]
         else:
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                futures = [pool.submit(self._score_task, *task)
-                           for task in tasks]
+                futures = [pool.submit(score_task, task) for task in tasks]
                 scored = [future.result() for future in futures]
 
         # Phase 3: write-back planner — build each eIoC fully in memory, in
@@ -389,7 +413,35 @@ class HeuristicComponent:
             self._misp.apply_enrichments(plans)
             for event in plans:
                 cache.invalidate(event.uuid)
+            self._record_enrichment_lineage(results)
         return results
+
+    def _record_enrichment_lineage(
+            self, results: Sequence[EnrichmentResult]) -> None:
+        """``enriched-by``/``scored`` lineage + per-event log, in drain order.
+
+        Runs on the coordinating thread after the batch commit, so the
+        recorded order (and the log stream) is identical for any worker
+        count.
+        """
+        if not (self._provenance.enabled or self._log.enabled):
+            return
+        for result in results:
+            if self._provenance.enabled:
+                heuristics = sorted({object_id.split("--", 1)[0]
+                                     for object_id, _ in result.object_results})
+                self._provenance.record(
+                    "enriched-by", result.event_uuid, actor="heuristics",
+                    detail="objects=" + ",".join(heuristics))
+                self._provenance.record(
+                    "scored", result.event_uuid, actor="heuristics",
+                    detail=f"score={result.score.score:.4f}")
+            if self._log.enabled:
+                self._log.emit(
+                    "enrich", "event_scored",
+                    event_uuid=result.event_uuid,
+                    trace_id=trace_id_for(result.event_uuid),
+                    score=f"{result.score.score:.4f}")
 
     def _plan_write_back(
             self, event: MispEvent,

@@ -38,7 +38,15 @@ from ..infra import (
     paper_inventory,
 )
 from ..misp import MispInstance
-from ..obs import MetricsRegistry, Tracer
+from ..obs import (
+    MetricsRegistry,
+    NULL_LOG,
+    NULL_RECORDER,
+    ProvenanceRecorder,
+    SloEngine,
+    StructuredLog,
+    Tracer,
+)
 from ..resilience import (
     HEALTH_DEGRADED,
     HEALTH_FAILING,
@@ -123,6 +131,21 @@ class PlatformConfig:
     #: Record metrics and per-stage spans (disable only to measure the
     #: telemetry overhead itself; see bench_x13_obs_overhead).
     metrics_enabled: bool = True
+    #: Record per-IoC lineage rows into the store's provenance table
+    #: (``None`` follows ``metrics_enabled``; see docs/OBSERVABILITY.md).
+    provenance_enabled: Optional[bool] = None
+    #: Emit structured JSON log records (``None`` follows ``metrics_enabled``).
+    structured_log_enabled: Optional[bool] = None
+    #: Evaluate SLO burn rates each cycle (``None`` follows ``metrics_enabled``).
+    slo_enabled: Optional[bool] = None
+    #: Ring-buffer capacity of the structured log.
+    log_capacity: int = 4096
+    #: Optional JSONL sink the structured log also appends to.
+    log_file: Optional[str] = None
+    #: Optional SQLite path for the MISP store (``None`` keeps it in-memory).
+    #: Built here — not rewired post-build — so the sharing ledger and the
+    #: provenance recorder point at the same persistent store.
+    store_path: Optional[str] = None
     #: Transient-failure retries per feed fetch (and per store batch).
     fetch_retries: int = 2
     store_retries: int = 2
@@ -159,7 +182,10 @@ class ContextAwareOSINTPlatform:
                  deadletters: Optional[DeadLetterQueue] = None,
                  breakers: Optional[CircuitBreakerBoard] = None,
                  gateway=None,
-                 sensor_steps_per_cycle: int = 6) -> None:
+                 sensor_steps_per_cycle: int = 6,
+                 provenance: Optional[ProvenanceRecorder] = None,
+                 log: Optional[StructuredLog] = None,
+                 slo: Optional[SloEngine] = None) -> None:
         from .decay import ScoreDecayEngine
         from .sightings import SightingProcessor
 
@@ -181,6 +207,15 @@ class ContextAwareOSINTPlatform:
         #: the share stage is a no-op until entities are registered on it.
         self.gateway = gateway
         self.sensor_steps_per_cycle = sensor_steps_per_cycle
+        #: End-to-end IoC lineage recorder (no-op unless wired to a store).
+        self.provenance = provenance or NULL_RECORDER
+        #: Structured JSON log (disabled unless built with one).
+        self.log = log or NULL_LOG
+        #: Optional SLO burn-rate engine, evaluated once per cycle.
+        self.slo = slo
+        #: Consecutive cycles in which the share stage delivered nothing
+        #: while failing/skipping at least one share (SLO staleness signal).
+        self._share_stale_cycles = 0
         self.history: List[CycleReport] = []
         self._m_cycles = self.metrics.counter(
             "caop_cycles_total", "Completed platform cycles")
@@ -241,6 +276,15 @@ class ContextAwareOSINTPlatform:
         descriptors = list(descriptors)
         metrics = MetricsRegistry(enabled=config.metrics_enabled)
         tracer = Tracer(metrics=metrics, enabled=config.metrics_enabled)
+        provenance_on = config.metrics_enabled \
+            if config.provenance_enabled is None else config.provenance_enabled
+        log_on = config.metrics_enabled \
+            if config.structured_log_enabled is None \
+            else config.structured_log_enabled
+        slo_on = config.metrics_enabled \
+            if config.slo_enabled is None else config.slo_enabled
+        log = StructuredLog(clock=clock, capacity=config.log_capacity,
+                            sink_path=config.log_file, enabled=log_on)
         if config.fault_injector is not None and transport.fault_injector is None:
             transport.fault_injector = config.fault_injector
         sleeper = sleeper_for(config.backoff_mode, clock)
@@ -260,10 +304,16 @@ class ContextAwareOSINTPlatform:
                 jitter=config.retry_jitter,
                 seed=config.seed),
             breakers=breakers,
-            sleeper=sleeper)
+            sleeper=sleeper,
+            tracer=tracer)
 
+        store = None
+        if config.store_path is not None:
+            from ..misp.store import MispStore
+            store = MispStore(config.store_path, metrics=metrics, clock=clock,
+                              fault_injector=config.fault_injector)
         misp = MispInstance(
-            org=config.org, metrics=metrics, clock=clock,
+            org=config.org, store=store, metrics=metrics, clock=clock,
             store_retry_policy=RetryPolicy(
                 max_retries=config.store_retries,
                 base_delay_seconds=config.retry_base_delay_seconds,
@@ -273,6 +323,10 @@ class ContextAwareOSINTPlatform:
             sleeper=sleeper,
             deadletters=deadletters,
             fault_injector=config.fault_injector)
+        provenance = ProvenanceRecorder(
+            store=misp.store, clock=clock, org=config.org,
+            enabled=provenance_on)
+        slo = SloEngine(metrics=metrics) if slo_on else None
         sensors = SensorNetwork(inventory, clock=clock, seed=config.seed,
                                 alarm_rate=config.sensor_alarm_rate)
         infra_collector = InfrastructureDataCollector(
@@ -284,12 +338,14 @@ class ContextAwareOSINTPlatform:
             warninglists=WarninglistIndex() if config.use_warninglists else None,
             metrics=metrics, tracer=tracer,
             deadletters=deadletters,
-            fault_injector=config.fault_injector)
+            fault_injector=config.fault_injector,
+            provenance=provenance, log=log)
         heuristics = HeuristicComponent(
             misp, inventory=inventory,
             alarm_manager=sensors.alarm_manager,
             cve_db=CveDatabase(), clock=clock, metrics=metrics,
-            workers=config.enrich_workers)
+            workers=config.enrich_workers,
+            tracer=tracer, provenance=provenance, log=log)
         rioc_generator = RIocGenerator(inventory, clock=clock, metrics=metrics)
         dashboard = DashboardServer(inventory, metrics=metrics)
         from ..sharing import SharingGateway
@@ -311,7 +367,8 @@ class ContextAwareOSINTPlatform:
             metrics=metrics,
             clock=clock,
             sleeper=sleeper,
-            fault_injector=config.fault_injector)
+            fault_injector=config.fault_injector,
+            tracer=tracer, provenance=provenance, log=log)
         return cls(
             osint_collector=osint_collector,
             infra_collector=infra_collector,
@@ -327,6 +384,9 @@ class ContextAwareOSINTPlatform:
             breakers=breakers,
             gateway=gateway,
             sensor_steps_per_cycle=config.sensor_steps_per_cycle,
+            provenance=provenance,
+            log=log,
+            slo=slo,
         )
 
     def run_cycle(self) -> CycleReport:
@@ -344,6 +404,10 @@ class ContextAwareOSINTPlatform:
         are bugs, not faults.
         """
         report = CycleReport(collection=CollectionReport())
+        cycle_no = len(self.history) + 1
+        self.log.begin_cycle(cycle_no)
+        self.provenance.begin_cycle(cycle_no)
+        self.log.emit("cycle", "cycle_start")
         with self.tracer.span("cycle") as cycle_span:
             # 1. Infrastructure side: sensors tick, alarms reach the dashboard,
             #    internal IoCs reach MISP (stored only; no zmq feed).
@@ -395,6 +459,12 @@ class ContextAwareOSINTPlatform:
                             report.riocs_suppressed += 1
                         else:
                             riocs.append(rioc)
+                            if self.provenance.enabled:
+                                self.provenance.record(
+                                    "reduced-into", enrichment.eioc.uuid,
+                                    actor="rioc-generator",
+                                    detail=f"nodes={','.join(rioc.nodes)} "
+                                           f"term={rioc.matched_term}")
             except ReproError as exc:
                 report.stage_errors["reduce"] = str(exc)
             try:
@@ -423,6 +493,37 @@ class ContextAwareOSINTPlatform:
         if report.degraded:
             self._m_degraded.inc()
         self.history.append(report)
+        for stage, error in sorted(report.stage_errors.items()):
+            self.log.emit(stage, "stage_error", level="error", error=error)
+        self.log.emit(
+            "cycle", "cycle_end",
+            ciocs=report.collection.ciocs_created,
+            eiocs=report.eiocs_created,
+            riocs=report.riocs_created,
+            shares=report.shares_sent,
+            degraded=report.degraded)
+        # Share staleness streak: cycles in which the fan-out only failed.
+        if self.gateway is not None and self.gateway.entities:
+            if report.shares_sent > 0:
+                self._share_stale_cycles = 0
+            elif report.share_failures > 0:
+                self._share_stale_cycles += 1
+        self.provenance.flush()
+        if self.slo is not None:
+            fetched = report.collection.feeds_fetched
+            failed = report.collection.feeds_failed
+            attempted = fetched + failed
+            self.slo.observe_cycle(cycle_no, self.clock.now(), {
+                "cycle_seconds": cycle_span.duration_seconds
+                if cycle_span is not None else 0.0,
+                "degraded": 1.0 if report.degraded else 0.0,
+                "drop_ratio": (failed / attempted) if attempted else 0.0,
+                "share_stale_cycles": float(self._share_stale_cycles),
+                "ciocs_created": float(report.collection.ciocs_created),
+                "eiocs_created": float(report.eiocs_created),
+                "shares_sent": float(report.shares_sent),
+            })
+            self.slo.evaluate()
         health = self.health()
         health.export(self.metrics)
         self.dashboard.update_health(health)
@@ -478,6 +579,14 @@ class ContextAwareOSINTPlatform:
                 component="deadletter",
                 status=HEALTH_DEGRADED if depth else HEALTH_OK,
                 detail=f"{depth} quarantined" if depth else ""))
+        if self.slo is not None:
+            # SloStatus severities are spelled exactly like the HEALTH_*
+            # constants, so they map without obs importing resilience.
+            for status in self.slo.last_statuses():
+                components.append(ComponentHealth(
+                    component=f"slo:{status.rule.name}",
+                    status=status.severity,
+                    detail=status.detail))
         return PlatformHealth(components=components)
 
     def replay_deadletters(self) -> ReplayReport:

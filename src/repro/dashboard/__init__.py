@@ -13,6 +13,7 @@ from .server import EVENT_ALARM, EVENT_RIOC, ROOM_ANALYSTS, DashboardServer
 from .state import DashboardState, NodeBadge, NodeDetails
 from .views import (
     CorrelationGraphView,
+    EventJourneyView,
     KeywordSummaryView,
     TimelineBucket,
     TimelineView,
@@ -40,6 +41,7 @@ __all__ = [
     "NodeBadge",
     "NodeDetails",
     "CorrelationGraphView",
+    "EventJourneyView",
     "KeywordSummaryView",
     "TimelineBucket",
     "TimelineView",

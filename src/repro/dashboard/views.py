@@ -10,7 +10,10 @@ Three such models over the platform's live data:
 - :class:`CorrelationGraphView` — *relational*: the MISP correlation graph
   between events, with connected-component analysis;
 - :class:`KeywordSummaryView` — *textual*: threat-category keyword
-  frequencies across stored intelligence, as a bar summary.
+  frequencies across stored intelligence, as a bar summary;
+- :class:`EventJourneyView` — *provenance*: one IoC's recorded journey
+  through the pipeline (fetch -> parse -> enrich -> score -> reduce ->
+  share), read from the store's provenance table.
 """
 
 from __future__ import annotations
@@ -188,4 +191,39 @@ class KeywordSummaryView:
                                       key=lambda pair: -pair[1]):
             bar = "#" * max(1, round(count / peak * width))
             lines.append(f"  {category:<28} {bar} {count}")
+        return "\n".join(lines)
+
+
+class EventJourneyView:
+    """Provenance view: one IoC's journey through the pipeline stages."""
+
+    def __init__(self, store: MispStore) -> None:
+        self._store = store
+
+    def journey(self, event_uuid: Optional[str] = None
+                ) -> List[Dict[str, object]]:
+        """The lineage rows for ``event_uuid`` (latest traced by default)."""
+        if event_uuid is None:
+            event_uuid = self._store.latest_traced_event()
+        if event_uuid is None:
+            return []
+        return self._store.provenance_for_event(event_uuid)
+
+    def render(self, event_uuid: Optional[str] = None) -> str:
+        """Render this view as printable text."""
+        if event_uuid is None:
+            event_uuid = self._store.latest_traced_event()
+        if event_uuid is None:
+            return "Event journey: no provenance recorded"
+        rows = self._store.provenance_for_event(event_uuid)
+        lines = [f"Event journey {event_uuid}"]
+        if not rows:
+            lines.append("  (no lineage recorded for this event)")
+            return "\n".join(lines)
+        lines.append(f"  trace {rows[0]['trace_id']}")
+        for row in rows:
+            actor = f" by {row['actor']}" if row["actor"] else ""
+            detail = f"  {row['detail']}" if row["detail"] else ""
+            lines.append(f"  c{row['cycle']:<3} {row['kind']:<13}"
+                         f"{actor}{detail}")
         return "\n".join(lines)

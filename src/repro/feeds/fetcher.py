@@ -161,13 +161,15 @@ class FeedFetcher:
                  workers: int = 1,
                  retry_policy: Optional[RetryPolicy] = None,
                  breakers: Optional[CircuitBreakerBoard] = None,
-                 sleeper=None) -> None:
+                 sleeper=None,
+                 tracer=None) -> None:
         if max_retries < 0:
             raise FeedError("max_retries must be non-negative")
         if workers < 1:
             raise FeedError("workers must be positive")
         self._transport = transport
         self._clock = clock or SimulatedClock()
+        self._tracer = tracer
         self._retry = retry_policy or RetryPolicy(max_retries=max_retries)
         self._max_retries = self._retry.max_retries
         self._breakers = breakers
@@ -280,12 +282,24 @@ class FeedFetcher:
         pool_size = workers if workers is not None else self._workers
         pool_size = max(1, min(pool_size, len(descriptors)))
         self._m_pool.set(pool_size)
+        fetch_task = self._fetch_once
+        if self._tracer is not None:
+            # Reattach the caller's span context inside pool threads so
+            # per-feed spans nest under the cycle's fetch span instead of
+            # becoming orphan root traces (the thread-local stack does not
+            # cross the pool boundary by itself).
+            parent = self._tracer.capture()
+
+            def fetch_task(descriptor):
+                with self._tracer.attach(parent), \
+                        self._tracer.span("fetch_feed", feed=descriptor.name):
+                    return self._fetch_once(descriptor)
         if pool_size == 1:
-            results = [self._fetch_once(descriptor)
+            results = [fetch_task(descriptor)
                        for descriptor in descriptors]
         else:
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                futures = [pool.submit(self._fetch_once, descriptor)
+                futures = [pool.submit(fetch_task, descriptor)
                            for descriptor in descriptors]
                 results = [future.result() for future in futures]
         self._sleeper.sleep(sum(backoff for _doc, _err, backoff in results))

@@ -9,6 +9,7 @@ remote instances according to their distribution level.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -49,6 +50,7 @@ class MispInstance:
                  deadletters=None,
                  fault_injector=None) -> None:
         self.org = org
+        self._clock = clock
         self.store = store or MispStore(metrics=metrics, clock=clock,
                                         fault_injector=fault_injector)
         self.broker = broker or MessageBroker(metrics=metrics)
@@ -287,7 +289,8 @@ class MispInstance:
         self.sharing_groups[group.uuid] = group
         return group
 
-    def push_event(self, event: MispEvent, peer: "MispInstance") -> bool:
+    def push_event(self, event: MispEvent, peer: "MispInstance",
+                   trace_context: Optional[Dict[str, Any]] = None) -> bool:
         """Push one event to a peer honouring MISP distribution semantics.
 
         Distribution downgrade on hop: CONNECTED_COMMUNITIES becomes
@@ -295,6 +298,12 @@ class MispInstance:
         further, exactly like MISP.  Sharing-group events only reach peers
         whose organisation is a group member (no downgrade: the group
         definition itself bounds further propagation).
+
+        ``trace_context`` (:func:`repro.obs.provenance.share_context`)
+        rides alongside the payload — never inside the event content, so
+        digests and cross-store byte-equality are untouched — and lets the
+        receiving store record a ``synced-from`` lineage row carrying the
+        accumulated org path.
         """
         if event.distribution in (Distribution.ORGANISATION_ONLY,
                                   Distribution.COMMUNITY_ONLY):
@@ -316,22 +325,56 @@ class MispInstance:
         copy = MispEvent.from_dict(event.to_dict())
         if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
             copy.distribution = Distribution.COMMUNITY_ONLY
-        peer.receive_event(copy)
+        peer.receive_event(copy, trace_context=trace_context)
         self.sync_stats.pushed_events += 1
         return True
 
-    def receive_event(self, event: MispEvent) -> None:
+    def receive_event(self, event: MispEvent,
+                      trace_context: Optional[Dict[str, Any]] = None) -> None:
         """Peer-facing ingestion endpoint (no re-publish on the zmq feed)."""
-        self.receive_events([event])
+        self.receive_events(
+            [event],
+            trace_contexts={event.uuid: trace_context} if trace_context else None)
 
-    def receive_events(self, events: Sequence[MispEvent]) -> None:
-        """Batched peer-facing ingestion: one transaction, one correlation pass."""
+    def receive_events(self, events: Sequence[MispEvent],
+                       trace_contexts: Optional[
+                           Dict[str, Dict[str, Any]]] = None) -> None:
+        """Batched peer-facing ingestion: one transaction, one correlation pass.
+
+        ``trace_contexts`` maps event uuid to the sender's trace context;
+        each present entry becomes one ``synced-from`` lineage row in this
+        instance's store, stitching the cross-org journey.
+        """
         events = list(events)
         if not events:
             return
         self.store.save_events(events)
         self._correlate_batch(events)
         self.sync_stats.pulled_events += len(events)
+        if trace_contexts:
+            self._record_sync_receipts(events, trace_contexts)
+
+    def _record_sync_receipts(
+            self, events: Sequence[MispEvent],
+            trace_contexts: Dict[str, Dict[str, Any]]) -> None:
+        from ..obs.provenance import ProvenanceEvent, trace_id_for
+        logged_at = (int(self._clock.now().timestamp())
+                     if self._clock is not None else 0)
+        rows = []
+        for event in events:
+            context = trace_contexts.get(event.uuid)
+            if not context:
+                continue
+            path = list(context.get("path") or [])
+            rows.append(ProvenanceEvent(
+                trace_id=context.get("trace_id") or trace_id_for(event.uuid),
+                event_uuid=event.uuid, kind="synced-from",
+                actor=f"sync:{path[-1]}" if path else "sync",
+                org=self.org,
+                detail=json.dumps({"path": path}, sort_keys=True),
+                logged_at=logged_at))
+        if rows:
+            self.store.add_provenance(rows)
 
     def pull_from(self, peer: "MispInstance") -> int:
         """Pull every shareable published event from a peer.

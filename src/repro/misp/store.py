@@ -88,6 +88,19 @@ CREATE TABLE IF NOT EXISTS sync_digests (
     digest TEXT NOT NULL,
     PRIMARY KEY (entity, event_uuid)
 );
+CREATE TABLE IF NOT EXISTS provenance (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    trace_id TEXT NOT NULL,
+    event_uuid TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    actor TEXT NOT NULL DEFAULT '',
+    org TEXT NOT NULL DEFAULT '',
+    detail TEXT NOT NULL DEFAULT '',
+    cycle INTEGER NOT NULL DEFAULT 0,
+    logged_at INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_provenance_trace ON provenance(trace_id);
+CREATE INDEX IF NOT EXISTS idx_provenance_event ON provenance(event_uuid);
 """
 
 #: Batch-size histogram buckets: one cycle's cIoC count lands here.
@@ -378,6 +391,62 @@ class MispStore:
     def audit_count(self) -> int:
         """Total audit-log rows."""
         return self._execute("SELECT COUNT(*) FROM audit_log").fetchone()[0]
+
+    # -- provenance (lineage) -----------------------------------------------------
+
+    def add_provenance(self, rows: Sequence[Any]) -> int:
+        """Append lineage rows in one batch transaction.
+
+        ``rows`` are :class:`~repro.obs.provenance.ProvenanceEvent`-shaped
+        objects (attribute access; no import needed here).  Insertion order
+        is preserved by the autoincrement ``seq``, so callers that buffer
+        in deterministic order persist in deterministic order.
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        with self._conn:
+            self._executemany(
+                "INSERT INTO provenance (trace_id, event_uuid, kind, actor,"
+                " org, detail, cycle, logged_at) VALUES (?,?,?,?,?,?,?,?)",
+                [(r.trace_id, r.event_uuid, r.kind, r.actor, r.org,
+                  r.detail, int(r.cycle), int(r.logged_at)) for r in rows])
+        return len(rows)
+
+    @staticmethod
+    def _provenance_row(raw: Sequence[Any]) -> Dict[str, Any]:
+        return {"seq": raw[0], "trace_id": raw[1], "event_uuid": raw[2],
+                "kind": raw[3], "actor": raw[4], "org": raw[5],
+                "detail": raw[6], "cycle": raw[7], "logged_at": raw[8]}
+
+    _PROVENANCE_COLS = ("seq, trace_id, event_uuid, kind, actor, org,"
+                        " detail, cycle, logged_at")
+
+    def provenance_for_event(self, event_uuid: str) -> List[Dict[str, Any]]:
+        """One event's lineage rows, oldest first."""
+        rows = self._execute(
+            f"SELECT {self._PROVENANCE_COLS} FROM provenance"
+            " WHERE event_uuid = ? ORDER BY seq", (event_uuid,)).fetchall()
+        return [self._provenance_row(row) for row in rows]
+
+    def provenance_for_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Every lineage row carrying one trace id, oldest first."""
+        rows = self._execute(
+            f"SELECT {self._PROVENANCE_COLS} FROM provenance"
+            " WHERE trace_id = ? ORDER BY seq", (trace_id,)).fetchall()
+        return [self._provenance_row(row) for row in rows]
+
+    def provenance_count(self) -> int:
+        """Total lineage rows."""
+        return self._execute(
+            "SELECT COUNT(*) FROM provenance").fetchone()[0]
+
+    def latest_traced_event(self) -> Optional[str]:
+        """The event uuid of the newest lineage row (demo/CLI convenience)."""
+        row = self._execute(
+            "SELECT event_uuid FROM provenance"
+            " ORDER BY seq DESC LIMIT 1").fetchone()
+        return row[0] if row is not None else None
 
     # -- delta-sync ledger --------------------------------------------------------
 

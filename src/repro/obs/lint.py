@@ -1,0 +1,61 @@
+"""Metric hygiene lint: every registered family must carry help text.
+
+``registry.counter(name)`` defaults ``help_text`` to the empty string, so
+a hurried call site can register a family a scraper cannot explain.  This
+lint builds a fully wired platform (every component registers its
+families at construction), runs one cycle so dynamically exported gauges
+(health, SLO burn rates) appear too, and fails if any family's help is
+empty.  Wired into CI via ``make lint-metrics``::
+
+    PYTHONPATH=src python -m repro.obs.lint
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+
+def metrics_without_help(registry: MetricsRegistry) -> List[str]:
+    """Names of registered families whose help text is empty."""
+    missing = []
+    for name in registry.names():
+        metric = registry.get(name)
+        if metric is not None and not metric.help.strip():
+            missing.append(name)
+    return missing
+
+
+def _platform_registry() -> MetricsRegistry:
+    from ..core import ContextAwareOSINTPlatform, PlatformConfig
+    from ..misp import MispInstance
+    from ..sharing import ExternalEntity
+
+    platform = ContextAwareOSINTPlatform.build_default(
+        PlatformConfig(feed_entries=12))
+    peer = MispInstance(org="lint-peer", clock=platform.clock)
+    platform.gateway.register(ExternalEntity(
+        name="lint-peer", transport="misp", misp_instance=peer))
+    platform.run_cycle()
+    return platform.metrics
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the lint; exit 0 when every family documents itself."""
+    del argv
+    registry = _platform_registry()
+    missing = metrics_without_help(registry)
+    if missing:
+        print("metric families missing help text:")
+        for name in missing:
+            print(f"  {name}")
+        return 1
+    print(f"metric help lint: {len(registry.names())} families, "
+          f"all documented")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make lint-metrics
+    sys.exit(main())

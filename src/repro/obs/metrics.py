@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import re
 import threading
+import warnings
 from bisect import bisect_left
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -52,6 +53,10 @@ _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 #: A label set frozen into a hashable, deterministically ordered key.
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: The series high-cardinality writes are clamped onto once a family hits
+#: the registry's per-metric label-set limit.
+OVERFLOW_KEY: LabelKey = (("overflow", "true"),)
 
 
 def _label_key(labels: Mapping[str, Any]) -> LabelKey:
@@ -93,10 +98,34 @@ class Metric:
         self._registry = registry
         self._lock = threading.Lock()
         self._series: Dict[LabelKey, Any] = {}
+        #: Writes redirected to :data:`OVERFLOW_KEY` by the cardinality guard.
+        self.clamped = 0
+        self._overflow_warned = False
 
     @property
     def _enabled(self) -> bool:
         return self._registry.enabled
+
+    def _guard(self, key: LabelKey) -> LabelKey:
+        """Cardinality guard: clamp new label sets past the registry limit.
+
+        Must be called with ``self._lock`` held.  Existing series keep
+        recording; a *new* label set beyond ``max_label_sets`` is warned
+        about once and redirected to the shared overflow series, so a
+        per-trace or per-entity label can never grow the exposition
+        without bound.
+        """
+        limit = self._registry.max_label_sets
+        if limit <= 0 or key in self._series or len(self._series) < limit:
+            return key
+        if not self._overflow_warned:
+            self._overflow_warned = True
+            warnings.warn(
+                f"metric {self.name} exceeded {limit} label sets; "
+                f"further label combinations are clamped to "
+                f"{{overflow=\"true\"}}", RuntimeWarning, stacklevel=4)
+        self.clamped += 1
+        return OVERFLOW_KEY
 
     def label_sets(self) -> List[Dict[str, str]]:
         """Every label combination this family has recorded."""
@@ -107,6 +136,8 @@ class Metric:
         """Drop every recorded series (the family itself stays registered)."""
         with self._lock:
             self._series.clear()
+            self.clamped = 0
+            self._overflow_warned = False
 
     # Subclasses implement the sample walk used by snapshot/exposition.
     def _samples(self) -> List[Dict[str, Any]]:
@@ -130,6 +161,7 @@ class Counter(Metric):
             return
         key = _label_key(labels)
         with self._lock:
+            key = self._guard(key)
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
@@ -163,6 +195,7 @@ class Gauge(Metric):
             return
         key = _label_key(labels)
         with self._lock:
+            key = self._guard(key)
             self._series[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
@@ -171,6 +204,7 @@ class Gauge(Metric):
             return
         key = _label_key(labels)
         with self._lock:
+            key = self._guard(key)
             self._series[key] = self._series.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: Any) -> None:
@@ -224,6 +258,7 @@ class Histogram(Metric):
         key = _label_key(labels)
         index = bisect_left(self.buckets, value)
         with self._lock:
+            key = self._guard(key)
             series = self._series.get(key)
             if series is None:
                 series = self._series[key] = _HistogramSeries(len(self.buckets))
@@ -301,10 +336,14 @@ class Histogram(Metric):
 class MetricsRegistry:
     """Named metric families with JSON and Prometheus-style exposition."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True,
+                 max_label_sets: int = 1024) -> None:
         self._metrics: Dict[str, Metric] = {}
         self._lock = threading.RLock()
         self.enabled = enabled
+        #: Per-metric label-set ceiling; new combinations beyond it are
+        #: clamped to ``{overflow="true"}`` (0 disables the guard).
+        self.max_label_sets = max_label_sets
 
     # -- registration (get-or-create) -----------------------------------------
 

@@ -1,0 +1,94 @@
+"""Per-cycle metric snapshots on a bounded ring buffer.
+
+The SLO engine needs short history — enough cycles to cover its slow
+burn-rate window — not a full TSDB.  :class:`MetricTimeSeries` keeps one
+:class:`CycleSnapshot` per platform cycle (a flat ``name -> float``
+mapping) on a ``deque`` and answers windowed queries: the value series of
+one metric over the last N cycles, its latest value, and nearest-rank
+percentiles (the ``cycle p99 latency`` objective).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class CycleSnapshot:
+    """One cycle's scalar metric values at one simulated instant."""
+
+    cycle: int
+    at: Any
+    values: Mapping[str, float] = field(default_factory=dict)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """One value, defaulting when the cycle didn't record it."""
+        return float(self.values.get(key, default))
+
+
+class MetricTimeSeries:
+    """Ring buffer of :class:`CycleSnapshot`, newest last."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._snapshots: Deque[CycleSnapshot] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained cycles (older snapshots fall off the front)."""
+        return self._snapshots.maxlen or 0
+
+    def append(self, cycle: int, at: Any,
+               values: Mapping[str, float]) -> CycleSnapshot:
+        """Record one cycle's values; returns the stored snapshot."""
+        snapshot = CycleSnapshot(
+            cycle=cycle, at=at,
+            values={key: float(value) for key, value in values.items()})
+        self._snapshots.append(snapshot)
+        return snapshot
+
+    def last(self, count: Optional[int] = None) -> List[CycleSnapshot]:
+        """The newest ``count`` snapshots (all of them when None), oldest first."""
+        snapshots = list(self._snapshots)
+        if count is None:
+            return snapshots
+        return snapshots[-count:] if count > 0 else []
+
+    def latest(self, key: str) -> Optional[float]:
+        """The most recent value of one metric, if any cycle recorded it."""
+        for snapshot in reversed(self._snapshots):
+            if key in snapshot.values:
+                return float(snapshot.values[key])
+        return None
+
+    def series(self, key: str,
+               window: Optional[int] = None) -> List[float]:
+        """The metric's values over the last ``window`` cycles, oldest first.
+
+        Cycles that did not record the metric are skipped (not zero-filled)
+        so a rule over an optional metric only judges cycles that measured
+        it.
+        """
+        return [float(snapshot.values[key])
+                for snapshot in self.last(window)
+                if key in snapshot.values]
+
+    def percentile(self, key: str, quantile: float,
+                   window: Optional[int] = None) -> float:
+        """Nearest-rank percentile (``quantile`` in [0, 1]) over a window."""
+        values = sorted(self.series(key, window))
+        if not values:
+            return 0.0
+        quantile = min(max(quantile, 0.0), 1.0)
+        rank = max(1, math.ceil(quantile * len(values)))
+        return values[rank - 1]
+
+    def to_dict(self) -> List[Dict[str, Any]]:
+        """JSON-friendly view of the retained snapshots, oldest first."""
+        return [{"cycle": s.cycle, "at": str(s.at), "values": dict(s.values)}
+                for s in self._snapshots]

@@ -38,7 +38,18 @@ from ..clock import Clock, SimulatedClock
 from ..errors import SharingError
 from ..misp import MispEvent, MispInstance
 from ..misp.store import BATCH_SIZE_BUCKETS
-from ..obs import BYTES_BUCKETS, MetricsRegistry, NULL_REGISTRY
+from ..obs import (
+    BYTES_BUCKETS,
+    LogBuffer,
+    MetricsRegistry,
+    NULL_LOG,
+    NULL_RECORDER,
+    NULL_REGISTRY,
+    ProvenanceRecorder,
+    StructuredLog,
+    Tracer,
+    share_context,
+)
 from ..resilience.breaker import BreakerState, CircuitBreakerBoard
 from ..resilience.retry import RetryPolicy, sleeper_for
 from .taxii import TaxiiServer
@@ -149,10 +160,16 @@ class SharingGateway:
                  clock: Optional[Clock] = None,
                  sleeper=None,
                  fault_injector=None,
-                 realtime: bool = False) -> None:
+                 realtime: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 provenance: Optional[ProvenanceRecorder] = None,
+                 log: Optional[StructuredLog] = None) -> None:
         if workers < 1:
             raise SharingError("workers must be positive")
         self._misp = local_misp
+        self._tracer = tracer or Tracer(enabled=False)
+        self._provenance = provenance or NULL_RECORDER
+        self._log = log or NULL_LOG
         self._entities: List[ExternalEntity] = []
         self._policy = policy
         self._workers = workers
@@ -231,18 +248,39 @@ class SharingGateway:
             raise SharingError(f"no such event {event_uuid}")
         digest = event_digest(event)
         cache = RenderCache(self._metrics)
+        trace_cache: Dict[str, Optional[Dict[str, Any]]] = {}
         records = []
         for entity in self._entities:
-            record = self._share_one(event, digest, entity, cache)
+            record = self._share_one(event, digest, entity, cache,
+                                     trace=self._share_trace(
+                                         entity, event.uuid, trace_cache))
             if record.ok:
                 self.ledger.record_success(entity.name, event, digest)
             records.append(record)
         self.audit_log.extend(records)
         return records
 
+    def _share_trace(self, entity: ExternalEntity, event_uuid: str,
+                     cache: Optional[Dict[str, Optional[Dict[str, Any]]]] = None
+                     ) -> Optional[Dict[str, Any]]:
+        """Trace context to ride alongside a MISP push (None otherwise).
+
+        Reads the local provenance table, so it must run on the coordinating
+        thread (plan time), never inside a fan-out worker.
+        """
+        if entity.transport != "misp" or not self._provenance.enabled:
+            return None
+        if cache is not None and event_uuid in cache:
+            return cache[event_uuid]
+        context = share_context(self._misp.store, event_uuid, self._misp.org)
+        if cache is not None:
+            cache[event_uuid] = context
+        return context
+
     def _share_one(self, event: MispEvent, digest: str,
                    entity: ExternalEntity,
-                   cache: RenderCache) -> SharingRecord:
+                   cache: RenderCache,
+                   trace: Optional[Dict[str, Any]] = None) -> SharingRecord:
         if self._policy is not None and not self._policy.allows(event, entity.name):
             from .policy import tlp_of
             return SharingRecord(
@@ -252,7 +290,8 @@ class SharingGateway:
             )
         payload = cache.get_or_render(event, digest, entity.render_format)
         try:
-            ok, detail, sent_bytes = self._transport_push(event, entity, payload)
+            ok, detail, sent_bytes = self._transport_push(
+                event, entity, payload, trace=trace)
         except SharingError as exc:
             return SharingRecord(
                 entity=entity.name, transport=entity.transport,
@@ -268,7 +307,8 @@ class SharingGateway:
     # -- transports -----------------------------------------------------------
 
     def _transport_push(self, event: MispEvent, entity: ExternalEntity,
-                        payload: RenderedPayload
+                        payload: RenderedPayload,
+                        trace: Optional[Dict[str, Any]] = None
                         ) -> Tuple[bool, str, int]:
         """One transport attempt: (ok, detail, bytes actually handed over).
 
@@ -282,7 +322,8 @@ class SharingGateway:
             time.sleep(entity.latency_seconds)
         if entity.transport == "misp":
             with self._transport_lock:
-                pushed = self._misp.push_event(event, entity.misp_instance)
+                pushed = self._misp.push_event(event, entity.misp_instance,
+                                               trace_context=trace)
             if pushed:
                 return True, "", payload.size
             return False, "skipped (distribution/duplicate)", 0
@@ -323,6 +364,7 @@ class SharingGateway:
         digests = {uuid: event_digest(event)
                    for uuid, event in events.items() if event is not None}
         plans: List[EntityCycle] = []
+        trace_cache: Dict[str, Optional[Dict[str, Any]]] = {}
         for entity, candidates in zip(self._entities, raw_candidates):
             plan = EntityCycle(
                 entity=entity,
@@ -349,7 +391,8 @@ class SharingGateway:
                                               entity.render_format)
                 plan.items.append(PlannedShare(
                     kind="share", event=event, seq=seq, digest=digest,
-                    payload=payload))
+                    payload=payload,
+                    trace=self._share_trace(entity, uuid, trace_cache)))
             plans.append(plan)
         return plans, cache, target_seq
 
@@ -367,19 +410,40 @@ class SharingGateway:
         plans, cache, _target = self.plan_cycle()
         pool_size = max(1, min(self._workers, len(plans)))
         self._m_pool.set(pool_size)
+        # One log buffer per entity: workers stage records thread-locally,
+        # the post-drain commit flushes them in registration order, so the
+        # structured log is byte-identical at any worker count.
+        buffers = [self._log.buffer() for _ in plans]
+        parent_span = self._tracer.capture()
+
+        def run_entity(plan: EntityCycle, buffer: LogBuffer) -> _EntityOutcome:
+            with self._tracer.attach(parent_span), \
+                    self._tracer.span("share_entity", entity=plan.entity.name):
+                return self._run_entity_cycle(plan, buffer)
+
         if pool_size == 1:
-            outcomes = [self._run_entity_cycle(plan) for plan in plans]
+            outcomes = [run_entity(plan, buffer)
+                        for plan, buffer in zip(plans, buffers)]
         else:
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                futures = [pool.submit(self._run_entity_cycle, plan)
-                           for plan in plans]
+                futures = [pool.submit(run_entity, plan, buffer)
+                           for plan, buffer in zip(plans, buffers)]
                 outcomes = [future.result() for future in futures]
         # Post-drain commit, serial and in registration order: backoff,
-        # audit records, ledger updates, quarantine, telemetry.
-        for plan, outcome in zip(plans, outcomes):
+        # audit records, log records, lineage, ledger updates, quarantine,
+        # telemetry.
+        for plan, outcome, buffer in zip(plans, outcomes, buffers):
             entity = plan.entity
             self._sleeper.sleep(outcome.backoff)
             self.audit_log.extend(outcome.records)
+            self._log.flush_buffer(buffer)
+            if self._provenance.enabled:
+                for record in outcome.records:
+                    if record.ok:
+                        self._provenance.record(
+                            "shared-to", record.event_uuid, actor="gateway",
+                            detail=f"entity={record.entity} "
+                                   f"transport={record.transport}")
             report.records.extend(outcome.records)
             new_watermark: Optional[int] = plan.target_seq
             if outcome.blocked_seqs:
@@ -407,15 +471,19 @@ class SharingGateway:
             report.payload_bytes += outcome.payload_bytes
         report.renders = cache.misses
         report.render_hits = cache.hits
+        self._provenance.flush()
         self._m_cycles.inc()
         return report
 
-    def _run_entity_cycle(self, plan: EntityCycle) -> _EntityOutcome:
+    def _run_entity_cycle(self, plan: EntityCycle,
+                          buffer: Optional[LogBuffer] = None
+                          ) -> _EntityOutcome:
         """One entity's serial share sequence (runs inside a pool worker).
 
         Touches only the entity's transport (and thread-safe shared
         machinery: breaker, metrics counters); every local-store write is
-        deferred to the post-drain commit.
+        deferred to the post-drain commit.  Log records are staged into
+        ``buffer`` (flushed post-drain, in registration order).
         """
         outcome = _EntityOutcome()
         entity = plan.entity
@@ -429,6 +497,11 @@ class SharingGateway:
                 outcome.digests[item.event.uuid] = terminal_digest(
                     OUTCOME_REFUSED, item.digest)
                 outcome.count(OUTCOME_REFUSED)
+                if buffer is not None:
+                    buffer.emit("share", "share_result", level="warn",
+                                entity=entity.name,
+                                event_uuid=item.event.uuid,
+                                outcome=OUTCOME_REFUSED)
                 continue
             if not breaker.allow():
                 # Open breaker: leave the event pending (no record, no
@@ -436,6 +509,11 @@ class SharingGateway:
                 outcome.blocked_seqs.append(item.seq)
                 outcome.breaker_skipped += 1
                 outcome.count("breaker_open")
+                if buffer is not None:
+                    buffer.emit("share", "share_result", level="warn",
+                                entity=entity.name,
+                                event_uuid=item.event.uuid,
+                                outcome="breaker_open")
                 continue
             probing = breaker.state == BreakerState.HALF_OPEN
             record, entry, failed = self._attempt_share(
@@ -446,6 +524,13 @@ class SharingGateway:
             if failed:
                 outcome.blocked_seqs.append(item.seq)
                 outcome.quarantine.append((item.event, record.detail))
+            if buffer is not None:
+                buffer.emit(
+                    "share", "share_result",
+                    level="warn" if failed else "info",
+                    entity=entity.name, event_uuid=item.event.uuid,
+                    outcome=OUTCOME_OK if record.ok else
+                    (OUTCOME_FAILED if failed else OUTCOME_SKIPPED))
         return outcome
 
     def _attempt_share(self, entity: ExternalEntity, item: PlannedShare,
@@ -458,7 +543,7 @@ class SharingGateway:
         for attempt in range(attempts):
             try:
                 ok, detail, sent_bytes = self._transport_push(
-                    item.event, entity, item.payload)
+                    item.event, entity, item.payload, trace=item.trace)
             except SharingError as exc:
                 last_error = exc
                 if attempt < attempts - 1:
@@ -511,8 +596,12 @@ class SharingGateway:
         breaker = self.breakers.breaker(entity.name)
         if not breaker.allow():
             return False
+        # replay runs on the coordinating thread, so reading the local
+        # provenance table for the trace context is safe here.
+        trace = self._share_trace(entity, event.uuid)
         try:
-            ok, detail, sent_bytes = self._transport_push(event, entity, payload)
+            ok, detail, sent_bytes = self._transport_push(
+                event, entity, payload, trace=trace)
         except SharingError:
             breaker.record_failure()
             return False

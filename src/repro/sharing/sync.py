@@ -208,6 +208,10 @@ class PlannedShare:
     digest: str
     payload: Optional[RenderedPayload] = None
     detail: str = ""
+    #: Provenance trace context (``{"trace_id", "path"}``) computed at plan
+    #: time on the coordinating thread; rides *alongside* the payload so the
+    #: shared content (and its digest) never changes.
+    trace: Optional[Dict[str, Any]] = None
 
 
 @dataclass

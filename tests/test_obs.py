@@ -327,3 +327,129 @@ class TestPlatformTelemetry:
             assert family["samples"] == []
         # The pipeline itself still works.
         assert report.collection.ciocs_created > 0
+
+
+class TestWorkerPoolSpans:
+    """Regression: spans opened inside pool threads must nest under the
+    cycle root (capture/attach), not become orphan root traces."""
+
+    def build(self, workers):
+        from repro import ContextAwareOSINTPlatform, PlatformConfig
+        return ContextAwareOSINTPlatform.build_default(
+            PlatformConfig(seed=7, feed_entries=20, fetch_workers=workers,
+                           enrich_workers=workers))
+
+    def test_pool_spans_nest_under_the_cycle_root(self):
+        platform = self.build(workers=4)
+        platform.run_cycle()
+        roots = [span.name for span in platform.tracer.traces]
+        assert roots == ["cycle"], f"orphan root traces: {roots}"
+        cycle = platform.tracer.last_trace()
+        assert cycle.find("fetch_feed") is not None
+        assert cycle.find("score_event") is not None
+
+    def test_per_feed_spans_sit_under_the_fetch_stage(self):
+        platform = self.build(workers=4)
+        platform.run_cycle()
+        fetch = platform.tracer.last_trace().find("fetch")
+        names = {child.name for child in fetch.children}
+        assert names == {"fetch_feed"}
+        feeds = {child.tags["feed"] for child in fetch.children}
+        assert len(feeds) == len(fetch.children)
+
+    def test_serial_and_pooled_span_trees_have_equal_shape(self):
+        def shape(workers):
+            platform = self.build(workers)
+            platform.run_cycle()
+            trace = platform.tracer.last_trace()
+            counts = {}
+            stack = [trace]
+            while stack:
+                span = stack.pop()
+                counts[span.name] = counts.get(span.name, 0) + 1
+                stack.extend(span.children)
+            return counts
+
+        assert shape(1) == shape(4)
+
+    def test_attach_restores_the_previous_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            parent = tracer.capture()
+            with tracer.attach(parent):
+                with tracer.span("inner"):
+                    pass
+            assert tracer.current().name == "outer"
+        assert tracer.last_trace().find("inner") is not None
+
+    def test_attach_none_parent_is_a_noop(self):
+        tracer = Tracer()
+        with tracer.attach(None):
+            with tracer.span("root"):
+                pass
+        assert tracer.last_trace().name == "root"
+
+
+class TestCardinalityGuard:
+    def test_new_series_beyond_limit_clamp_to_overflow(self):
+        import warnings
+
+        from repro.obs import OVERFLOW_KEY
+
+        registry = MetricsRegistry(max_label_sets=2)
+        counter = registry.counter("caop_requests_total", "help")
+        counter.inc(feed="a")
+        counter.inc(feed="b")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            counter.inc(feed="c")
+            counter.inc(feed="d")
+        assert len(caught) == 1  # warned once per family
+        assert "caop_requests_total" in str(caught[0].message)
+        assert counter.clamped == 2
+        assert counter.value(feed="a") == 1
+        assert counter.value(feed="c") == 0
+        overflow_labels = dict(OVERFLOW_KEY)
+        assert counter.value(**overflow_labels) == 2
+
+    def test_existing_series_keep_recording_at_the_limit(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        gauge = registry.gauge("caop_depth")
+        gauge.set(1.0, queue="q")
+        gauge.set(7.0, queue="q")
+        assert gauge.value(queue="q") == 7.0
+        assert gauge.clamped == 0
+
+    def test_zero_limit_disables_the_guard(self):
+        registry = MetricsRegistry(max_label_sets=0)
+        counter = registry.counter("caop_unbounded_total")
+        for index in range(50):
+            counter.inc(key=str(index))
+        assert counter.clamped == 0
+        assert counter.total() == 50
+
+    def test_clear_resets_guard_state(self):
+        import warnings
+
+        registry = MetricsRegistry(max_label_sets=1)
+        counter = registry.counter("caop_reset_total")
+        counter.inc(k="a")
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            counter.inc(k="b")
+        assert counter.clamped == 1
+        counter.clear()
+        assert counter.clamped == 0
+        counter.inc(k="z")
+        assert counter.value(k="z") == 1
+
+    def test_histogram_observations_clamp_too(self):
+        import warnings
+
+        registry = MetricsRegistry(max_label_sets=1)
+        hist = registry.histogram("caop_latency_seconds")
+        hist.observe(0.1, route="a")
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            hist.observe(0.2, route="b")
+        assert hist.clamped == 1
