@@ -1,4 +1,4 @@
-.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace chaos examples metrics-demo obs-demo lint-metrics verify clean
+.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store chaos examples metrics-demo obs-demo lint-metrics verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -26,6 +26,9 @@ bench-share:
 
 bench-trace:
 	PYTHONPATH=src pytest benchmarks/bench_x22_trace_overhead.py -s --benchmark-disable
+
+bench-store:
+	PYTHONPATH=src pytest benchmarks/bench_x18_store_scaling.py -s --benchmark-disable
 
 chaos:
 	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py benchmarks/bench_x15_chaos_recovery.py -s --benchmark-disable

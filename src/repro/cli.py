@@ -40,6 +40,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Built into the wiring (not rewired post-build) so the sharing
         # ledger and the provenance recorder land in the same file.
         store_path=args.store,
+        store_shards=args.store_shards,
     )
     if args.feeds:
         platform = ContextAwareOSINTPlatform.build_from_feed_config(
@@ -406,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker threads for the heuristic scoring stage")
     run.add_argument("--store", default=None,
                      help="persist the MISP store to this SQLite file")
+    run.add_argument("--store-shards", type=int, default=1,
+                     help="hash-shard the MISP store across N SQLite files"
+                          " (default 1 = single file)")
     run.add_argument("--feeds", default=None,
                      help="JSON feed-configuration file (see 'caop init-feeds')")
     run.set_defaults(func=_cmd_run)

@@ -146,6 +146,9 @@ class PlatformConfig:
     #: Built here — not rewired post-build — so the sharing ledger and the
     #: provenance recorder point at the same persistent store.
     store_path: Optional[str] = None
+    #: Hash-shard count for the MISP store (``1`` = classic single file;
+    #: ``>= 2`` selects the sharded backend — see docs/PERFORMANCE.md).
+    store_shards: int = 1
     #: Transient-failure retries per feed fetch (and per store batch).
     fetch_retries: int = 2
     store_retries: int = 2
@@ -308,10 +311,15 @@ class ContextAwareOSINTPlatform:
             tracer=tracer)
 
         store = None
-        if config.store_path is not None:
+        if config.store_path is not None or config.store_shards > 1:
             from ..misp.store import MispStore
-            store = MispStore(config.store_path, metrics=metrics, clock=clock,
-                              fault_injector=config.fault_injector)
+            # shards=None lets an existing file keep the layout it was
+            # created with; an explicit count >= 2 requests sharding.
+            store = MispStore(config.store_path or ":memory:",
+                              metrics=metrics, clock=clock,
+                              fault_injector=config.fault_injector,
+                              shards=config.store_shards
+                              if config.store_shards > 1 else None)
         misp = MispInstance(
             org=config.org, store=store, metrics=metrics, clock=clock,
             store_retry_policy=RetryPolicy(

@@ -33,6 +33,13 @@ from .model import (
     MispTag,
     ThreatLevel,
 )
+from .storage import (
+    InMemoryBackend,
+    SQLiteBackend,
+    ShardedSQLiteBackend,
+    StorageBackend,
+    shard_of,
+)
 from .store import MispStore
 from .warninglists import (
     Warninglist,
@@ -80,7 +87,12 @@ __all__ = [
     "MispObject",
     "MispTag",
     "ThreatLevel",
+    "InMemoryBackend",
     "MispStore",
+    "SQLiteBackend",
+    "ShardedSQLiteBackend",
+    "StorageBackend",
+    "shard_of",
     "Warninglist",
     "WarninglistHit",
     "WarninglistIndex",

@@ -381,7 +381,7 @@ class MispInstance:
 
         Accepted events are persisted and correlated as one batch.
         """
-        copies: List[MispEvent] = []
+        candidates: List[MispEvent] = []
         for event in peer.store.list_events(published_only=True):
             if event.distribution in (Distribution.ORGANISATION_ONLY,
                                       Distribution.COMMUNITY_ONLY):
@@ -391,7 +391,14 @@ class MispInstance:
                 if group is None or not group.releasable_to(self.org):
                     continue
                 self.sharing_groups.setdefault(group.uuid, group)
-            if self.store.has_event(event.uuid):
+            candidates.append(event)
+        # One chunked existence probe instead of a has_event round trip
+        # per candidate.
+        known = self.store.existing_events(
+            [event.uuid for event in candidates])
+        copies: List[MispEvent] = []
+        for event in candidates:
+            if event.uuid in known:
                 continue
             copy = MispEvent.from_dict(event.to_dict())
             if copy.distribution == Distribution.CONNECTED_COMMUNITIES:

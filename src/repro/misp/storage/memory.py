@@ -1,0 +1,329 @@
+"""Pure-python in-memory storage backend.
+
+Dicts and lists instead of SQLite: no files, no SQL, no connection setup —
+the fastest substrate for unit tests and the zero-I/O baseline for
+``bench_x18_store_scaling``.  Every ordered read reproduces the SQLite
+backends' fully-specified orderings (``timestamp DESC, uuid`` for event
+listings, insertion order for attribute probes and correlation rows), so
+the conformance suite runs the same assertions against all three backends.
+
+``sql_statements`` counts *logical* store operations (one per public call
+plus one per chunk-equivalent), keeping SQL-budget comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .base import BackendInfo, PersistBatch, StorageBackend
+
+
+class InMemoryBackend(StorageBackend):
+    """Dict-backed store with the same observable behaviour as SQLite."""
+
+    def __init__(self) -> None:
+        self.sql_statements = 0
+        #: uuid -> event row tuple (schema column order; blob last).
+        self._events: Dict[str, Tuple] = {}
+        #: Attribute rows in insertion order (the "rowid" ordering).
+        self._attributes: List[Tuple] = []
+        #: event_uuid -> ordered tag-name set (dict keys keep order).
+        self._tags: Dict[str, Dict[str, None]] = {}
+        #: (seq, event_uuid, action, detail, logged_at) rows.
+        self._audit: List[Tuple[int, str, str, str, int]] = []
+        self._audit_seq = 0
+        #: (source_attribute, target_attribute) -> full edge row, ordered.
+        self._correlations: Dict[Tuple[str, str], Tuple] = {}
+        self._provenance: List[Dict[str, Any]] = []
+        self._sync_state: Dict[str, int] = {}
+        self._sync_digests: Dict[Tuple[str, str], str] = {}
+        self._counters = {"events": 0, "attributes": 0, "correlations": 0}
+
+    def _op(self) -> None:
+        self.sql_statements += 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def info(self) -> BackendInfo:
+        return BackendInfo(kind="memory", shard_count=1, paths=[])
+
+    def close(self) -> None:
+        pass
+
+    # -- events -------------------------------------------------------------
+
+    def existing_events(self, uuids: Sequence[str]) -> Set[str]:
+        self._op()
+        return {uuid for uuid in uuids if uuid in self._events}
+
+    def persist_batch(self, batch: PersistBatch) -> Dict[int, int]:
+        self._op()
+        for row in batch.audit_rows:
+            self._audit_seq += 1
+            self._audit.append((self._audit_seq, *row))
+        for row in batch.event_rows:
+            self._events[row[0]] = row
+        replaced = set(batch.uuids)
+        deleted_attributes = sum(
+            1 for row in self._attributes if row[1] in replaced)
+        self._attributes = [
+            row for row in self._attributes if row[1] not in replaced]
+        self._attributes.extend(batch.attribute_rows)
+        for uuid in batch.uuids:
+            self._tags.pop(uuid, None)
+        for event_uuid, name in batch.tag_rows:
+            self._tags.setdefault(event_uuid, {})[name] = None
+        self._counters["events"] += batch.new_events
+        self._counters["attributes"] += (
+            len(batch.attribute_rows) - deleted_attributes)
+        return {0: len(batch.uuids)}
+
+    def has_event(self, uuid: str) -> bool:
+        self._op()
+        return uuid in self._events
+
+    def get_event_blob(self, uuid: str) -> Optional[str]:
+        self._op()
+        row = self._events.get(uuid)
+        return row[9] if row is not None else None
+
+    def get_event_blobs(self, uuids: Sequence[str]
+                        ) -> Dict[str, Optional[str]]:
+        self._op()
+        result: Dict[str, Optional[str]] = {}
+        for uuid in uuids:
+            row = self._events.get(uuid)
+            result[uuid] = row[9] if row is not None else None
+        return result
+
+    def events_with_tag(self, tag: str, uuids: Sequence[str]) -> Set[str]:
+        self._op()
+        return {uuid for uuid in dict.fromkeys(uuids)
+                if tag in self._tags.get(uuid, {})}
+
+    def delete_event(self, uuid: str,
+                     logged_at: Optional[int] = None) -> bool:
+        self._op()
+        row = self._events.pop(uuid, None)
+        if row is None:
+            return False
+        attributes = sum(1 for r in self._attributes if r[1] == uuid)
+        self._attributes = [r for r in self._attributes if r[1] != uuid]
+        self._tags.pop(uuid, None)
+        if logged_at is None:
+            logged_at = int(row[8])
+        self._audit_seq += 1
+        self._audit.append((self._audit_seq, uuid, "deleted", "", logged_at))
+        self._counters["events"] -= 1
+        self._counters["attributes"] -= attributes
+        return True
+
+    def list_event_blobs(self, limit: Optional[int] = None,
+                         published_only: bool = False) -> List[str]:
+        self._op()
+        rows = [row for row in self._events.values()
+                if not published_only or row[7]]
+        rows.sort(key=lambda row: (-int(row[8]), row[0]))
+        blobs = [row[9] for row in rows]
+        return blobs[:int(limit)] if limit is not None else blobs
+
+    def event_count(self) -> int:
+        return self._counters["events"]
+
+    def attribute_count(self) -> int:
+        return self._counters["attributes"]
+
+    # -- audit --------------------------------------------------------------
+
+    def event_history(self, uuid: str) -> List[Dict[str, Any]]:
+        self._op()
+        return [{"seq": seq, "action": action, "detail": detail,
+                 "logged_at": logged_at}
+                for seq, event_uuid, action, detail, logged_at in self._audit
+                if event_uuid == uuid]
+
+    def audit_count(self) -> int:
+        return len(self._audit)
+
+    def max_audit_seq(self) -> int:
+        return self._audit_seq
+
+    def events_changed_since(self, after_seq: int,
+                             until_seq: Optional[int] = None
+                             ) -> List[Tuple[str, int]]:
+        self._op()
+        last_seq: Dict[str, int] = {}
+        for seq, event_uuid, _action, _detail, _logged_at in self._audit:
+            if seq <= after_seq:
+                continue
+            if until_seq is not None and seq > until_seq:
+                continue
+            if event_uuid in self._events:
+                last_seq[event_uuid] = max(
+                    last_seq.get(event_uuid, 0), seq)
+        changed = sorted(last_seq.items(),
+                         key=lambda pair: (pair[1], pair[0]))
+        return [(uuid, seq) for uuid, seq in changed]
+
+    # -- provenance ---------------------------------------------------------
+
+    def add_provenance(self, rows: Sequence[Tuple]) -> int:
+        rows = list(rows)
+        if not rows:
+            return 0
+        self._op()
+        for row in rows:
+            self._provenance.append({
+                "seq": len(self._provenance) + 1,
+                "trace_id": row[0], "event_uuid": row[1], "kind": row[2],
+                "actor": row[3], "org": row[4], "detail": row[5],
+                "cycle": int(row[6]), "logged_at": int(row[7]),
+            })
+        return len(rows)
+
+    def provenance_for_event(self, event_uuid: str) -> List[Dict[str, Any]]:
+        self._op()
+        return [dict(row) for row in self._provenance
+                if row["event_uuid"] == event_uuid]
+
+    def provenance_for_trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        self._op()
+        return [dict(row) for row in self._provenance
+                if row["trace_id"] == trace_id]
+
+    def provenance_count(self) -> int:
+        return len(self._provenance)
+
+    def latest_traced_event(self) -> Optional[str]:
+        if not self._provenance:
+            return None
+        return self._provenance[-1]["event_uuid"]
+
+    # -- delta-sync ledger ---------------------------------------------------
+
+    def get_sync_watermark(self, entity: str) -> int:
+        self._op()
+        return self._sync_state.get(entity, 0)
+
+    def set_sync_watermark(self, entity: str, watermark: int,
+                           logged_at: int = 0) -> None:
+        self._op()
+        self._sync_state[entity] = int(watermark)
+
+    def sync_watermarks(self) -> Dict[str, int]:
+        self._op()
+        return dict(sorted(self._sync_state.items()))
+
+    def get_sync_digests(self, entity: str,
+                         uuids: Sequence[str]) -> Dict[str, str]:
+        self._op()
+        found: Dict[str, str] = {}
+        for uuid in dict.fromkeys(uuids):
+            digest = self._sync_digests.get((entity, uuid))
+            if digest is not None:
+                found[uuid] = digest
+        return found
+
+    def set_sync_digests(self, entity: str,
+                         digests: Mapping[str, str]) -> None:
+        if not digests:
+            return
+        self._op()
+        for uuid, digest in digests.items():
+            self._sync_digests[(entity, uuid)] = digest
+
+    def sync_digest_count(self, entity: Optional[str] = None) -> int:
+        if entity is None:
+            return len(self._sync_digests)
+        return sum(1 for key in self._sync_digests if key[0] == entity)
+
+    # -- search -------------------------------------------------------------
+
+    def search_value(self, value: str) -> List[Tuple[str, str]]:
+        self._op()
+        return [(row[1], row[0]) for row in self._attributes
+                if row[4] == value]
+
+    def search_event_blobs(self, info_substring: Optional[str] = None,
+                           tag: Optional[str] = None,
+                           attribute_type: Optional[str] = None,
+                           value: Optional[str] = None) -> List[str]:
+        self._op()
+        matches: List[Tuple] = []
+        for uuid, row in self._events.items():
+            if tag is not None and tag not in self._tags.get(uuid, {}):
+                continue
+            if attribute_type is not None or value is not None:
+                hit = any(
+                    attr[1] == uuid
+                    and (attribute_type is None or attr[2] == attribute_type)
+                    and (value is None or attr[4] == value)
+                    for attr in self._attributes)
+                if not hit:
+                    continue
+            if info_substring is not None and info_substring not in row[1]:
+                continue
+            matches.append(row)
+        matches.sort(key=lambda row: (-int(row[8]), row[0]))
+        return [row[9] for row in matches]
+
+    def correlatable_attributes(self, value: str,
+                                exclude_event: Optional[str] = None
+                                ) -> List[Tuple[str, str]]:
+        self._op()
+        return [(row[1], row[0]) for row in self._attributes
+                if row[4] == value and row[6]
+                and (exclude_event is None or row[1] != exclude_event)]
+
+    def correlatable_attributes_many(
+            self, values: Sequence[str]
+    ) -> Dict[str, List[Tuple[str, str]]]:
+        self._op()
+        result: Dict[str, List[Tuple[str, str]]] = {
+            value: [] for value in values}
+        for row in self._attributes:
+            if row[6] and row[4] in result:
+                result[row[4]].append((row[1], row[0]))
+        return result
+
+    # -- correlations --------------------------------------------------------
+
+    def save_correlations(
+            self, edges: Sequence[Tuple[str, str, str, str, str]]) -> int:
+        edges = list(edges)
+        if not edges:
+            return 0
+        self._op()
+        inserted = 0
+        for edge in edges:
+            key = (edge[0], edge[1])
+            if key not in self._correlations:
+                self._correlations[key] = edge
+                inserted += 1
+        self._counters["correlations"] += inserted
+        return inserted
+
+    @staticmethod
+    def _edge_row(edge: Tuple) -> Dict[str, str]:
+        return {"source_attribute": edge[0], "target_attribute": edge[1],
+                "source_event": edge[2], "target_event": edge[3],
+                "value": edge[4]}
+
+    def correlations_for_event(self, event_uuid: str) -> List[Dict[str, str]]:
+        self._op()
+        return [self._edge_row(edge)
+                for edge in self._correlations.values()
+                if event_uuid in (edge[2], edge[3])]
+
+    def correlations_for_events(
+            self, uuids: Sequence[str]) -> Dict[str, List[Dict[str, str]]]:
+        self._op()
+        result: Dict[str, List[Dict[str, str]]] = {uuid: [] for uuid in uuids}
+        for edge in self._correlations.values():
+            for side in dict.fromkeys((edge[2], edge[3])):
+                if side in result:
+                    result[side].append(self._edge_row(edge))
+        return result
+
+    def correlation_count(self) -> int:
+        return self._counters["correlations"]

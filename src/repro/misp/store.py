@@ -1,17 +1,33 @@
-"""SQLite-backed relational store for MISP events.
+"""Relational store for MISP events, backed by pluggable storage engines.
 
 The paper's operational module keeps "a relational database to store locally
 information about IoCs and the monitored infrastructure" (§III-B1).  Events
 are stored both relationally (events/attributes/tags rows for querying and
 correlation) and as their canonical MISP JSON blob (for lossless export).
 
+:class:`MispStore` is a facade: it converts
+:class:`~repro.misp.model.MispEvent` objects to and from plain rows, emits
+metrics, applies fault-injection seams, and delegates all persistence to a
+:class:`~repro.misp.storage.base.StorageBackend` —
+
+- the single-file SQLite backend (default, and the on-disk format of every
+  pre-sharding store);
+- the hash-sharded SQLite backend (``shards=N``), which bounds per-event
+  scans to ``1/N`` of the corpus (docs/PERFORMANCE.md);
+- the in-memory backend (``backend=InMemoryBackend()``) for tests/benches.
+
+Backends are interchangeable by construction: the conformance suite
+(tests/test_storage_backends.py) asserts byte-identical audit history,
+correlation graphs, sync ledgers and lineage across all of them, at any
+shard count.  ``MispStore(path)`` re-opens an existing store with whatever
+layout it was created with (recorded in its ``store_meta`` table).
+
 Persistence is batch-aware: :meth:`MispStore.save_events` writes a whole
 collection cycle — audit rows, event rows, attribute rows, tag rows — in a
-single transaction via ``executemany``, and
-:meth:`correlatable_attributes_many` resolves every correlatable value of a
-batch with one chunked ``IN (...)`` query.  ``sql_statements`` counts
-Python→SQLite round trips so benchmarks can prove the batched path issues
-fewer of them.
+single transaction, and :meth:`correlatable_attributes_many` resolves every
+correlatable value of a batch with chunked ``IN (...)`` queries sized by the
+shared bound-variable budget.  ``sql_statements`` counts Python→storage
+round trips so benchmarks can prove the batched path issues fewer of them.
 
 The store also persists the sharing gateway's delta-sync ledger
 (``sync_state``/``sync_digests``): a per-entity audit-seq watermark plus the
@@ -23,97 +39,23 @@ successful sync (docs/SHARING.md).
 from __future__ import annotations
 
 import json
-import sqlite3
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..clock import Clock
 from ..errors import StorageError
 from ..obs import MetricsRegistry, NULL_REGISTRY
-from .model import MispAttribute, MispEvent
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS events (
-    uuid TEXT PRIMARY KEY,
-    info TEXT NOT NULL,
-    date TEXT NOT NULL,
-    org TEXT NOT NULL,
-    threat_level_id INTEGER NOT NULL,
-    analysis INTEGER NOT NULL,
-    distribution INTEGER NOT NULL,
-    published INTEGER NOT NULL,
-    timestamp INTEGER NOT NULL,
-    blob TEXT NOT NULL
-);
-CREATE TABLE IF NOT EXISTS attributes (
-    uuid TEXT PRIMARY KEY,
-    event_uuid TEXT NOT NULL REFERENCES events(uuid) ON DELETE CASCADE,
-    type TEXT NOT NULL,
-    category TEXT NOT NULL,
-    value TEXT NOT NULL,
-    to_ids INTEGER NOT NULL,
-    correlatable INTEGER NOT NULL,
-    timestamp INTEGER NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_attributes_value ON attributes(value);
-CREATE INDEX IF NOT EXISTS idx_attributes_event ON attributes(event_uuid);
-CREATE TABLE IF NOT EXISTS event_tags (
-    event_uuid TEXT NOT NULL REFERENCES events(uuid) ON DELETE CASCADE,
-    name TEXT NOT NULL,
-    UNIQUE(event_uuid, name)
-);
-CREATE TABLE IF NOT EXISTS correlations (
-    source_attribute TEXT NOT NULL,
-    target_attribute TEXT NOT NULL,
-    source_event TEXT NOT NULL,
-    target_event TEXT NOT NULL,
-    value TEXT NOT NULL,
-    UNIQUE(source_attribute, target_attribute)
-);
-CREATE TABLE IF NOT EXISTS audit_log (
-    seq INTEGER PRIMARY KEY AUTOINCREMENT,
-    event_uuid TEXT NOT NULL,
-    action TEXT NOT NULL,
-    detail TEXT NOT NULL DEFAULT '',
-    logged_at INTEGER NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_audit_event ON audit_log(event_uuid);
-CREATE TABLE IF NOT EXISTS sync_state (
-    entity TEXT PRIMARY KEY,
-    watermark INTEGER NOT NULL,
-    updated_at INTEGER NOT NULL
-);
-CREATE TABLE IF NOT EXISTS sync_digests (
-    entity TEXT NOT NULL,
-    event_uuid TEXT NOT NULL,
-    digest TEXT NOT NULL,
-    PRIMARY KEY (entity, event_uuid)
-);
-CREATE TABLE IF NOT EXISTS provenance (
-    seq INTEGER PRIMARY KEY AUTOINCREMENT,
-    trace_id TEXT NOT NULL,
-    event_uuid TEXT NOT NULL,
-    kind TEXT NOT NULL,
-    actor TEXT NOT NULL DEFAULT '',
-    org TEXT NOT NULL DEFAULT '',
-    detail TEXT NOT NULL DEFAULT '',
-    cycle INTEGER NOT NULL DEFAULT 0,
-    logged_at INTEGER NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_provenance_trace ON provenance(trace_id);
-CREATE INDEX IF NOT EXISTS idx_provenance_event ON provenance(event_uuid);
-"""
+from .model import MispEvent
+from .storage import (
+    PersistBatch,
+    SQLiteBackend,
+    ShardedSQLiteBackend,
+    StorageBackend,
+    detect_shard_count,
+)
 
 #: Batch-size histogram buckets: one cycle's cIoC count lands here.
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
-
-#: SQLite's default variable limit is 999; stay safely under it.
-_IN_CHUNK = 400
-
-
-def _chunks(items: Sequence, size: int) -> Iterable[Sequence]:
-    for start in range(0, len(items), size):
-        yield items[start:start + size]
 
 
 class MispStore:
@@ -121,32 +63,38 @@ class MispStore:
 
     ``clock`` (optional) stamps audit rows for destructive operations; when
     absent, deletes fall back to the deleted event's own timestamp.
+
+    ``shards`` selects the hash-sharded backend (``>= 2``); ``None`` means
+    "whatever the file at ``path`` was created with, else 1".  Passing a
+    ``backend`` overrides both and takes ownership of it.
     """
 
     def __init__(self, path: str = ":memory:",
                  metrics: Optional[MetricsRegistry] = None,
                  clock: Optional[Clock] = None,
-                 fault_injector=None) -> None:
-        # The sharing fan-out hands remote (peer) stores to worker threads;
-        # every cross-thread use is serialized behind the gateway's transport
-        # lock, so the connection only needs the same-thread check relaxed.
-        self._conn = sqlite3.connect(path, check_same_thread=False)
+                 fault_injector=None,
+                 shards: Optional[int] = None,
+                 backend: Optional[StorageBackend] = None) -> None:
         self._clock = clock
         #: Optional :class:`~repro.resilience.FaultInjector` consulted at
         #: the top of every :meth:`save_events` (component ``store``, key
         #: ``save_events``), before the transaction starts.
         self.fault_injector = fault_injector
-        #: Python→SQLite round trips (execute/executemany calls) issued so
-        #: far; the ingest benchmark compares this between the per-event and
-        #: the batched persistence paths.
-        self.sql_statements = 0
-        self._conn.execute("PRAGMA foreign_keys = ON")
-        if path != ":memory:":
-            # WAL lets readers proceed while a batch commit is in flight;
-            # NORMAL fsyncs at checkpoints instead of every commit.
-            self._conn.execute("PRAGMA journal_mode = WAL")
-            self._conn.execute("PRAGMA synchronous = NORMAL")
-        self._conn.executescript(_SCHEMA)
+        if backend is None:
+            detected = detect_shard_count(path)
+            if shards is None:
+                shards = detected if detected is not None else 1
+            elif detected is not None and detected != shards:
+                raise StorageError(
+                    f"store at {path!r} was created with {detected} "
+                    f"shard(s); refusing to open it with {shards}")
+            if shards >= 2:
+                backend = ShardedSQLiteBackend(path, shards=shards)
+            else:
+                backend = SQLiteBackend(path)
+        #: The :class:`~repro.misp.storage.base.StorageBackend` doing the
+        #: actual persistence.
+        self.backend = backend
         metrics = metrics or NULL_REGISTRY
         self._m_events = metrics.counter(
             "caop_misp_events_stored_total",
@@ -162,20 +110,39 @@ class MispStore:
             "caop_enrich_batch_size",
             "Events written back per apply_enrichments call",
             buckets=BATCH_SIZE_BUCKETS)
+        self._m_shard_batch_size = metrics.histogram(
+            "caop_store_shard_batch_size",
+            "Events persisted per shard per save_events call",
+            buckets=BATCH_SIZE_BUCKETS)
+        info = backend.info()
+        metrics.gauge(
+            "caop_store_shards",
+            "Shard count of the MISP store backend").set(info.shard_count)
 
     def close(self) -> None:
         """Release the underlying resources."""
-        self._conn.close()
+        self.backend.close()
 
-    # -- statement accounting ---------------------------------------------------
+    @property
+    def sql_statements(self) -> int:
+        """Python→storage round trips issued so far (read-only)."""
+        return self.backend.sql_statements
 
-    def _execute(self, sql: str, params: Sequence = ()) -> sqlite3.Cursor:
-        self.sql_statements += 1
-        return self._conn.execute(sql, params)
+    @property
+    def shard_count(self) -> int:
+        """How many shards back this store (1 for unsharded backends)."""
+        return self.backend.info().shard_count
 
-    def _executemany(self, sql: str, rows: Sequence[Sequence]) -> sqlite3.Cursor:
-        self.sql_statements += 1
-        return self._conn.executemany(sql, rows)
+    def query_plan(self, sql: str, params: Sequence = ()) -> str:
+        """``EXPLAIN QUERY PLAN`` output for SQLite-backed stores.
+
+        Raises :class:`StorageError` for backends without a SQL planner.
+        """
+        plan = getattr(self.backend, "query_plan", None)
+        if plan is None:
+            raise StorageError(
+                f"{self.backend.info().kind} backend has no query planner")
+        return plan(sql, params)
 
     # -- events ----------------------------------------------------------------
 
@@ -236,13 +203,7 @@ class MispStore:
                            replace: bool,
                            action: Optional[str] = None) -> None:
         uuids = [event.uuid for event in events]
-        existing: set = set()
-        for chunk in _chunks(uuids, _IN_CHUNK):
-            placeholders = ",".join("?" * len(chunk))
-            rows = self._execute(
-                f"SELECT uuid FROM events WHERE uuid IN ({placeholders})",
-                chunk).fetchall()
-            existing.update(row[0] for row in rows)
+        existing = self.backend.existing_events(uuids)
         if not replace:
             for uuid in uuids:
                 if uuid in existing:
@@ -282,30 +243,10 @@ class MispStore:
             for tag in event.tags:
                 tag_rows.append((event.uuid, tag.name))
 
-        with self._conn:
-            self._executemany(
-                "INSERT INTO audit_log (event_uuid, action, detail, logged_at)"
-                " VALUES (?,?,?,?)", audit_rows)
-            self._executemany(
-                "INSERT OR REPLACE INTO events "
-                "(uuid, info, date, org, threat_level_id, analysis, distribution,"
-                " published, timestamp, blob) VALUES (?,?,?,?,?,?,?,?,?,?)",
-                event_rows)
-            self._executemany(
-                "DELETE FROM attributes WHERE event_uuid = ?",
-                [(uuid,) for uuid in uuids])
-            self._executemany(
-                "DELETE FROM event_tags WHERE event_uuid = ?",
-                [(uuid,) for uuid in uuids])
-            self._executemany(
-                "INSERT OR REPLACE INTO attributes "
-                "(uuid, event_uuid, type, category, value, to_ids,"
-                " correlatable, timestamp) VALUES (?,?,?,?,?,?,?,?)",
-                attribute_rows)
-            if tag_rows:
-                self._executemany(
-                    "INSERT OR IGNORE INTO event_tags (event_uuid, name)"
-                    " VALUES (?,?)", tag_rows)
+        per_shard = self.backend.persist_batch(PersistBatch(
+            uuids=uuids, audit_rows=audit_rows, event_rows=event_rows,
+            attribute_rows=attribute_rows, tag_rows=tag_rows,
+            new_events=created))
         if action is not None:
             self._m_events.inc(len(events), action=action)
         else:
@@ -315,20 +256,23 @@ class MispStore:
                 self._m_events.inc(updated, action="updated")
         self._m_attributes.inc(len(attribute_rows))
         self._m_batch_size.observe(len(events))
+        for shard, count in sorted(per_shard.items()):
+            self._m_shard_batch_size.observe(count, shard=str(shard))
 
     def has_event(self, uuid: str) -> bool:
         """Whether an event uuid is stored."""
-        row = self._execute(
-            "SELECT 1 FROM events WHERE uuid = ?", (uuid,)).fetchone()
-        return row is not None
+        return self.backend.has_event(uuid)
+
+    def existing_events(self, uuids: Sequence[str]) -> Set[str]:
+        """Which of the given uuids are stored (chunked batch probe)."""
+        return self.backend.existing_events(uuids)
 
     def get_event(self, uuid: str) -> Optional[MispEvent]:
         """Fetch one event by uuid."""
-        row = self._execute(
-            "SELECT blob FROM events WHERE uuid = ?", (uuid,)).fetchone()
-        if row is None:
+        blob = self.backend.get_event_blob(uuid)
+        if blob is None:
             return None
-        return MispEvent.from_dict(json.loads(row[0]))
+        return MispEvent.from_dict(json.loads(blob))
 
     def get_events(self, uuids: Sequence[str]) -> Dict[str, Optional[MispEvent]]:
         """Batch-fetch events with chunked ``IN (...)`` queries.
@@ -337,60 +281,28 @@ class MispStore:
         request order; uuids with no stored event map to ``None``.  N lookups
         cost ``ceil(N / chunk)`` round trips instead of N.
         """
-        result: Dict[str, Optional[MispEvent]] = {uuid: None for uuid in uuids}
-        unique = list(result)
-        for chunk in _chunks(unique, _IN_CHUNK):
-            placeholders = ",".join("?" * len(chunk))
-            rows = self._execute(
-                f"SELECT uuid, blob FROM events WHERE uuid IN ({placeholders})",
-                chunk).fetchall()
-            for uuid, blob in rows:
-                result[uuid] = MispEvent.from_dict(json.loads(blob))
-        return result
+        blobs = self.backend.get_event_blobs(uuids)
+        return {uuid: MispEvent.from_dict(json.loads(blob))
+                if blob is not None else None
+                for uuid, blob in blobs.items()}
 
     def events_with_tag(self, tag: str, uuids: Sequence[str]) -> Set[str]:
         """Which of the given event uuids carry a tag (one chunked query)."""
-        unique = list(dict.fromkeys(uuids))
-        found: Set[str] = set()
-        for chunk in _chunks(unique, _IN_CHUNK):
-            placeholders = ",".join("?" * len(chunk))
-            rows = self._execute(
-                "SELECT DISTINCT event_uuid FROM event_tags"
-                f" WHERE name = ? AND event_uuid IN ({placeholders})",
-                [tag, *chunk]).fetchall()
-            found.update(row[0] for row in rows)
-        return found
+        return self.backend.events_with_tag(tag, uuids)
 
     def delete_event(self, uuid: str) -> bool:
         """Delete an event (cascades to attributes)."""
-        with self._conn:
-            row = self._execute(
-                "SELECT timestamp FROM events WHERE uuid = ?", (uuid,)
-            ).fetchone()
-            cursor = self._execute("DELETE FROM events WHERE uuid = ?", (uuid,))
-            if cursor.rowcount > 0:
-                if self._clock is not None:
-                    logged_at = int(self._clock.now().timestamp())
-                else:
-                    logged_at = int(row[0]) if row is not None else 0
-                self._execute(
-                    "INSERT INTO audit_log (event_uuid, action, detail,"
-                    " logged_at) VALUES (?,?,?,?)",
-                    (uuid, "deleted", "", logged_at),
-                )
-        return cursor.rowcount > 0
+        logged_at = int(self._clock.now().timestamp()) \
+            if self._clock is not None else None
+        return self.backend.delete_event(uuid, logged_at=logged_at)
 
     def event_history(self, uuid: str) -> List[Dict[str, Any]]:
         """The audit trail of one event, oldest first."""
-        rows = self._execute(
-            "SELECT seq, action, detail, logged_at FROM audit_log"
-            " WHERE event_uuid = ? ORDER BY seq", (uuid,)).fetchall()
-        return [{"seq": r[0], "action": r[1], "detail": r[2],
-                 "logged_at": r[3]} for r in rows]
+        return self.backend.event_history(uuid)
 
     def audit_count(self) -> int:
         """Total audit-log rows."""
-        return self._execute("SELECT COUNT(*) FROM audit_log").fetchone()[0]
+        return self.backend.audit_count()
 
     # -- provenance (lineage) -----------------------------------------------------
 
@@ -402,51 +314,25 @@ class MispStore:
         is preserved by the autoincrement ``seq``, so callers that buffer
         in deterministic order persist in deterministic order.
         """
-        rows = list(rows)
-        if not rows:
-            return 0
-        with self._conn:
-            self._executemany(
-                "INSERT INTO provenance (trace_id, event_uuid, kind, actor,"
-                " org, detail, cycle, logged_at) VALUES (?,?,?,?,?,?,?,?)",
-                [(r.trace_id, r.event_uuid, r.kind, r.actor, r.org,
-                  r.detail, int(r.cycle), int(r.logged_at)) for r in rows])
-        return len(rows)
-
-    @staticmethod
-    def _provenance_row(raw: Sequence[Any]) -> Dict[str, Any]:
-        return {"seq": raw[0], "trace_id": raw[1], "event_uuid": raw[2],
-                "kind": raw[3], "actor": raw[4], "org": raw[5],
-                "detail": raw[6], "cycle": raw[7], "logged_at": raw[8]}
-
-    _PROVENANCE_COLS = ("seq, trace_id, event_uuid, kind, actor, org,"
-                        " detail, cycle, logged_at")
+        return self.backend.add_provenance(
+            [(r.trace_id, r.event_uuid, r.kind, r.actor, r.org,
+              r.detail, int(r.cycle), int(r.logged_at)) for r in rows])
 
     def provenance_for_event(self, event_uuid: str) -> List[Dict[str, Any]]:
         """One event's lineage rows, oldest first."""
-        rows = self._execute(
-            f"SELECT {self._PROVENANCE_COLS} FROM provenance"
-            " WHERE event_uuid = ? ORDER BY seq", (event_uuid,)).fetchall()
-        return [self._provenance_row(row) for row in rows]
+        return self.backend.provenance_for_event(event_uuid)
 
     def provenance_for_trace(self, trace_id: str) -> List[Dict[str, Any]]:
         """Every lineage row carrying one trace id, oldest first."""
-        rows = self._execute(
-            f"SELECT {self._PROVENANCE_COLS} FROM provenance"
-            " WHERE trace_id = ? ORDER BY seq", (trace_id,)).fetchall()
-        return [self._provenance_row(row) for row in rows]
+        return self.backend.provenance_for_trace(trace_id)
 
     def provenance_count(self) -> int:
         """Total lineage rows."""
-        return self._execute(
-            "SELECT COUNT(*) FROM provenance").fetchone()[0]
+        return self.backend.provenance_count()
 
     def latest_traced_event(self) -> Optional[str]:
         """The event uuid of the newest lineage row (demo/CLI convenience)."""
-        row = self._execute(
-            "SELECT event_uuid FROM provenance"
-            " ORDER BY seq DESC LIMIT 1").fetchone()
-        return row[0] if row is not None else None
+        return self.backend.latest_traced_event()
 
     # -- delta-sync ledger --------------------------------------------------------
 
@@ -458,8 +344,7 @@ class MispStore:
         complete delta regardless of whether the edit bumped the event's own
         timestamp.  The sharing gateway scans against this cursor.
         """
-        row = self._execute("SELECT MAX(seq) FROM audit_log").fetchone()
-        return int(row[0]) if row and row[0] is not None else 0
+        return self.backend.max_audit_seq()
 
     def events_changed_since(self, after_seq: int,
                              until_seq: Optional[int] = None
@@ -468,43 +353,24 @@ class MispStore:
 
         Returns ``(event_uuid, last_change_seq)`` pairs ordered by that last
         change (then uuid, for a total deterministic order).  Deleted events
-        drop out naturally: the join keeps only uuids still present in
-        ``events``.
+        drop out naturally: only uuids still stored are reported.
         """
-        query = ("SELECT e.uuid, MAX(a.seq) AS last_seq"
-                 " FROM audit_log a JOIN events e ON e.uuid = a.event_uuid"
-                 " WHERE a.seq > ?")
-        params: List[Any] = [int(after_seq)]
-        if until_seq is not None:
-            query += " AND a.seq <= ?"
-            params.append(int(until_seq))
-        query += " GROUP BY e.uuid ORDER BY last_seq, e.uuid"
-        rows = self._execute(query, params).fetchall()
-        return [(row[0], int(row[1])) for row in rows]
+        return self.backend.events_changed_since(after_seq, until_seq)
 
     def get_sync_watermark(self, entity: str) -> int:
         """The audit-seq watermark of one sync entity (0 when never synced)."""
-        row = self._execute(
-            "SELECT watermark FROM sync_state WHERE entity = ?",
-            (entity,)).fetchone()
-        return int(row[0]) if row is not None else 0
+        return self.backend.get_sync_watermark(entity)
 
     def set_sync_watermark(self, entity: str, watermark: int) -> None:
         """Persist an entity's watermark (stamped on the store clock)."""
         logged_at = int(self._clock.now().timestamp()) \
             if self._clock is not None else 0
-        with self._conn:
-            self._execute(
-                "INSERT OR REPLACE INTO sync_state (entity, watermark,"
-                " updated_at) VALUES (?,?,?)",
-                (entity, int(watermark), logged_at))
+        self.backend.set_sync_watermark(entity, watermark,
+                                        logged_at=logged_at)
 
     def sync_watermarks(self) -> Dict[str, int]:
         """Every persisted entity watermark (entity -> audit seq)."""
-        rows = self._execute(
-            "SELECT entity, watermark FROM sync_state ORDER BY entity"
-        ).fetchall()
-        return {row[0]: int(row[1]) for row in rows}
+        return self.backend.sync_watermarks()
 
     def get_sync_digests(self, entity: str,
                          uuids: Sequence[str]) -> Dict[str, str]:
@@ -514,109 +380,54 @@ class MispStore:
         ledger row (chunked ``IN (...)`` lookups); absent uuids are simply
         missing from the result.
         """
-        unique = list(dict.fromkeys(uuids))
-        found: Dict[str, str] = {}
-        for chunk in _chunks(unique, _IN_CHUNK):
-            placeholders = ",".join("?" * len(chunk))
-            rows = self._execute(
-                "SELECT event_uuid, digest FROM sync_digests"
-                f" WHERE entity = ? AND event_uuid IN ({placeholders})",
-                [entity, *chunk]).fetchall()
-            found.update({row[0]: row[1] for row in rows})
-        return found
+        return self.backend.get_sync_digests(entity, uuids)
 
     def set_sync_digests(self, entity: str,
                          digests: Mapping[str, str]) -> None:
         """Record one cycle's synced digests in a single ``executemany``."""
-        if not digests:
-            return
-        with self._conn:
-            self._executemany(
-                "INSERT OR REPLACE INTO sync_digests"
-                " (entity, event_uuid, digest) VALUES (?,?,?)",
-                [(entity, uuid, digest)
-                 for uuid, digest in digests.items()])
+        self.backend.set_sync_digests(entity, digests)
 
     def sync_digest_count(self, entity: Optional[str] = None) -> int:
         """Ledger rows, optionally for one entity."""
-        if entity is None:
-            return self._execute(
-                "SELECT COUNT(*) FROM sync_digests").fetchone()[0]
-        return self._execute(
-            "SELECT COUNT(*) FROM sync_digests WHERE entity = ?",
-            (entity,)).fetchone()[0]
+        return self.backend.sync_digest_count(entity)
 
     def event_count(self) -> int:
-        """Number of stored events."""
-        return self._execute("SELECT COUNT(*) FROM events").fetchone()[0]
+        """Number of stored events (O(1): maintained counter)."""
+        return self.backend.event_count()
 
     def attribute_count(self) -> int:
-        """Number of stored attributes."""
-        return self._execute("SELECT COUNT(*) FROM attributes").fetchone()[0]
+        """Number of stored attributes (O(1): maintained counter)."""
+        return self.backend.attribute_count()
 
     def list_events(self, limit: Optional[int] = None,
                     published_only: bool = False) -> List[MispEvent]:
-        """Stored events, newest first."""
-        query = "SELECT blob FROM events"
-        params: List[Any] = []
-        if published_only:
-            query += " WHERE published = 1"
-        query += " ORDER BY timestamp DESC"
-        if limit is not None:
-            query += " LIMIT ?"
-            params.append(int(limit))
-        rows = self._execute(query, params).fetchall()
-        return [MispEvent.from_dict(json.loads(row[0])) for row in rows]
+        """Stored events, newest first (``timestamp DESC, uuid``)."""
+        return [MispEvent.from_dict(json.loads(blob))
+                for blob in self.backend.list_event_blobs(
+                    limit=limit, published_only=published_only)]
 
     # -- search -------------------------------------------------------------------
 
     def search_value(self, value: str) -> List[Tuple[str, str]]:
         """Exact value search: returns (event_uuid, attribute_uuid) pairs."""
-        rows = self._execute(
-            "SELECT event_uuid, uuid FROM attributes WHERE value = ?", (value,)
-        ).fetchall()
-        return [(r[0], r[1]) for r in rows]
+        return self.backend.search_value(value)
 
     def search_events(self, info_substring: Optional[str] = None,
                       tag: Optional[str] = None,
                       attribute_type: Optional[str] = None,
                       value: Optional[str] = None) -> List[MispEvent]:
         """Filtered event search across the relational tables."""
-        query = "SELECT DISTINCT e.blob FROM events e"
-        clauses: List[str] = []
-        params: List[Any] = []
-        if tag is not None:
-            query += " JOIN event_tags t ON t.event_uuid = e.uuid"
-            clauses.append("t.name = ?")
-            params.append(tag)
-        if attribute_type is not None or value is not None:
-            query += " JOIN attributes a ON a.event_uuid = e.uuid"
-            if attribute_type is not None:
-                clauses.append("a.type = ?")
-                params.append(attribute_type)
-            if value is not None:
-                clauses.append("a.value = ?")
-                params.append(value)
-        if info_substring is not None:
-            clauses.append("e.info LIKE ?")
-            params.append(f"%{info_substring}%")
-        if clauses:
-            query += " WHERE " + " AND ".join(clauses)
-        query += " ORDER BY e.timestamp DESC"
-        rows = self._execute(query, params).fetchall()
-        return [MispEvent.from_dict(json.loads(row[0])) for row in rows]
+        return [MispEvent.from_dict(json.loads(blob))
+                for blob in self.backend.search_event_blobs(
+                    info_substring=info_substring, tag=tag,
+                    attribute_type=attribute_type, value=value)]
 
     def correlatable_attributes(self, value: str,
                                 exclude_event: Optional[str] = None
                                 ) -> List[Tuple[str, str]]:
         """(event_uuid, attribute_uuid) of correlatable rows matching value."""
-        query = ("SELECT event_uuid, uuid FROM attributes "
-                 "WHERE value = ? AND correlatable = 1")
-        params: List[Any] = [value]
-        if exclude_event is not None:
-            query += " AND event_uuid != ?"
-            params.append(exclude_event)
-        return [(r[0], r[1]) for r in self._execute(query, params).fetchall()]
+        return self.backend.correlatable_attributes(
+            value, exclude_event=exclude_event)
 
     def correlatable_attributes_many(
             self, values: Sequence[str]
@@ -627,18 +438,7 @@ class MispStore:
         order per value, matching :meth:`correlatable_attributes`); values
         with no match map to an empty list.
         """
-        result: Dict[str, List[Tuple[str, str]]] = {
-            value: [] for value in values}
-        unique = list(result)
-        for chunk in _chunks(unique, _IN_CHUNK):
-            placeholders = ",".join("?" * len(chunk))
-            rows = self._execute(
-                "SELECT value, event_uuid, uuid FROM attributes"
-                f" WHERE correlatable = 1 AND value IN ({placeholders})"
-                " ORDER BY rowid", chunk).fetchall()
-            for value, event_uuid, attribute_uuid in rows:
-                result[value].append((event_uuid, attribute_uuid))
-        return result
+        return self.backend.correlatable_attributes_many(values)
 
     # -- correlations --------------------------------------------------------------
 
@@ -657,33 +457,14 @@ class MispStore:
         target_event, value)``; duplicates are ignored.  Returns the number
         of edges actually inserted.
         """
-        edges = list(edges)
-        if not edges:
-            return 0
-        with self._conn:
-            before = self._conn.total_changes
-            self._executemany(
-                "INSERT OR IGNORE INTO correlations VALUES (?,?,?,?,?)", edges)
-            inserted = self._conn.total_changes - before
+        inserted = self.backend.save_correlations(edges)
         if inserted > 0:
             self._m_correlations.inc(inserted)
         return inserted
 
     def correlations_for_event(self, event_uuid: str) -> List[Dict[str, str]]:
         """Correlation rows touching one event."""
-        rows = self._execute(
-            "SELECT source_attribute, target_attribute, source_event,"
-            " target_event, value FROM correlations"
-            " WHERE source_event = ? OR target_event = ?",
-            (event_uuid, event_uuid),
-        ).fetchall()
-        return [
-            {
-                "source_attribute": r[0], "target_attribute": r[1],
-                "source_event": r[2], "target_event": r[3], "value": r[4],
-            }
-            for r in rows
-        ]
+        return self.backend.correlations_for_event(event_uuid)
 
     def correlations_for_events(
             self, uuids: Sequence[str]) -> Dict[str, List[Dict[str, str]]]:
@@ -694,30 +475,8 @@ class MispStore:
         appears under both.  Row order per event matches
         :meth:`correlations_for_event` (insertion order).
         """
-        result: Dict[str, List[Dict[str, str]]] = {uuid: [] for uuid in uuids}
-        unique = list(result)
-        for chunk in _chunks(unique, _IN_CHUNK):
-            chunk_set = set(chunk)
-            placeholders = ",".join("?" * len(chunk))
-            rows = self._execute(
-                "SELECT source_attribute, target_attribute, source_event,"
-                " target_event, value FROM correlations"
-                f" WHERE source_event IN ({placeholders})"
-                f" OR target_event IN ({placeholders})"
-                " ORDER BY rowid", [*chunk, *chunk]).fetchall()
-            for r in rows:
-                row = {
-                    "source_attribute": r[0], "target_attribute": r[1],
-                    "source_event": r[2], "target_event": r[3], "value": r[4],
-                }
-                # Attach only to uuids of *this* chunk: a row whose two
-                # sides land in different chunks is returned by both chunk
-                # queries and must not be double-counted.
-                for side in {r[2], r[3]}:
-                    if side in chunk_set:
-                        result[side].append(row)
-        return result
+        return self.backend.correlations_for_events(uuids)
 
     def correlation_count(self) -> int:
-        """Total stored correlation edges."""
-        return self._execute("SELECT COUNT(*) FROM correlations").fetchone()[0]
+        """Total stored correlation edges (O(1): maintained counter)."""
+        return self.backend.correlation_count()

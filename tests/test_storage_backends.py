@@ -1,0 +1,478 @@
+"""Backend conformance suite for the pluggable MISP storage layer.
+
+One set of behavioural tests runs against every backend — single-file
+SQLite, hash-sharded SQLite (×4) and in-memory — plus cross-backend
+equivalence tests asserting that shard counts {1, 4, 16} (and the
+in-memory backend) produce byte-identical audit history, correlation
+graphs, sync ledgers and lineage for the same operation sequence.
+"""
+
+import datetime as dt
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import StorageError
+from repro.misp import (
+    InMemoryBackend,
+    MispAttribute,
+    MispEvent,
+    MispStore,
+    shard_of,
+)
+from repro.misp.storage import (
+    MAX_BOUND_VARS,
+    VAR_BUDGET,
+    chunk_size,
+    detect_shard_count,
+    shard_path,
+)
+
+TS = dt.datetime(2026, 1, 1, tzinfo=dt.timezone.utc)
+
+
+def make_event(info="event", values=("a.example",), published=False,
+               timestamp=TS):
+    event = MispEvent(info=info, published=published, timestamp=timestamp)
+    for value in values:
+        event.add_attribute(
+            MispAttribute(type="domain", value=value, timestamp=timestamp))
+    return event
+
+
+def make_corpus(count=40, pool_size=12, attrs=3):
+    """A deterministic-shape corpus with overlapping correlatable values."""
+    pool = [f"d{k}.example" for k in range(pool_size)]
+    corpus = []
+    for i in range(count):
+        corpus.append(make_event(
+            info=f"event {i}",
+            values=[pool[(i * attrs + j) % pool_size] for j in range(attrs)],
+            published=(i % 2 == 0)))
+    return corpus, pool
+
+
+def copies_of(corpus):
+    """Fresh MispEvent objects with the same uuids/content as ``corpus``."""
+    return [MispEvent.from_dict(event.to_dict()) for event in corpus]
+
+
+def correlate(store, pool):
+    """Build correlation edges the way ``_correlate_batch`` does."""
+    probe = store.correlatable_attributes_many(pool)
+    edges = []
+    for value in pool:
+        hits = probe[value]
+        for a in hits:
+            for b in hits:
+                if a[0] != b[0] and a[1] < b[1]:
+                    edges.append((a[1], b[1], a[0], b[0], value))
+    return store.save_correlations(edges)
+
+
+BACKENDS = ["sqlite", "sharded", "memory"]
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request):
+    if request.param == "sqlite":
+        built = MispStore(":memory:")
+    elif request.param == "sharded":
+        built = MispStore(":memory:", shards=4)
+    else:
+        built = MispStore(backend=InMemoryBackend())
+    yield built
+    built.close()
+
+
+class TestConformanceCrud:
+    def test_save_get_roundtrip(self, store):
+        event = make_event(values=("x.example", "y.example"))
+        store.save_event(event)
+        loaded = store.get_event(event.uuid)
+        assert loaded is not None
+        assert loaded.to_dict() == event.to_dict()
+        assert store.get_event("missing") is None
+
+    def test_replace_semantics(self, store):
+        event = make_event()
+        store.save_event(event)
+        event.info = "updated"
+        store.save_event(event)
+        assert store.get_event(event.uuid).info == "updated"
+        assert store.event_count() == 1
+        with pytest.raises(StorageError):
+            store.save_event(event, replace=False)
+
+    def test_delete_and_audit_trail(self, store):
+        event = make_event(values=("a.example", "b.example"))
+        store.save_event(event)
+        assert store.delete_event(event.uuid)
+        assert not store.delete_event(event.uuid)
+        assert not store.has_event(event.uuid)
+        actions = [row["action"] for row in store.event_history(event.uuid)]
+        assert actions == ["created", "deleted"]
+
+    def test_existing_events_probe(self, store):
+        events = [make_event(info=f"e{i}") for i in range(5)]
+        store.save_events(events[:3])
+        known = store.existing_events([e.uuid for e in events] + ["ghost"])
+        assert known == {e.uuid for e in events[:3]}
+
+    def test_list_events_order_and_limit(self, store):
+        stamps = [TS + dt.timedelta(hours=h) for h in (2, 0, 1, 2)]
+        events = [make_event(info=f"e{i}", timestamp=stamp,
+                             published=(i != 1))
+                  for i, stamp in enumerate(stamps)]
+        store.save_events(events)
+        listed = [e.uuid for e in store.list_events()]
+        expected = sorted(
+            events, key=lambda e: (-int(e.timestamp.timestamp()), e.uuid))
+        assert listed == [e.uuid for e in expected]
+        assert [e.uuid for e in store.list_events(limit=2)] == listed[:2]
+        published = [e.uuid for e in store.list_events(published_only=True)]
+        assert published == [e.uuid for e in expected if e.published]
+
+    def test_tags_and_search(self, store):
+        event = make_event(values=("tagged.example",))
+        event.add_tag("tlp:green")
+        other = make_event(info="other", values=("other.example",))
+        store.save_events([event, other])
+        uuids = [event.uuid, other.uuid]
+        assert store.events_with_tag("tlp:green", uuids) == {event.uuid}
+        assert [e.uuid for e in store.search_events(tag="tlp:green")] == \
+            [event.uuid]
+        assert [e.uuid for e in store.search_events(value="other.example")] \
+            == [other.uuid]
+        assert [e.uuid for e in store.search_events(info_substring="other")] \
+            == [other.uuid]
+        assert store.search_value("tagged.example") == \
+            [(event.uuid, event.attributes[0].uuid)]
+
+    def test_correlations_roundtrip(self, store):
+        one = make_event(info="one", values=("shared.example",))
+        two = make_event(info="two", values=("shared.example",))
+        store.save_events([one, two])
+        inserted = correlate(store, ["shared.example"])
+        assert inserted == 1
+        # Idempotent: replaying the same probe inserts nothing new.
+        assert correlate(store, ["shared.example"]) == 0
+        rows_one = store.correlations_for_event(one.uuid)
+        rows_two = store.correlations_for_event(two.uuid)
+        assert rows_one == rows_two
+        assert len(rows_one) == 1
+        batched = store.correlations_for_events([one.uuid, two.uuid])
+        assert batched[one.uuid] == rows_one
+        assert batched[two.uuid] == rows_two
+        assert store.correlation_count() == 1
+
+    def test_sync_ledger(self, store):
+        event = make_event()
+        store.save_event(event)
+        assert store.get_sync_watermark("partner") == 0
+        store.set_sync_watermark("partner", 5)
+        store.set_sync_watermark("alpha", 3)
+        assert store.sync_watermarks() == {"alpha": 3, "partner": 5}
+        store.set_sync_digests("partner", {event.uuid: "digest-1"})
+        assert store.get_sync_digests("partner", [event.uuid, "ghost"]) == \
+            {event.uuid: "digest-1"}
+        assert store.sync_digest_count() == 1
+        assert store.sync_digest_count("partner") == 1
+        assert store.sync_digest_count("alpha") == 0
+
+    def test_events_changed_since(self, store):
+        events = [make_event(info=f"e{i}") for i in range(3)]
+        store.save_events(events)
+        store.save_event(events[1])
+        store.delete_event(events[2].uuid)
+        changed = store.events_changed_since(0)
+        assert changed == [(events[0].uuid, 1), (events[1].uuid, 4)]
+        assert store.events_changed_since(1) == [(events[1].uuid, 4)]
+        assert store.events_changed_since(0, until_seq=3) == \
+            [(events[0].uuid, 1), (events[1].uuid, 2)]
+
+    def test_provenance(self, store):
+        class Row:
+            def __init__(self, trace_id, event_uuid, kind):
+                self.trace_id = trace_id
+                self.event_uuid = event_uuid
+                self.kind = kind
+                self.actor = "collector"
+                self.org = "CAOP"
+                self.detail = ""
+                self.cycle = 1
+                self.logged_at = 100
+
+        assert store.add_provenance([]) == 0
+        assert store.add_provenance(
+            [Row("t1", "e1", "collected"), Row("t1", "e2", "composed"),
+             Row("t2", "e2", "enriched")]) == 3
+        assert store.provenance_count() == 3
+        assert [r["kind"] for r in store.provenance_for_trace("t1")] == \
+            ["collected", "composed"]
+        assert [r["seq"] for r in store.provenance_for_event("e2")] == [2, 3]
+        assert store.latest_traced_event() == "e2"
+
+
+class TestCounters:
+    """The O(1)-counter satellite: counts survive save/delete/replay."""
+
+    def test_counts_track_saves_and_deletes(self, store):
+        corpus, pool = make_corpus(count=10)
+        store.save_events(corpus)
+        assert store.event_count() == 10
+        assert store.attribute_count() == 30
+        correlate(store, pool)
+        assert store.correlation_count() > 0
+        before_corr = store.correlation_count()
+        # Replacing an event with fewer attributes shrinks the count.
+        smaller = MispEvent.from_dict(corpus[0].to_dict())
+        smaller.attributes = smaller.attributes[:1]
+        store.save_event(smaller)
+        assert store.event_count() == 10
+        assert store.attribute_count() == 28
+        store.delete_event(corpus[1].uuid)
+        assert store.event_count() == 9
+        assert store.attribute_count() == 25
+        # Replaying the same correlation probe changes nothing.
+        correlate(store, pool)
+        assert store.correlation_count() == before_corr
+
+    def test_counts_match_full_scan(self, store):
+        corpus, pool = make_corpus(count=15)
+        store.save_events(corpus)
+        correlate(store, pool)
+        store.delete_event(corpus[0].uuid)
+        assert store.event_count() == len(store.list_events())
+        assert store.attribute_count() == sum(
+            len(e.all_attributes()) for e in store.list_events())
+
+
+class TestChunkBudget:
+    """The 999-bound-variable satellite: >1000-uuid batch operations."""
+
+    def test_chunk_size_respects_budget(self):
+        assert chunk_size() <= VAR_BUDGET <= MAX_BOUND_VARS
+        assert chunk_size(per_item=2) * 2 <= MAX_BOUND_VARS
+        assert chunk_size(reserved=1) + 1 <= MAX_BOUND_VARS
+        assert chunk_size(reserved=VAR_BUDGET + 5) == 1
+
+    def test_large_uuid_batches(self, store):
+        corpus = [make_event(info=f"e{i}", values=(f"v{i}.example",))
+                  for i in range(1100)]
+        store.save_events(corpus)
+        uuids = [e.uuid for e in corpus] + ["ghost"]
+        fetched = store.get_events(uuids)
+        assert len(fetched) == 1101
+        assert fetched["ghost"] is None
+        assert all(fetched[e.uuid] is not None for e in corpus)
+        assert store.existing_events(uuids) == set(uuids[:-1])
+        assert store.events_with_tag("tlp:green", uuids) == set()
+        batched = store.correlations_for_events(uuids)
+        assert len(batched) == 1101
+        store.set_sync_digests(
+            "partner", {e.uuid: f"digest-{i}" for i, e in enumerate(corpus)})
+        digests = store.get_sync_digests("partner", uuids)
+        assert len(digests) == 1100
+        values = [f"v{i}.example" for i in range(1100)]
+        probe = store.correlatable_attributes_many(values)
+        assert all(len(probe[value]) == 1 for value in values)
+
+
+class TestQueryPlan:
+    """The index satellite: value probes must hit the (value, type) index."""
+
+    VALUE_QUERIES = {
+        "sqlite": [
+            "SELECT event_uuid, uuid FROM attributes WHERE value = ?",
+            "SELECT event_uuid, uuid FROM attributes"
+            " WHERE value = ? AND type = ?",
+        ],
+        "sharded": [
+            "SELECT event_uuid, attribute_uuid FROM value_index"
+            " WHERE value = ?",
+            "SELECT event_uuid, attribute_uuid FROM value_index"
+            " WHERE value = ? AND type = ?",
+        ],
+    }
+
+    @pytest.mark.parametrize("kind", ["sqlite", "sharded"])
+    def test_value_probe_uses_index(self, kind):
+        built = MispStore(":memory:",
+                          shards=4 if kind == "sharded" else 1)
+        try:
+            built.save_events([make_event()])
+            for query in self.VALUE_QUERIES[kind]:
+                params = ("a.example",) if query.count("?") == 1 \
+                    else ("a.example", "domain")
+                plan = built.query_plan(query, params)
+                assert "USING INDEX" in plan and "value" in plan, plan
+                assert "SCAN" not in plan.split("USING INDEX")[0], plan
+        finally:
+            built.close()
+
+    def test_memory_backend_has_no_planner(self):
+        built = MispStore(backend=InMemoryBackend())
+        with pytest.raises(StorageError):
+            built.query_plan("SELECT 1")
+
+
+#: One corpus template shared by every equivalence run, so all backends
+#: see the same uuids and the fingerprints are comparable byte for byte.
+_SCENARIO_CORPUS, _SCENARIO_POOL = make_corpus(count=40)
+
+
+def run_scenario(store):
+    """A mixed workload covering every mutating path; returns the corpus."""
+    corpus, pool = _SCENARIO_CORPUS, _SCENARIO_POOL
+    events = copies_of(corpus)
+    store.save_events(events[:25])
+    store.save_events(events[25:])
+    correlate(store, pool)
+    # Touch update, enrichment, delete and ledger paths.
+    events[3].info = "updated info"
+    store.save_event(events[3])
+    store.apply_enrichments([events[4]])
+    store.delete_event(events[5].uuid)
+    store.set_sync_watermark("partner-0", store.max_audit_seq())
+    store.set_sync_digests(
+        "partner-0", {events[0].uuid: "d0", events[1].uuid: "d1"})
+
+    class Row:
+        def __init__(self, trace_id, event_uuid, kind):
+            self.trace_id = trace_id
+            self.event_uuid = event_uuid
+            self.kind = kind
+            self.actor = "collector"
+            self.org = "CAOP"
+            self.detail = ""
+            self.cycle = 1
+            self.logged_at = 100
+
+    store.add_provenance(
+        [Row(f"trace-{i}", event.uuid, "collected")
+         for i, event in enumerate(events[:6])])
+    return corpus, pool
+
+
+def state_fingerprint(store, corpus, pool):
+    """Every observable surface of the store, JSON-canonicalised."""
+    uuids = [event.uuid for event in corpus]
+    return json.dumps({
+        "counts": [store.event_count(), store.attribute_count(),
+                   store.correlation_count(), store.audit_count(),
+                   store.provenance_count(), store.sync_digest_count()],
+        "history": {uuid: store.event_history(uuid) for uuid in uuids},
+        "events": {uuid: (event.to_dict() if event else None)
+                   for uuid, event in store.get_events(uuids).items()},
+        "correlations": store.correlations_for_events(uuids),
+        "per_event_corr": {uuid: store.correlations_for_event(uuid)
+                           for uuid in uuids[:10]},
+        "changed": store.events_changed_since(0),
+        "max_seq": store.max_audit_seq(),
+        "watermarks": store.sync_watermarks(),
+        "digests": store.get_sync_digests("partner-0", uuids),
+        "listing": [event.uuid for event in store.list_events()],
+        "published": [event.uuid
+                      for event in store.list_events(published_only=True)],
+        "search_value": {value: store.search_value(value) for value in pool},
+        "probe": store.correlatable_attributes_many(pool),
+        "lineage": [store.provenance_for_trace(f"trace-{i}")
+                    for i in range(6)],
+    }, sort_keys=True)
+
+
+class TestCrossBackendEquivalence:
+    """The determinism tentpole: every backend, byte-identical state."""
+
+    def test_shard_counts_and_backends_agree(self):
+        fingerprints = {}
+        for label, kwargs in [
+                ("single", {"shards": 1}),
+                ("sharded-4", {"shards": 4}),
+                ("sharded-16", {"shards": 16}),
+                ("memory", {"backend": InMemoryBackend()}),
+        ]:
+            built = MispStore(":memory:", **kwargs)
+            corpus, pool = run_scenario(built)
+            fingerprints[label] = state_fingerprint(built, corpus, pool)
+            built.close()
+        baseline = fingerprints.pop("single")
+        for label, fingerprint in fingerprints.items():
+            assert fingerprint == baseline, f"{label} diverges from single"
+
+    def test_shard_placement_is_stable(self):
+        # sha256-based placement must not drift across processes/releases:
+        # these constants pin the mapping.
+        assert shard_of("00000000-0000-0000-0000-000000000000", 4) == 0
+        assert shard_of("ffffffff-ffff-ffff-ffff-ffffffffffff", 16) == 8
+        assert shard_of("anything", 1) == 0
+        for count in (2, 4, 16):
+            assert 0 <= shard_of("caop", count) < count
+
+
+class TestOnDiskLayout:
+    def test_sharded_files_and_reopen(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        built = MispStore(path, shards=4)
+        corpus, pool = run_scenario(built)
+        fingerprint = state_fingerprint(built, corpus, pool)
+        counts = (built.event_count(), built.attribute_count(),
+                  built.correlation_count())
+        built.close()
+        for shard in range(4):
+            assert (tmp_path / f"store.db.shard-{shard:02d}").exists()
+        assert detect_shard_count(path) == 4
+        # Reopen without declaring the shard count: layout auto-detected,
+        # counters and full state intact.
+        reopened = MispStore(path)
+        assert reopened.shard_count == 4
+        assert (reopened.event_count(), reopened.attribute_count(),
+                reopened.correlation_count()) == counts
+        assert state_fingerprint(reopened, corpus, pool) == fingerprint
+        reopened.close()
+
+    def test_shard_count_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        MispStore(path, shards=4).close()
+        with pytest.raises(StorageError):
+            MispStore(path, shards=8)
+        single = str(tmp_path / "single.db")
+        MispStore(single).close()
+        with pytest.raises(StorageError):
+            MispStore(single, shards=4)
+
+    def test_single_file_reopen_preserves_counters(self, tmp_path):
+        path = str(tmp_path / "store.db")
+        built = MispStore(path)
+        corpus, pool = run_scenario(built)
+        counts = (built.event_count(), built.attribute_count(),
+                  built.correlation_count())
+        built.close()
+        assert detect_shard_count(path) == 1
+        reopened = MispStore(path)
+        assert (reopened.event_count(), reopened.attribute_count(),
+                reopened.correlation_count()) == counts
+        reopened.close()
+
+    def test_pre_counter_store_migrates(self, tmp_path):
+        # A store created before the counters table existed (simulated by
+        # dropping the rows) re-seeds its counters from COUNT(*) on open.
+        path = str(tmp_path / "store.db")
+        built = MispStore(path)
+        built.save_events([make_event(info=f"e{i}",
+                                      values=(f"v{i}.a", f"v{i}.b"))
+                           for i in range(4)])
+        built.close()
+        raw = sqlite3.connect(path)
+        raw.execute("DELETE FROM counters")
+        raw.commit()
+        raw.close()
+        reopened = MispStore(path)
+        assert reopened.event_count() == 4
+        assert reopened.attribute_count() == 8
+        reopened.close()
+
+    def test_shard_path_layout(self):
+        assert shard_path("/data/store.db", 3) == "/data/store.db.shard-03"
