@@ -1,4 +1,4 @@
-.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store chaos examples metrics-demo obs-demo lint-metrics verify clean
+.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store bench-federation chaos examples metrics-demo obs-demo lint-metrics verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,8 +30,11 @@ bench-trace:
 bench-store:
 	PYTHONPATH=src pytest benchmarks/bench_x18_store_scaling.py -s --benchmark-disable
 
+bench-federation:
+	PYTHONPATH=src pytest benchmarks/bench_x23_federation.py -s --benchmark-disable
+
 chaos:
-	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py benchmarks/bench_x15_chaos_recovery.py -s --benchmark-disable
+	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py tests/test_federation_backbone.py benchmarks/bench_x15_chaos_recovery.py benchmarks/bench_x23_federation.py -s --benchmark-disable
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

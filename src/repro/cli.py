@@ -10,6 +10,8 @@ Subcommands::
     caop show       render views over a persisted MISP store
     caop trace      print an IoC's (cross-org) lineage tree from store(s)
     caop slo        run cycles and print SLO burn-rate status
+    caop federation drive an N-org federation through a partition/heal
+                    scenario and print the convergence verdict
     caop cvss       score a CVSS v3 vector
     caop pattern    validate a STIX pattern
 
@@ -298,6 +300,94 @@ def _cmd_sight(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_federation(args: argparse.Namespace) -> int:
+    import datetime
+
+    from .clock import PAPER_NOW, SimulatedClock
+    from .federation import (
+        Federation, SimulatedNetworkBackbone, hub_and_spoke, mesh)
+    from .misp import Distribution, MispAttribute, MispEvent
+    from .resilience import FaultInjector
+    from .sharing import mark_tlp
+
+    if args.orgs < 3:
+        print("error: a federation needs at least 3 orgs", file=sys.stderr)
+        return 1
+    orgs = [f"org-{i:02d}" for i in range(args.orgs)]
+    split = max(1, min(args.orgs - 1, args.orgs * 3 // 5))
+
+    def run(fault: bool) -> "Federation":
+        injector = FaultInjector()
+        topology = (mesh(orgs) if args.topology == "mesh"
+                    else hub_and_spoke(orgs[0], orgs[1:]))
+        federation = Federation(
+            topology, backbone=SimulatedNetworkBackbone(injector),
+            clock=SimulatedClock(PAPER_NOW))
+        node = federation.node(orgs[0])
+        for index in range(args.events):
+            event = MispEvent(
+                info=f"intel {index}",
+                uuid=f"11111111-1111-4111-8111-{index:012d}",
+                distribution=Distribution.ALL_COMMUNITIES,
+                timestamp=PAPER_NOW)
+            event.add_attribute(MispAttribute(
+                type="ip-src", value=f"203.0.113.{index + 1}",
+                uuid=f"22222222-2222-4222-8222-{index:012d}",
+                timestamp=PAPER_NOW))
+            mark_tlp(event, "green")
+            node.misp.add_event(event)
+        node.heuristics.process_pending()
+        federation.run_round()
+        if fault:
+            injector.partition(orgs[:split], orgs[split:])
+        federation.node(orgs[-2]).observe(
+            "11111111-1111-4111-8111-000000000000", "203.0.113.1",
+            "edge-fw",
+            observed_at=PAPER_NOW + datetime.timedelta(seconds=60))
+        federation.run(args.rounds)
+        if fault:
+            quarantined = sum(
+                len(federation.node(org).deadletters) for org in orgs)
+            print(f"  partition {orgs[:split]} | {orgs[split:]} held for "
+                  f"{args.rounds} round(s); {injector.injected_total()} "
+                  f"transmit(s) dropped, {quarantined} share(s) quarantined")
+            injector.heal()
+            replayed = federation.replay_deadletters()
+            print(f"  healed; {sum(replayed.values())} quarantined "
+                  f"share(s) replayed")
+        federation.run(args.rounds)
+        repairs = federation.reconcile()
+        federation.run_round()
+        repaired = sum(r.get("repaired", 0) for r in repairs.values())
+        if fault:
+            print(f"  anti-entropy pass repaired {repaired} divergence(s)")
+        return federation
+
+    print(f"fault-free baseline ({args.topology}, {args.orgs} orgs, "
+          f"{args.events} event(s)):")
+    baseline = run(False)
+    print(f"  converged: {baseline.converged()}")
+    print("partitioned run:")
+    faulted = run(True)
+    base_prints, fault_prints = baseline.fingerprints(), \
+        faulted.fingerprints()
+    matching = sum(1 for org in orgs if base_prints[org] == fault_prints[org])
+    rescores = len(faulted.node(orgs[0]).rescores)
+    base_kib = sum(baseline.bytes_by_org().values()) / 1024
+    fault_kib = sum(faulted.bytes_by_org().values()) / 1024
+    print(f"  converged: {faulted.converged()}")
+    print(f"  store fingerprints matching baseline: "
+          f"{matching}/{len(orgs)}")
+    print(f"  sighting re-scored the origin eIoC: "
+          f"{'yes' if rescores else 'NO'}")
+    print(f"  transport: baseline {base_kib:.1f} KiB, "
+          f"faulted {fault_kib:.1f} KiB")
+    ok = matching == len(orgs) and faulted.converged() and rescores
+    print("federation converged byte-identically onto the baseline"
+          if ok else "federation FAILED to converge onto the baseline")
+    return 0 if ok else 1
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     from .core import threat_score_of
     from .misp import MispStore
@@ -493,6 +583,19 @@ def build_parser() -> argparse.ArgumentParser:
     sight.add_argument("value", help="the sighted indicator value")
     sight.add_argument("node", help="the node it was sighted on")
     sight.set_defaults(func=_cmd_sight)
+
+    federation = subparsers.add_parser(
+        "federation",
+        help="drive an N-org federation through a partition/heal scenario")
+    federation.add_argument("--orgs", type=int, default=10,
+                            help="federation size (default 10)")
+    federation.add_argument("--topology", choices=("mesh", "hub"),
+                            default="mesh")
+    federation.add_argument("--events", type=int, default=3,
+                            help="events seeded at the first org")
+    federation.add_argument("--rounds", type=int, default=3,
+                            help="rounds per phase (partitioned, recovery)")
+    federation.set_defaults(func=_cmd_federation)
 
     match = subparsers.add_parser(
         "match", help="look an indicator value up in a persisted store")

@@ -65,35 +65,62 @@ class SightingProcessor:
         self._clock = clock or SimulatedClock()
         self.sightings: List[SightingRecord] = []
 
-    def report(self, eioc_uuid: str, value: str, node: str) -> RescoreOutcome:
-        """Record an infrastructure sighting of ``value`` and re-score."""
+    def report(self, eioc_uuid: str, value: str, node: str,
+               observed_at: Optional[_dt.datetime] = None) -> RescoreOutcome:
+        """Record an infrastructure sighting of ``value`` and re-score.
+
+        ``observed_at`` is the *event time* of the observation (defaults to
+        the processor clock).  Everything derived from the sighting —
+        evidence event/attribute uuids and timestamps, and the eIoC's
+        bumped modification timestamp — is a pure function of the sighting
+        content plus this stamp, so a sighting routed over a federation
+        backbone produces byte-identical state wherever and whenever it is
+        finally processed.
+        """
+        from ..ids import content_uuid
+
         eioc = self._misp.store.get_event(eioc_uuid)
         if eioc is None:
             raise KeyError(f"no such eIoC {eioc_uuid}")
+        if observed_at is None:
+            observed_at = self._clock.now()
         sighting = SightingRecord(
             eioc_uuid=eioc_uuid, value=value, node=node,
-            observed_at=self._clock.now())
+            observed_at=observed_at)
         self.sightings.append(sighting)
+        stamp = str(int(observed_at.timestamp()))
 
         # 1. Store the infrastructure-side evidence; the MISP correlation
-        #    engine links it to the eIoC by the shared value.
+        #    engine links it to the eIoC by the shared value.  Content-derived
+        #    uuids (keyed on the observation time, never on arrival order)
+        #    make re-delivery idempotent: a sighting routed twice, or late
+        #    after a partition, replaces its own evidence byte-identically.
         evidence = MispEvent(
+            uuid=content_uuid("sighting-evidence", eioc_uuid, value, node,
+                              stamp),
             info=f"Infrastructure sighting of {value} on {node}",
             distribution=Distribution.ORGANISATION_ONLY,
-            timestamp=self._clock.now())
+            timestamp=observed_at)
         evidence.add_attribute(MispAttribute(
+            uuid=content_uuid("sighting-attr", eioc_uuid, value, node,
+                              stamp),
             type=_misp_type_for(value),
             value=value,
             comment=f"sighted on {node}",
-            timestamp=self._clock.now()))
+            timestamp=observed_at))
         evidence.add_tag(INFRASTRUCTURE_TAG)
         self._misp.add_event(evidence, publish_feed=False)
 
         # 2. Re-score: strip the previous enrichment artifacts so the
         #    heuristic component treats the event as a fresh cIoC, then
         #    enrich again with the infrastructure correlation in place.
+        #    Bumping the eIoC's timestamp to the observation time lets the
+        #    re-scored version cross MISP's timestamp-dedup gate on its next
+        #    sync hop, so peers pick up the new score.
         old_score = threat_score_of(eioc)
         self._strip_enrichment(eioc)
+        if eioc.timestamp is None or eioc.timestamp < observed_at:
+            eioc.timestamp = observed_at
         self._misp.store.save_event(eioc)
         result = self._heuristics.enrich(eioc_uuid)
         if result is None:

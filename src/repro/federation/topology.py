@@ -1,0 +1,103 @@
+"""Federation topologies: who links to whom, and how messages route.
+
+A :class:`Topology` is a directed graph over organisation names.  The
+constructors cover the shapes real CTI exchanges use:
+
+- :func:`mesh` — every org links to every other (MISP communities);
+- :func:`hub_and_spoke` — one hub relays between N spokes (DISINFOX-style
+  hubs serving many heterogeneous consumers);
+- :func:`chain` — the point-to-point relay the three-org harness used.
+
+Routing is deterministic: :meth:`Topology.next_hop` runs a breadth-first
+search that visits neighbours in declared link order, so the same topology
+always routes a message over the same path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A named directed link graph over organisation names."""
+
+    orgs: Tuple[str, ...]
+    links: Tuple[Tuple[str, str], ...]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if len(set(self.orgs)) != len(self.orgs):
+            raise ConfigurationError("duplicate org names in topology")
+        known = set(self.orgs)
+        seen = set()
+        for src, dst in self.links:
+            if src not in known or dst not in known:
+                raise ConfigurationError(
+                    f"link {src!r}->{dst!r} references an unknown org")
+            if src == dst:
+                raise ConfigurationError(f"self-link on {src!r}")
+            if (src, dst) in seen:
+                raise ConfigurationError(f"duplicate link {src!r}->{dst!r}")
+            seen.add((src, dst))
+
+    def neighbors(self, org: str) -> List[str]:
+        """Outbound link destinations of one org, in declared order."""
+        return [dst for src, dst in self.links if src == org]
+
+    def next_hop(self, src: str, dst: str) -> Optional[str]:
+        """First hop of the deterministic shortest route ``src`` → ``dst``.
+
+        BFS visiting neighbours in declared link order; ``None`` when no
+        route exists (routing is a topology property — a *partitioned*
+        link still routes, the transmit just fails until it heals).
+        """
+        if src == dst:
+            return None
+        first_hop: Dict[str, str] = {}
+        frontier = [src]
+        while frontier:
+            nxt: List[str] = []
+            for org in frontier:
+                for neighbor in self.neighbors(org):
+                    if neighbor == src or neighbor in first_hop:
+                        continue
+                    first_hop[neighbor] = first_hop.get(org, neighbor)
+                    if neighbor == dst:
+                        return first_hop[neighbor]
+                    nxt.append(neighbor)
+            frontier = nxt
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly description (CLI surface)."""
+        return {"name": self.name, "orgs": list(self.orgs),
+                "links": [list(link) for link in self.links]}
+
+
+def mesh(orgs: Sequence[str]) -> Topology:
+    """Full mesh: every org links to every other org, both directions."""
+    orgs = tuple(orgs)
+    links = tuple((src, dst) for src in orgs for dst in orgs if src != dst)
+    return Topology(orgs=orgs, links=links, name="mesh")
+
+
+def hub_and_spoke(hub: str, spokes: Sequence[str]) -> Topology:
+    """Hub-and-spoke: the hub links to every spoke and back."""
+    spokes = tuple(spokes)
+    links: List[Tuple[str, str]] = []
+    for spoke in spokes:
+        links.append((hub, spoke))
+        links.append((spoke, hub))
+    return Topology(orgs=(hub,) + spokes, links=tuple(links),
+                    name="hub-and-spoke")
+
+
+def chain(orgs: Sequence[str]) -> Topology:
+    """One-way relay chain: org[0] → org[1] → ... → org[n-1]."""
+    orgs = tuple(orgs)
+    links = tuple((orgs[i], orgs[i + 1]) for i in range(len(orgs) - 1))
+    return Topology(orgs=orgs, links=links, name="chain")

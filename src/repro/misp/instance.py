@@ -289,15 +289,47 @@ class MispInstance:
         self.sharing_groups[group.uuid] = group
         return group
 
+    def release_gate(self, event: MispEvent, dest_org: str):
+        """May this event leave the instance toward ``dest_org``?
+
+        Returns ``(ok, group, reason)``: the MISP distribution gate every
+        outbound path — point-to-point push, pull, or a federation
+        backbone link — must pass.  ``group`` is the
+        :class:`SharingGroup` that authorized a sharing-group release
+        (the caller propagates its definition to the receiver so the same
+        boundary holds on any onward hop); ``reason`` names the refusal.
+        """
+        if event.distribution in (Distribution.ORGANISATION_ONLY,
+                                  Distribution.COMMUNITY_ONLY):
+            return False, None, "distribution level withheld"
+        if event.distribution == Distribution.SHARING_GROUP:
+            group = self.sharing_groups.get(event.sharing_group_id or "")
+            if group is None or not group.releasable_to(dest_org):
+                return False, None, "sharing group excludes destination"
+            return True, group, ""
+        return True, None, ""
+
+    @staticmethod
+    def release_copy(event: MispEvent) -> MispEvent:
+        """The wire copy of an outbound event, with the hop downgrade applied.
+
+        CONNECTED_COMMUNITIES becomes COMMUNITY_ONLY at the receiver, so
+        events stop propagating one hop further, exactly like MISP.
+        """
+        copy = MispEvent.from_dict(event.to_dict())
+        if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
+            copy.distribution = Distribution.COMMUNITY_ONLY
+        return copy
+
     def push_event(self, event: MispEvent, peer: "MispInstance",
                    trace_context: Optional[Dict[str, Any]] = None) -> bool:
         """Push one event to a peer honouring MISP distribution semantics.
 
-        Distribution downgrade on hop: CONNECTED_COMMUNITIES becomes
-        COMMUNITY_ONLY at the receiver, so events stop propagating one hop
-        further, exactly like MISP.  Sharing-group events only reach peers
-        whose organisation is a group member (no downgrade: the group
-        definition itself bounds further propagation).
+        The distribution gate and hop downgrade live in
+        :meth:`release_gate` / :meth:`release_copy` (shared with the
+        federation backbone).  Sharing-group events only reach peers whose
+        organisation is a group member (no downgrade: the group definition
+        itself bounds further propagation).
 
         ``trace_context`` (:func:`repro.obs.provenance.share_context`)
         rides alongside the payload — never inside the event content, so
@@ -305,15 +337,11 @@ class MispInstance:
         receiving store record a ``synced-from`` lineage row carrying the
         accumulated org path.
         """
-        if event.distribution in (Distribution.ORGANISATION_ONLY,
-                                  Distribution.COMMUNITY_ONLY):
+        ok, group, _reason = self.release_gate(event, peer.org)
+        if not ok:
             self.sync_stats.skipped_distribution += 1
             return False
-        if event.distribution == Distribution.SHARING_GROUP:
-            group = self.sharing_groups.get(event.sharing_group_id or "")
-            if group is None or not group.releasable_to(peer.org):
-                self.sync_stats.skipped_distribution += 1
-                return False
+        if group is not None:
             # The receiving instance learns the group definition so it can
             # enforce the same boundary on any onward push.
             peer.sharing_groups.setdefault(group.uuid, group)
@@ -322,10 +350,8 @@ class MispInstance:
             if stored is not None and stored.timestamp >= event.timestamp:
                 self.sync_stats.skipped_duplicates += 1
                 return False
-        copy = MispEvent.from_dict(event.to_dict())
-        if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
-            copy.distribution = Distribution.COMMUNITY_ONLY
-        peer.receive_event(copy, trace_context=trace_context)
+        peer.receive_event(self.release_copy(event),
+                           trace_context=trace_context)
         self.sync_stats.pushed_events += 1
         return True
 
@@ -383,27 +409,18 @@ class MispInstance:
         """
         candidates: List[MispEvent] = []
         for event in peer.store.list_events(published_only=True):
-            if event.distribution in (Distribution.ORGANISATION_ONLY,
-                                      Distribution.COMMUNITY_ONLY):
+            ok, group, _reason = peer.release_gate(event, self.org)
+            if not ok:
                 continue
-            if event.distribution == Distribution.SHARING_GROUP:
-                group = peer.sharing_groups.get(event.sharing_group_id or "")
-                if group is None or not group.releasable_to(self.org):
-                    continue
+            if group is not None:
                 self.sharing_groups.setdefault(group.uuid, group)
             candidates.append(event)
         # One chunked existence probe instead of a has_event round trip
         # per candidate.
         known = self.store.existing_events(
             [event.uuid for event in candidates])
-        copies: List[MispEvent] = []
-        for event in candidates:
-            if event.uuid in known:
-                continue
-            copy = MispEvent.from_dict(event.to_dict())
-            if copy.distribution == Distribution.CONNECTED_COMMUNITIES:
-                copy.distribution = Distribution.COMMUNITY_ONLY
-            copies.append(copy)
+        copies = [self.release_copy(event) for event in candidates
+                  if event.uuid not in known]
         if copies:
             self.store.save_events(copies)
             self._correlate_batch(copies)

@@ -243,6 +243,10 @@ class StorageBackend:
     def sync_digest_count(self, entity: Optional[str] = None) -> int:
         raise NotImplementedError
 
+    def sync_digest_rows(self) -> List[Tuple[str, str, str]]:
+        """Every ledger row as ``(entity, event_uuid, digest)``, sorted."""
+        raise NotImplementedError
+
     # -- search -------------------------------------------------------------
 
     def search_value(self, value: str) -> List[Tuple[str, str]]:

@@ -237,6 +237,11 @@ class InMemoryBackend(StorageBackend):
             return len(self._sync_digests)
         return sum(1 for key in self._sync_digests if key[0] == entity)
 
+    def sync_digest_rows(self) -> List[Tuple[str, str, str]]:
+        self._op()
+        return sorted((entity, uuid, digest) for (entity, uuid), digest
+                      in self._sync_digests.items())
+
     # -- search -------------------------------------------------------------
 
     def search_value(self, value: str) -> List[Tuple[str, str]]:

@@ -400,6 +400,12 @@ class CatalogOps:
             "SELECT COUNT(*) FROM sync_digests WHERE entity = ?",
             (entity,)).fetchone()[0]
 
+    def sync_digest_rows(self) -> List[Tuple[str, str, str]]:
+        rows = self._cat.execute(
+            "SELECT entity, event_uuid, digest FROM sync_digests"
+            " ORDER BY entity, event_uuid").fetchall()
+        return [(row[0], row[1], row[2]) for row in rows]
+
     # -- counters -----------------------------------------------------------
 
     def event_count(self) -> int:

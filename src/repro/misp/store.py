@@ -391,6 +391,14 @@ class MispStore:
         """Ledger rows, optionally for one entity."""
         return self.backend.sync_digest_count(entity)
 
+    def sync_digest_rows(self) -> List[Tuple[str, str, str]]:
+        """Every ledger row as ``(entity, event_uuid, digest)``, sorted.
+
+        The full-state view federation fingerprints fold in, so two stores
+        agree only when their sync ledgers agree too.
+        """
+        return self.backend.sync_digest_rows()
+
     def event_count(self) -> int:
         """Number of stored events (O(1): maintained counter)."""
         return self.backend.event_count()

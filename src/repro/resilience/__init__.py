@@ -27,7 +27,7 @@ from .deadletter import (
     DeadLetterQueue,
     ReplayReport,
 )
-from .faults import COMPONENT_ERRORS, FaultInjector, FaultPlan, FaultRule
+from .faults import COMPONENT_ERRORS, FaultInjector, FaultPlan, FaultRule, link_key
 from .health import (
     HEALTH_DEGRADED,
     HEALTH_FAILING,
@@ -69,5 +69,6 @@ __all__ = [
     "ReplayReport",
     "RetryPolicy",
     "STATE_VALUES",
+    "link_key",
     "sleeper_for",
 ]

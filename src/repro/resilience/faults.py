@@ -38,7 +38,13 @@ COMPONENT_ERRORS = {
     "parse": ParseError,
     "broker": SharingError,
     "share": SharingError,
+    "link": SharingError,
 }
+
+#: Key format for the ``link`` seam: a directed federation edge.
+def link_key(src: str, dst: str) -> str:
+    """Seam key for the directed backbone link ``src`` → ``dst``."""
+    return f"{src}->{dst}"
 
 
 @dataclass(frozen=True)
@@ -141,18 +147,102 @@ class FaultInjector:
         #: (component, key) → faults injected so far.
         self.injected: Dict[Tuple[str, str], int] = {}
         self.active = True
+        #: Disjoint org groups; orgs in different groups cannot reach
+        #: each other.  Orgs absent from every group reach everyone.
+        self._partitions: Tuple[frozenset, ...] = ()
+        #: Imperative link rules (``lossy``) layered over the plan.
+        self._link_rules: List[FaultRule] = []
 
     def clear(self) -> None:
         """Stop injecting (the fault condition has cleared).
 
         Call counters keep advancing so index-based rules stay aligned if
-        the plan is later :meth:`resume`\\ d.
+        the plan is later :meth:`resume`\\ d.  Partitions and imperative
+        link rules are also dropped, mirroring :meth:`heal`.
         """
         self.active = False
+        with self._lock:
+            self._partitions = ()
+            self._link_rules = []
 
     def resume(self) -> None:
         """Start injecting again."""
         self.active = True
+
+    def partition(self, *groups) -> None:
+        """Split the federation into disjoint ``groups`` of org names.
+
+        Two orgs in *different* groups are disconnected: every
+        :meth:`check_link` between them raises :class:`SharingError`.
+        Orgs not named in any group stay connected to everyone.
+        """
+        sets = tuple(frozenset(group) for group in groups if group)
+        seen: set = set()
+        for group in sets:
+            overlap = seen & group
+            if overlap:
+                raise ConfigurationError(
+                    f"partition groups must be disjoint (shared: {sorted(overlap)})")
+            seen |= group
+        with self._lock:
+            self._partitions = sets
+
+    def heal(self) -> None:
+        """Reconnect every link: drop partitions and imperative link rules."""
+        with self._lock:
+            self._partitions = ()
+            self._link_rules = []
+
+    def lossy(self, src: str, dst: str, rate: float,
+              reason: str = "lossy link") -> None:
+        """Make the directed link ``src`` → ``dst`` drop messages at ``rate``.
+
+        Layered on top of any scripted plan rules; removed by
+        :meth:`heal`.  The drop schedule is deterministic — the same
+        hash-draw machinery as plan rules.
+        """
+        rule = FaultRule(component="link", key=link_key(src, dst),
+                         rate=rate, reason=reason)
+        with self._lock:
+            self._link_rules.append(rule)
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        for group in self._partitions:
+            in_src = src in group
+            in_dst = dst in group
+            if in_src != in_dst:
+                # One side is in this group, the other is outside it; the
+                # outside org is disconnected iff it belongs to another group.
+                other = dst if in_src else src
+                if any(other in g for g in self._partitions):
+                    return True
+        return False
+
+    def check_link(self, src: str, dst: str) -> None:
+        """Raise :class:`SharingError` if the ``src`` → ``dst`` link is down.
+
+        Partitions fire first (hard disconnect), then scripted plan rules
+        and imperative ``lossy`` rules over the ``link`` seam, all sharing
+        one deterministic per-link invocation counter.
+        """
+        key = link_key(src, dst)
+        with self._lock:
+            counter_key = ("link", key)
+            index = self._counts.get(counter_key, 0)
+            self._counts[counter_key] = index + 1
+            if self._partitioned(src, dst):
+                self.injected[counter_key] = \
+                    self.injected.get(counter_key, 0) + 1
+                raise SharingError(f"link partitioned [{key}#{index}]")
+            if not self.active:
+                return
+            fraction = self._fraction("link", key, index)
+            for rule in list(self.plan.rules) + self._link_rules:
+                if rule.applies("link", key) and rule.fires(index, fraction):
+                    self.injected[counter_key] = \
+                        self.injected.get(counter_key, 0) + 1
+                    raise SharingError(
+                        f"{rule.reason} [link:{key}#{index}]")
 
     def injected_total(self) -> int:
         """Total faults injected across every seam."""

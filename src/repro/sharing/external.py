@@ -77,26 +77,34 @@ class ExternalEntity:
     """A trusted partner and how to reach it."""
 
     name: str
-    transport: str  # "misp" | "taxii" | "stix-download"
+    transport: str  # "misp" | "taxii" | "stix-download" | "backbone"
     misp_instance: Optional[MispInstance] = None
     taxii_server: Optional[TaxiiServer] = None
     taxii_collection: str = "indicators"
+    #: For the ``backbone`` transport: the federation fabric to transmit
+    #: over; the entity name is the destination org.
+    backbone: Optional[Any] = None
     #: Simulated per-share transport latency; really slept only when the
     #: gateway runs with ``realtime=True`` (wall-clock benches).
     latency_seconds: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.transport not in ("misp", "taxii", "stix-download"):
+        if self.transport not in ("misp", "taxii", "stix-download",
+                                  "backbone"):
             raise SharingError(f"unknown transport {self.transport!r}")
         if self.transport == "misp" and self.misp_instance is None:
             raise SharingError(f"entity {self.name!r} needs a MISP instance")
         if self.transport == "taxii" and self.taxii_server is None:
             raise SharingError(f"entity {self.name!r} needs a TAXII server")
+        if self.transport == "backbone" and self.backbone is None:
+            raise SharingError(f"entity {self.name!r} needs a backbone")
 
     @property
     def render_format(self) -> str:
         """Which render-cache format this entity's transport consumes."""
-        return FORMAT_MISP_JSON if self.transport == "misp" else FORMAT_STIX
+        if self.transport in ("misp", "backbone"):
+            return FORMAT_MISP_JSON
+        return FORMAT_STIX
 
 
 @dataclass
@@ -213,9 +221,18 @@ class SharingGateway:
     # -- registration ---------------------------------------------------------
 
     def register(self, entity: ExternalEntity) -> None:
-        """Register a new entry; rejects duplicates."""
+        """Register a new entry; rejects duplicates.
+
+        Registering a ``backbone`` entity on a policy-less gateway attaches
+        a default :class:`~repro.sharing.policy.SharingPolicy`: federation
+        boundaries always enforce TLP, so events with no marking fall back
+        to the configured default level instead of being silently shared.
+        """
         if any(e.name == entity.name for e in self._entities):
             raise SharingError(f"entity {entity.name!r} already registered")
+        if entity.transport == "backbone" and self._policy is None:
+            from .policy import SharingPolicy
+            self._policy = SharingPolicy()
         self._entities.append(entity)
 
     @property
@@ -268,7 +285,8 @@ class SharingGateway:
         Reads the local provenance table, so it must run on the coordinating
         thread (plan time), never inside a fan-out worker.
         """
-        if entity.transport != "misp" or not self._provenance.enabled:
+        if entity.transport not in ("misp", "backbone") or \
+                not self._provenance.enabled:
             return None
         if cache is not None and event_uuid in cache:
             return cache[event_uuid]
@@ -282,11 +300,11 @@ class SharingGateway:
                    cache: RenderCache,
                    trace: Optional[Dict[str, Any]] = None) -> SharingRecord:
         if self._policy is not None and not self._policy.allows(event, entity.name):
-            from .policy import tlp_of
             return SharingRecord(
                 entity=entity.name, transport=entity.transport,
                 event_uuid=event.uuid, payload_bytes=0, ok=False,
-                detail=f"refused by TLP policy (marking: {tlp_of(event)})",
+                detail=f"refused by TLP policy "
+                       f"(marking: {self._policy.marking_of(event)})",
             )
         payload = cache.get_or_render(event, digest, entity.render_format)
         try:
@@ -327,6 +345,30 @@ class SharingGateway:
             if pushed:
                 return True, "", payload.size
             return False, "skipped (distribution/duplicate)", 0
+        if entity.transport == "backbone":
+            # The entity name is the destination org on the federation
+            # fabric.  The same MISP release gate and hop downgrade as a
+            # point-to-point push apply before anything is transmitted;
+            # the wire document is the downgraded copy, so the receiver
+            # stores exactly what a direct peer push would have stored.
+            with self._transport_lock:
+                ok, group, reason = self._misp.release_gate(
+                    event, entity.name)
+                if not ok:
+                    return False, f"skipped ({reason})", 0
+                copy = self._misp.release_copy(event)
+                from ..misp.export import to_misp_json
+                message: Dict[str, Any] = {"document": to_misp_json(copy)}
+                if group is not None:
+                    message["sharing_group"] = group.to_dict()
+                if trace is not None:
+                    message["trace"] = trace
+                response = entity.backbone.transmit(
+                    self._misp.org, entity.name, "event", message)
+            if response.get("accepted"):
+                return True, "", len(message["document"])
+            detail = response.get("reason", "rejected")
+            return False, f"skipped ({detail})", 0
         if entity.transport == "taxii":
             with self._transport_lock:
                 status = entity.taxii_server.add_objects(
@@ -348,8 +390,6 @@ class SharingGateway:
         applies the sharing policy, and renders each needed payload once
         through the returned :class:`RenderCache`.
         """
-        from .policy import tlp_of
-
         target_seq = self.ledger.cursor()
         cache = RenderCache(self._metrics)
         raw_candidates = [
@@ -384,8 +424,8 @@ class SharingGateway:
                         not self._policy.allows(event, entity.name):
                     plan.items.append(PlannedShare(
                         kind="refused", event=event, seq=seq, digest=digest,
-                        detail=f"refused by TLP policy "
-                               f"(marking: {tlp_of(event)})"))
+                        detail=f"refused by TLP policy (marking: "
+                               f"{self._policy.marking_of(event)})"))
                     continue
                 payload = cache.get_or_render(event, digest,
                                               entity.render_format)
@@ -613,6 +653,14 @@ class SharingGateway:
         self.audit_log.append(record)
         entry = digest if ok else terminal_digest(OUTCOME_SKIPPED, digest)
         self._misp.store.set_sync_digests(entity.name, {event.uuid: entry})
+        if ok and self._provenance.enabled:
+            # Mirror sync_cycle's lineage row: a replayed share that landed
+            # is the same "shared-to" fact, just recorded later.
+            self._provenance.record(
+                "shared-to", event.uuid, actor="gateway",
+                detail=f"entity={entity.name} "
+                       f"transport={entity.transport}")
+            self._provenance.flush()
         self._m_outcomes.inc(entity=entity.name,
                              outcome=OUTCOME_OK if ok else OUTCOME_SKIPPED)
         return True

@@ -88,14 +88,39 @@ def mark_tlp(event: MispEvent, level: str) -> MispEvent:
 
 
 class SharingPolicy:
-    """Per-entity TLP clearances consulted before any share operation."""
+    """Per-entity TLP clearances consulted before any share operation.
 
-    def __init__(self, default_clearance: str = Tlp.GREEN) -> None:
+    ``default_marking`` is the level assumed for events carrying no TLP
+    tag at all.  It defaults to the module-wide conservative amber, but a
+    deployment can pin it tighter (red: unmarked intelligence never
+    leaves) or looser.  Unmarked events are *never* silently shared as if
+    unrestricted — they always pass through this fallback.
+    """
+
+    def __init__(self, default_clearance: str = Tlp.GREEN,
+                 default_marking: str = DEFAULT_TLP) -> None:
         if default_clearance not in Tlp.ALL:
             raise ValidationError(f"unknown TLP level {default_clearance!r}")
+        if default_marking not in Tlp.ALL:
+            raise ValidationError(f"unknown TLP level {default_marking!r}")
         self._default = default_clearance
+        self._default_marking = default_marking
         self._clearances: Dict[str, str] = {}
         self.refusals = 0
+
+    def marking_of(self, event: MispEvent) -> str:
+        """The event's effective TLP marking under this policy.
+
+        Tagged events keep their most restrictive tag; untagged events
+        fall back to the policy's configured ``default_marking``.
+        """
+        found = [
+            level for level in (Tlp.from_tag(tag.name) for tag in event.tags)
+            if level is not None
+        ]
+        if not found:
+            return self._default_marking
+        return min(found, key=lambda level: Tlp._ORDER[level])
 
     def set_clearance(self, entity_name: str, ceiling: str) -> None:
         """Clear an entity up to (and including) the given marking."""
@@ -109,7 +134,7 @@ class SharingPolicy:
 
     def allows(self, event: MispEvent, entity_name: str) -> bool:
         """May this event be shared with this entity?"""
-        marking = tlp_of(event)
+        marking = self.marking_of(event)
         if marking == Tlp.RED:
             # RED is recipients-in-the-room only: it never crosses the
             # gateway regardless of clearance.
@@ -124,6 +149,6 @@ class SharingPolicy:
         """Raise :class:`SharingError` when the share is not allowed."""
         if not self.allows(event, entity_name):
             raise SharingError(
-                f"TLP policy refuses sharing {tlp_of(event)}-marked event "
-                f"{event.uuid} with {entity_name!r} "
+                f"TLP policy refuses sharing {self.marking_of(event)}-marked "
+                f"event {event.uuid} with {entity_name!r} "
                 f"(clearance: {self.clearance_of(entity_name)})")

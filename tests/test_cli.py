@@ -120,3 +120,23 @@ class TestOperationalCommands:
         out = capsys.readouterr().out
         assert "appears in" in out and "TS=" in out
         assert main(["match", store_path, "definitely-absent.example"]) == 1
+
+
+class TestFederationCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["federation"])
+        assert args.orgs == 10
+        assert args.topology == "mesh"
+
+    def test_partition_scenario_converges(self, capsys):
+        code = main(["federation", "--orgs", "4", "--events", "1",
+                     "--rounds", "2", "--topology", "hub"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "store fingerprints matching baseline: 4/4" in out
+        assert "converged byte-identically" in out
+
+    def test_too_few_orgs_is_an_error(self, capsys):
+        code = main(["federation", "--orgs", "2"])
+        assert code == 1
+        assert "at least 3 orgs" in capsys.readouterr().err

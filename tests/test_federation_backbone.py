@@ -1,0 +1,444 @@
+"""Partition-tolerant federation backbone tests.
+
+The headline guarantee (docs/FEDERATION.md): a 10-org federation that
+suffers a scripted partition, keeps operating in both halves (including a
+sighting raised far from its event's origin), then heals, replays its
+dead-letter quarantines and runs anti-entropy, converges **byte-identically**
+— every org's full store fingerprint (events, correlations, sync ledger,
+provenance lineage) equals the fault-free baseline's.
+
+Unit layers covered on the way there: topology routing, backbone delivery
+and accounting, the fault injector's ``link`` seam
+(``partition``/``heal``/``lossy``), the anti-entropy preference rule and
+repair protocol, the sightings feedback loop, and the TLP trust boundary
+at the backbone edge.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.core import threat_score_of
+from repro.errors import ConfigurationError, SharingError
+from repro.federation import (
+    Federation,
+    InMemoryBackbone,
+    KIND_EVENT,
+    SimulatedNetworkBackbone,
+    Topology,
+    chain,
+    hub_and_spoke,
+    mesh,
+    prefers_incoming,
+    store_state,
+)
+from repro.misp import Distribution, MispAttribute, MispEvent
+from repro.obs import MetricsRegistry
+from repro.resilience import FaultInjector, FaultPlan, FaultRule, link_key
+from repro.sharing import SharingPolicy, Tlp, mark_tlp
+
+
+def make_intel(index, ts, distribution=Distribution.ALL_COMMUNITIES):
+    """One deterministic green-marked event (content-derived uuids)."""
+    event = MispEvent(
+        info=f"intel {index}",
+        uuid=f"11111111-1111-4111-8111-{index:012d}",
+        distribution=distribution,
+        timestamp=ts)
+    event.add_attribute(MispAttribute(
+        type="ip-src", value=f"203.0.113.{index + 1}",
+        uuid=f"22222222-2222-4222-8222-{index:012d}",
+        timestamp=ts))
+    mark_tlp(event, "green")
+    return event
+
+
+def seed(federation, org, start, count, ts):
+    """Add ``count`` events at ``org`` and enrich them before sharing."""
+    node = federation.node(org)
+    for index in range(start, start + count):
+        node.misp.add_event(make_intel(index, ts))
+    node.heuristics.process_pending()
+
+
+class TestTopology:
+    def test_mesh_links_every_ordered_pair(self):
+        topo = mesh(["a", "b", "c"])
+        assert set(topo.links) == {("a", "b"), ("a", "c"), ("b", "a"),
+                                   ("b", "c"), ("c", "a"), ("c", "b")}
+        assert topo.neighbors("a") == ["b", "c"]
+
+    def test_hub_and_spoke_is_bidirectional_star(self):
+        topo = hub_and_spoke("hub", ["s1", "s2"])
+        assert set(topo.links) == {("hub", "s1"), ("s1", "hub"),
+                                   ("hub", "s2"), ("s2", "hub")}
+
+    def test_chain_is_one_way(self):
+        topo = chain(["a", "b", "c"])
+        assert topo.links == (("a", "b"), ("b", "c"))
+        assert topo.next_hop("a", "c") == "b"
+        assert topo.next_hop("c", "a") is None  # no reverse path
+
+    def test_next_hop_is_first_hop_of_shortest_path(self):
+        topo = hub_and_spoke("hub", ["s1", "s2", "s3"])
+        assert topo.next_hop("s1", "s3") == "hub"
+        assert topo.next_hop("hub", "s2") == "s2"
+        assert topo.next_hop("s1", "s1") is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Topology(orgs=("a", "a"), links=())
+        with pytest.raises(ConfigurationError):
+            Topology(orgs=("a", "b"), links=(("a", "ghost"),))
+        with pytest.raises(ConfigurationError):
+            Topology(orgs=("a", "b"), links=(("a", "a"),))
+        with pytest.raises(ConfigurationError):
+            Topology(orgs=("a", "b"), links=(("a", "b"), ("a", "b")))
+
+
+class TestBackbone:
+    def test_transmit_delivers_and_accounts(self):
+        backbone = InMemoryBackbone()
+        seen = []
+        backbone.connect("b", lambda src, kind, payload:
+                         seen.append((src, kind, payload)) or {"ok": True})
+        response = backbone.transmit("a", "b", "ping", {"x": 1})
+        assert response == {"ok": True}
+        assert seen == [("a", "ping", {"x": 1})]
+        stats = backbone.stats[("a", "b")]
+        assert stats.messages == 1 and stats.bytes > 0
+        assert backbone.bytes_sent("a") == stats.bytes
+        assert backbone.total_bytes() == stats.bytes
+
+    def test_unknown_destination_raises(self):
+        backbone = InMemoryBackbone()
+        with pytest.raises(SharingError):
+            backbone.transmit("a", "ghost", "ping", {})
+
+    def test_duplicate_connect_raises(self):
+        backbone = InMemoryBackbone()
+        backbone.connect("a", lambda *_: {})
+        with pytest.raises(SharingError):
+            backbone.connect("a", lambda *_: {})
+
+    def test_metrics_account_per_link(self):
+        registry = MetricsRegistry()
+        backbone = InMemoryBackbone(metrics=registry)
+        backbone.connect("b", lambda *_: {})
+        backbone.transmit("a", "b", "event", {"x": 1})
+        messages = registry.counter("caop_federation_messages_total")
+        assert messages.value(src="a", dst="b", kind="event") == 1
+        assert registry.gauge("caop_federation_link_up").value(
+            src="a", dst="b") == 1
+
+
+class TestLinkFaults:
+    def test_partition_blocks_and_heal_restores(self):
+        injector = FaultInjector()
+        backbone = SimulatedNetworkBackbone(injector)
+        backbone.connect("b", lambda *_: {"ok": True})
+        injector.partition(["a"], ["b"])
+        with pytest.raises(SharingError):
+            backbone.transmit("a", "b", "ping", {})
+        assert backbone.stats[("a", "b")].failures == 1
+        injector.heal()
+        assert backbone.transmit("a", "b", "ping", {}) == {"ok": True}
+
+    def test_partition_spares_unlisted_orgs(self):
+        injector = FaultInjector()
+        injector.partition(["a"], ["b"])
+        injector.check_link("a", "c")  # c is in no group: reachable
+        injector.check_link("c", "b")
+        with pytest.raises(SharingError):
+            injector.check_link("b", "a")
+
+    def test_partition_groups_must_be_disjoint(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector().partition(["a", "b"], ["b", "c"])
+
+    def test_lossy_link_drops_deterministically(self):
+        def drops(injector):
+            out = []
+            for _ in range(20):
+                try:
+                    injector.check_link("a", "b")
+                    out.append(False)
+                except SharingError:
+                    out.append(True)
+            return out
+
+        first, second = FaultInjector(), FaultInjector()
+        first.lossy("a", "b", 0.5)
+        second.lossy("a", "b", 0.5)
+        schedule = drops(first)
+        assert schedule == drops(second)  # same hash-draw schedule
+        assert any(schedule) and not all(schedule)
+        # The reverse direction is a different seam key: unaffected.
+        first.check_link("b", "a")
+
+    def test_scripted_plan_rules_cover_the_link_seam(self):
+        plan = FaultPlan(rules=[FaultRule(
+            component="link", key=link_key("a", "b"), calls=(0,),
+            reason="flap")])
+        injector = FaultInjector(plan)
+        with pytest.raises(SharingError):
+            injector.check_link("a", "b")
+        injector.check_link("a", "b")  # only call #0 faults
+        assert injector.injected[("link", "a->b")] == 1
+
+    def test_metrics_count_link_failures(self):
+        registry = MetricsRegistry()
+        injector = FaultInjector()
+        backbone = SimulatedNetworkBackbone(injector, metrics=registry)
+        backbone.connect("b", lambda *_: {})
+        injector.partition(["a"], ["b"])
+        with pytest.raises(SharingError):
+            backbone.transmit("a", "b", "ping", {})
+        failures = registry.counter("caop_federation_link_failures_total")
+        assert failures.value(src="a", dst="b") == 1
+        assert registry.gauge("caop_federation_link_up").value(
+            src="a", dst="b") == 0
+
+
+class TestPrefersIncoming:
+    def test_equal_digests_never_replace(self):
+        assert not prefers_incoming(5, "aa", 1, "aa")
+
+    def test_newer_timestamp_wins(self):
+        assert prefers_incoming(2, "aa", 1, "zz")
+        assert not prefers_incoming(1, "zz", 2, "aa")
+
+    def test_timestamp_tie_breaks_on_digest_symmetrically(self):
+        # Both replicas agree on the same survivor whichever side offers.
+        assert prefers_incoming(1, "bb", 1, "aa")
+        assert not prefers_incoming(1, "aa", 1, "bb")
+
+
+class TestAntiEntropy:
+    def build_pair(self):
+        clock = SimulatedClock(PAPER_NOW)
+        return Federation(mesh(["left", "right"]), clock=clock)
+
+    def test_divergent_replicas_converge_onto_one_survivor(self):
+        federation = self.build_pair()
+        # Same uuid, same timestamp, different content on the two sides —
+        # the shape a conflicting concurrent edit leaves behind.
+        for org, info in (("left", "variant A"), ("right", "variant B")):
+            event = make_intel(0, PAPER_NOW)
+            event.info = info
+            federation.node(org).misp.add_event(event)
+        reports = federation.reconcile()
+        assert sum(r["repaired"] for r in reports.values()) == 1
+        blobs = set(federation.event_blobs().values())
+        assert len(blobs) == 1
+
+    def test_healthy_links_repair_nothing(self):
+        federation = self.build_pair()
+        seed(federation, "left", 0, 2, PAPER_NOW)
+        federation.run_round()
+        before = federation.fingerprints()
+        reports = federation.reconcile()
+        assert all(r["repaired"] == 0 and r["wanted"] == 0
+                   for r in reports.values())
+        assert all(r["offered"] == 2 for r in reports.values())
+        assert federation.fingerprints() == before  # a pure read
+
+    def test_offer_respects_release_gate_and_tlp(self):
+        federation = self.build_pair()
+        node = federation.node("left")
+        node.misp.add_event(make_intel(0, PAPER_NOW))
+        secret = make_intel(1, PAPER_NOW,
+                            distribution=Distribution.ORGANISATION_ONLY)
+        node.misp.add_event(secret)
+        red = make_intel(2, PAPER_NOW)
+        mark_tlp(red, "red")
+        node.misp.add_event(red)
+        from repro.federation import build_offer
+        offer = build_offer(node, "right")
+        assert set(offer) == {make_intel(0, PAPER_NOW).uuid}
+
+
+class TestSightingsLoop:
+    def test_sighting_routes_multi_hop_to_origin_and_rescores(self):
+        clock = SimulatedClock(PAPER_NOW)
+        federation = Federation(hub_and_spoke("hub", ["s1", "s2"]),
+                                clock=clock)
+        seed(federation, "s1", 0, 1, PAPER_NOW)
+        federation.run(2)  # s1 -> hub, hub -> s2
+        uuid = make_intel(0, PAPER_NOW).uuid
+        assert federation.node("s2").misp.store.has_event(uuid)
+        assert federation.node("s2").origins[uuid] == "s1"
+
+        origin_before = federation.node("s1").misp.store.get_event(uuid)
+        score_before = threat_score_of(origin_before)
+        federation.node("s2").observe(
+            uuid, "203.0.113.1", "edge-fw",
+            observed_at=PAPER_NOW + dt.timedelta(seconds=60))
+        # The record is parked at the hub until its next flush.
+        assert federation.node("hub").pending_sightings
+        federation.run(3)
+        outcomes = federation.node("s1").rescores
+        assert len(outcomes) == 1
+        assert outcomes[0].eioc_uuid == uuid
+        origin_after = federation.node("s1").misp.store.get_event(uuid)
+        assert threat_score_of(origin_after) >= score_before
+        assert origin_after.timestamp > origin_before.timestamp
+        # The re-scored version flowed back out through normal sync.
+        synced = federation.node("s2").misp.store.get_event(uuid)
+        assert synced.timestamp == origin_after.timestamp
+        assert threat_score_of(synced) == threat_score_of(origin_after)
+
+    def test_local_origin_sighting_applies_immediately(self):
+        federation = Federation(mesh(["solo", "peer"]),
+                                clock=SimulatedClock(PAPER_NOW))
+        seed(federation, "solo", 0, 1, PAPER_NOW)
+        uuid = make_intel(0, PAPER_NOW).uuid
+        outcome = federation.node("solo").observe(
+            uuid, "203.0.113.1", "edge-fw",
+            observed_at=PAPER_NOW + dt.timedelta(seconds=30))
+        assert outcome is not None
+        assert federation.node("solo").rescores == [outcome]
+
+
+class TestTrustBoundary:
+    def test_unmarked_event_hits_default_marking_at_the_boundary(self):
+        # The receiver's acceptance ceiling is green; an unmarked event
+        # falls back to the policy default (amber) and is refused — never
+        # silently shared as if unrestricted.
+        federation = Federation(
+            mesh(["sender", "strict"]),
+            clock=SimulatedClock(PAPER_NOW),
+            node_options={"strict": {"accept_ceiling": Tlp.GREEN}})
+        node = federation.node("sender")
+        unmarked = MispEvent(info="no marking", uuid=make_intel(9, PAPER_NOW).uuid,
+                             distribution=Distribution.ALL_COMMUNITIES,
+                             timestamp=PAPER_NOW)
+        node.misp.add_event(unmarked)
+        green = make_intel(1, PAPER_NOW)
+        node.misp.add_event(green)
+        federation.run(2)
+        strict_store = federation.node("strict").misp.store
+        assert strict_store.has_event(green.uuid)
+        assert not strict_store.has_event(unmarked.uuid)
+
+    def test_outbound_policy_uses_default_marking(self):
+        # A red default marking means unmarked events never leave at all.
+        federation = Federation(
+            mesh(["cautious", "peer"]),
+            clock=SimulatedClock(PAPER_NOW),
+            node_options={"cautious": {
+                "policy": SharingPolicy(default_marking=Tlp.RED)}})
+        node = federation.node("cautious")
+        unmarked = MispEvent(info="no marking",
+                             uuid=make_intel(9, PAPER_NOW).uuid,
+                             distribution=Distribution.ALL_COMMUNITIES,
+                             timestamp=PAPER_NOW)
+        node.misp.add_event(unmarked)
+        federation.run(2)
+        assert not federation.node("peer").misp.store.has_event(unmarked.uuid)
+
+
+def drive_partition_scenario(fault, *, topology_name="mesh",
+                             seed_mid_partition=False):
+    """The scripted acceptance scenario; ``fault=False`` is the baseline.
+
+    Seed three events at org-00, propagate, split 6/4, raise a sighting in
+    the far partition (org-08 observes org-00's intel), run partitioned
+    rounds, heal, replay dead letters, run recovery rounds, reconcile.
+    """
+    orgs = [f"org-{i:02d}" for i in range(10)]
+    injector = FaultInjector()
+    topology = (mesh(orgs) if topology_name == "mesh"
+                else hub_and_spoke(orgs[0], orgs[1:]))
+    federation = Federation(topology,
+                            backbone=SimulatedNetworkBackbone(injector),
+                            clock=SimulatedClock(PAPER_NOW))
+    seed(federation, orgs[0], 0, 3, PAPER_NOW)
+    federation.run_round()
+    if fault:
+        injector.partition(orgs[:6], orgs[6:])
+    if seed_mid_partition:
+        seed(federation, orgs[-1], 10, 2,
+             PAPER_NOW + dt.timedelta(seconds=30))
+    federation.node("org-08").observe(
+        make_intel(0, PAPER_NOW).uuid, "203.0.113.1", "edge-fw",
+        observed_at=PAPER_NOW + dt.timedelta(seconds=60))
+    federation.run(3)
+    if fault:
+        assert injector.injected_total() > 0
+        injector.heal()
+        federation.replay_deadletters()
+    federation.run(4)
+    federation.reconcile()
+    federation.run_round()
+    return federation
+
+
+class TestConvergenceAcceptance:
+    def test_mesh_partition_converges_byte_identically(self):
+        baseline = drive_partition_scenario(False)
+        faulted = drive_partition_scenario(True)
+        assert baseline.converged() and faulted.converged()
+        base_prints = baseline.fingerprints()
+        fault_prints = faulted.fingerprints()
+        for org in baseline.topology.orgs:
+            assert fault_prints[org] == base_prints[org], org
+        # The sighting raised inside the far partition re-scored the
+        # originating eIoC after the heal — in both runs.
+        assert len(baseline.node("org-00").rescores) == 1
+        assert len(faulted.node("org-00").rescores) == 1
+        # And the partition genuinely cost nothing extra in payload bytes:
+        # dropped transmits never leave the source.
+        assert sum(faulted.bytes_by_org().values()) == \
+            sum(baseline.bytes_by_org().values())
+
+    def test_hub_partition_converges_byte_identically(self):
+        baseline = drive_partition_scenario(False, topology_name="hub")
+        faulted = drive_partition_scenario(True, topology_name="hub")
+        assert faulted.fingerprints() == baseline.fingerprints()
+        assert len(faulted.node("org-00").rescores) == 1
+
+    def test_mid_partition_intel_converges_content_and_sync_state(self):
+        # Intel seeded *during* the partition takes a genuinely different
+        # physical path after the heal, so the lineage-bearing state
+        # (provenance routes, which link's attempt delivered first) records
+        # a different — true — history.  Event content, correlations,
+        # watermarks and digest *coverage* still converge onto the baseline.
+        baseline = drive_partition_scenario(False, seed_mid_partition=True)
+        faulted = drive_partition_scenario(True, seed_mid_partition=True)
+        assert baseline.converged() and faulted.converged()
+
+        def covered(state):
+            # (entity, uuid) -> content digest, terminal prefix stripped.
+            return {(entity, uuid): digest.rsplit(":", 1)[-1]
+                    for entity, uuid, digest in state["sync"]["digests"]}
+
+        for org in baseline.topology.orgs:
+            base = store_state(baseline.node(org).misp.store)
+            fault = store_state(faulted.node(org).misp.store)
+            assert fault["events"] == base["events"], org
+            assert fault["correlations"] == base["correlations"], org
+            assert fault["sync"]["watermarks"] == \
+                base["sync"]["watermarks"], org
+            assert covered(fault) == covered(base), org
+
+    def test_dead_letters_fill_and_drain(self):
+        orgs = [f"org-{i:02d}" for i in range(4)]
+        injector = FaultInjector()
+        federation = Federation(mesh(orgs),
+                                backbone=SimulatedNetworkBackbone(injector),
+                                clock=SimulatedClock(PAPER_NOW))
+        injector.partition(orgs[:2], orgs[2:])
+        seed(federation, orgs[0], 0, 2, PAPER_NOW)
+        federation.run(3)
+        quarantined = sum(len(federation.node(org).deadletters)
+                          for org in orgs)
+        assert quarantined > 0
+        injector.heal()
+        replayed = federation.replay_deadletters()
+        assert sum(replayed.values()) > 0
+        federation.run(2)
+        assert all(len(federation.node(org).deadletters) == 0
+                   for org in orgs)
+        assert federation.converged()

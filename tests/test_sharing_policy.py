@@ -137,3 +137,63 @@ class TestGatewayIntegration:
         event = make_event(Tlp.RED)
         local.add_event(event)
         assert gateway.share_event(event.uuid)[0].ok
+
+
+class TestDefaultMarking:
+    """Unmarked events must fall back to a *configured* default level —
+    never silently shared as if unrestricted (regression: the backbone
+    boundary used to inherit whatever the module default implied)."""
+
+    def test_marking_of_uses_configured_fallback(self):
+        assert SharingPolicy().marking_of(make_event()) == DEFAULT_TLP
+        strict = SharingPolicy(default_marking=Tlp.RED)
+        assert strict.marking_of(make_event()) == Tlp.RED
+        # Tagged events keep their own (most restrictive) marking.
+        assert strict.marking_of(make_event(Tlp.GREEN)) == Tlp.GREEN
+
+    def test_red_default_marking_keeps_unmarked_events_home(self):
+        policy = SharingPolicy(default_clearance=Tlp.RED,
+                               default_marking=Tlp.RED)
+        assert not policy.allows(make_event(), "fully-cleared-partner")
+        assert policy.refusals == 1
+
+    def test_white_default_marking_releases_unmarked_events(self):
+        policy = SharingPolicy(default_marking=Tlp.WHITE)
+        assert policy.allows(make_event(), "partner")
+
+    def test_unknown_default_marking_rejected(self):
+        with pytest.raises(ValidationError):
+            SharingPolicy(default_marking="purple")
+
+    def test_check_reports_effective_marking(self):
+        policy = SharingPolicy(default_clearance=Tlp.WHITE,
+                               default_marking=Tlp.AMBER)
+        with pytest.raises(SharingError) as exc:
+            policy.check(make_event(), "strict-partner")
+        assert "amber-marked" in str(exc.value)
+
+    def test_backbone_entity_attaches_default_policy(self):
+        # A policy-less gateway is unrestricted for legacy transports, but
+        # registering a *backbone* entity is a federation trust boundary:
+        # a default policy is attached so unmarked events hit the amber
+        # fallback instead of flowing out unchecked.
+        from repro.federation import InMemoryBackbone
+
+        local = MispInstance(org="Local")
+        backbone = InMemoryBackbone()
+        received = []
+        backbone.connect("peer", lambda *args: received.append(args) or
+                         {"accepted": True})
+        gateway = SharingGateway(local)
+        gateway.register(ExternalEntity(name="peer", transport="backbone",
+                                        backbone=backbone))
+        unmarked = make_event()
+        white = make_event(Tlp.WHITE)
+        local.add_event(unmarked)
+        local.add_event(white)
+        records = {r.event_uuid: r for r in gateway.share_event(unmarked.uuid)
+                   + gateway.share_event(white.uuid)}
+        assert not records[unmarked.uuid].ok
+        assert "TLP policy" in records[unmarked.uuid].detail
+        assert records[white.uuid].ok
+        assert len(received) == 1

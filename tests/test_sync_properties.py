@@ -111,3 +111,129 @@ def test_sharing_group_reaches_exactly_members(length, data):
     assert reached == expected
     # Regardless of topology effects, no non-member ever holds the event.
     assert reached <= member_indices
+
+
+# ---------------------------------------------------------------------------
+# Federation-under-partitions properties (the backbone's safety/liveness
+# contract; see docs/FEDERATION.md).  A hypothesis-drawn schedule mixes
+# event seeding, partitions, heals and sync rounds over a 3-org mesh, and
+# the tests assert:
+#
+# - SAFETY: an org's per-link low watermark never advances past a seq whose
+#   share is still unresolved — every change at or below the watermark has
+#   a ledger entry (delivered digest or terminal marker) covering the
+#   event's *current* content;
+# - CONVERGENCE: after the faults clear, dead-letter replay plus recovery
+#   rounds and one anti-entropy pass land every org on the fault-free
+#   baseline's event corpus, byte for byte.
+# ---------------------------------------------------------------------------
+
+import datetime as dt
+
+from repro.clock import PAPER_NOW, SimulatedClock
+from repro.federation import Federation, SimulatedNetworkBackbone, mesh
+from repro.resilience import FaultInjector
+from repro.sharing import mark_tlp
+from repro.sharing.sync import digest_matches, event_digest
+
+FED_ORGS = ("alpha", "beta", "gamma")
+
+fed_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("seed"), st.integers(0, len(FED_ORGS) - 1)),
+        st.tuples(st.just("partition"), st.integers(1, len(FED_ORGS) - 1)),
+        st.tuples(st.just("heal")),
+        st.tuples(st.just("round")),
+    ),
+    min_size=1, max_size=10)
+
+
+def seed_fed_event(federation, org, index):
+    node = federation.node(org)
+    event = MispEvent(
+        info=f"intel {index}",
+        uuid=f"33333333-3333-4333-8333-{index:012d}",
+        distribution=Distribution.ALL_COMMUNITIES,
+        timestamp=PAPER_NOW + dt.timedelta(seconds=index))
+    event.add_attribute(MispAttribute(
+        type="domain", value=f"c2-{index}.example",
+        uuid=f"44444444-4444-4444-8444-{index:012d}",
+        timestamp=event.timestamp))
+    mark_tlp(event, "green")
+    node.misp.add_event(event)
+    node.heuristics.process_pending()
+
+
+def apply_schedule(federation, injector, ops, *, faults):
+    counter = 0
+    for op in ops:
+        if op[0] == "seed":
+            seed_fed_event(federation, FED_ORGS[op[1]], counter)
+            counter += 1
+        elif op[0] == "partition" and faults:
+            injector.partition(FED_ORGS[:op[1]], FED_ORGS[op[1]:])
+        elif op[0] == "heal" and faults:
+            injector.heal()
+        elif op[0] == "round":
+            federation.run_round()
+            assert_watermark_safety(federation)
+
+
+def assert_watermark_safety(federation):
+    for org in federation.topology.orgs:
+        store = federation.node(org).misp.store
+        changed = store.events_changed_since(0)
+        for dst in federation.topology.neighbors(org):
+            watermark = store.get_sync_watermark(dst)
+            due = [(uuid, seq) for uuid, seq in changed if seq <= watermark]
+            ledger = store.get_sync_digests(dst, [uuid for uuid, _ in due])
+            for uuid, seq in due:
+                event = store.get_event(uuid)
+                assert digest_matches(ledger.get(uuid), event_digest(event)), (
+                    f"{org}->{dst}: watermark {watermark} passed seq {seq} "
+                    f"of {uuid} without a covering ledger entry")
+
+
+def build_federation():
+    injector = FaultInjector()
+    federation = Federation(
+        mesh(list(FED_ORGS)),
+        backbone=SimulatedNetworkBackbone(injector),
+        clock=SimulatedClock(PAPER_NOW))
+    return federation, injector
+
+
+@given(fed_ops)
+@settings(max_examples=15, deadline=None)
+def test_watermark_never_passes_an_unresolved_seq(ops):
+    federation, injector = build_federation()
+    apply_schedule(federation, injector, ops, faults=True)
+    assert_watermark_safety(federation)
+    # Still safe through recovery.
+    injector.heal()
+    federation.replay_deadletters()
+    federation.run_round()
+    assert_watermark_safety(federation)
+
+
+@given(fed_ops)
+@settings(max_examples=15, deadline=None)
+def test_replayed_deadletters_converge_onto_baseline(ops):
+    def finish(federation, injector, *, faults):
+        if faults:
+            injector.heal()
+            federation.replay_deadletters()
+        federation.run(3)
+        federation.reconcile()
+        federation.run_round()
+        return federation.event_blobs()
+
+    baseline_fed, baseline_inj = build_federation()
+    apply_schedule(baseline_fed, baseline_inj, ops, faults=False)
+    baseline = finish(baseline_fed, baseline_inj, faults=False)
+
+    faulted_fed, faulted_inj = build_federation()
+    apply_schedule(faulted_fed, faulted_inj, ops, faults=True)
+    faulted = finish(faulted_fed, faulted_inj, faults=True)
+
+    assert faulted == baseline
