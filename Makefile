@@ -1,4 +1,4 @@
-.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store bench-federation chaos examples metrics-demo obs-demo lint-metrics verify clean
+.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store bench-idle bench-federation chaos examples metrics-demo obs-demo lint-metrics verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +29,9 @@ bench-trace:
 
 bench-store:
 	PYTHONPATH=src pytest benchmarks/bench_x18_store_scaling.py -s --benchmark-disable
+
+bench-idle:
+	PYTHONPATH=src pytest benchmarks/bench_x19_idle_cost.py -s --benchmark-disable
 
 bench-federation:
 	PYTHONPATH=src pytest benchmarks/bench_x23_federation.py -s --benchmark-disable

@@ -43,6 +43,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # ledger and the provenance recorder land in the same file.
         store_path=args.store,
         store_shards=args.store_shards,
+        compaction_every_cycles=args.compact_every,
     )
     if args.feeds:
         platform = ContextAwareOSINTPlatform.build_from_feed_config(
@@ -76,6 +77,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print()
     print(render_topology(platform.dashboard.state))
     if args.store:
+        # Checkpoint rollup cursors so a reopened platform resumes its
+        # materialized views without rescanning the store.
+        platform.checkpoint()
         print(f"\nMISP store persisted to {args.store}")
     return 0
 
@@ -497,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker threads for the heuristic scoring stage")
     run.add_argument("--store", default=None,
                      help="persist the MISP store to this SQLite file")
+    run.add_argument("--compact-every", type=int, default=25,
+                     help="run the decay compaction full pass every N "
+                          "cycles (<= 0 disables it)")
     run.add_argument("--store-shards", type=int, default=1,
                      help="hash-shard the MISP store across N SQLite files"
                           " (default 1 = single file)")

@@ -2,6 +2,11 @@
 
 from .aggregate import Aggregator
 from .collector import CollectionReport, OsintDataCollector
+from .compaction import (
+    COMPACTION_SECONDS_BUCKETS,
+    CompactionReport,
+    CompactionStage,
+)
 from .compose import (
     CiocComposer,
     IRRELEVANT_TAG,
@@ -21,6 +26,14 @@ from .decay import (
     ScoreDecayEngine,
 )
 from .dedup import DedupStats, Deduplicator
+from .deltas import (
+    DeltaBatch,
+    DeltaCursor,
+    RollupGroup,
+    StoreRollup,
+    collapse_changes,
+    load_delta_events,
+)
 from .enrich import (
     BREAKDOWN_COMMENT,
     EnrichmentContextCache,
@@ -41,7 +54,13 @@ from .ioc import (
 from .normalize import NormalizedEvent, Normalizer
 from .platform import ContextAwareOSINTPlatform, CycleReport, PlatformConfig
 from .reduce import RIocGenerator, event_text_blob
-from .report import IntelReport, IntelReportBuilder, ReportEntry
+from .report import (
+    IntelReport,
+    IntelReportBuilder,
+    IntelSummaryRollup,
+    ReportEntry,
+    summarize_event,
+)
 from .sightings import (
     SIGHTING_TAG,
     RescoreOutcome,
@@ -53,6 +72,9 @@ __all__ = [
     "Aggregator",
     "CollectionReport",
     "OsintDataCollector",
+    "COMPACTION_SECONDS_BUCKETS",
+    "CompactionReport",
+    "CompactionStage",
     "CiocComposer",
     "IRRELEVANT_TAG",
     "OSINT_SOURCE_TAG",
@@ -70,6 +92,12 @@ __all__ = [
     "ScoreDecayEngine",
     "DedupStats",
     "Deduplicator",
+    "DeltaBatch",
+    "DeltaCursor",
+    "RollupGroup",
+    "StoreRollup",
+    "collapse_changes",
+    "load_delta_events",
     "BREAKDOWN_COMMENT",
     "EnrichmentContextCache",
     "EnrichmentResult",
@@ -92,7 +120,9 @@ __all__ = [
     "event_text_blob",
     "IntelReport",
     "IntelReportBuilder",
+    "IntelSummaryRollup",
     "ReportEntry",
+    "summarize_event",
     "SIGHTING_TAG",
     "RescoreOutcome",
     "SightingProcessor",

@@ -116,6 +116,29 @@ class ScoreDecayEngine:
             age=age,
             expired=model.is_expired(age))
 
+    def evaluate_summary(self, event_uuid: str, category: Optional[str],
+                         base_score: float, timestamp: _dt.datetime
+                         ) -> DecayedScore:
+        """Decayed score from a pre-extracted (category, base, timestamp).
+
+        Exactly equivalent to :meth:`evaluate` on the full event — the
+        model choice (``CATEGORY_MODELS`` by category, else the default)
+        and the curve are the same — but needs no event payload, so
+        incrementally-maintained rollups can re-score from summaries
+        without deserializing anything.
+        """
+        age = self._clock.now() - ensure_utc(timestamp)
+        model = CATEGORY_MODELS.get(category) \
+            if category is not None else None
+        if model is None:
+            model = DEFAULT_MODEL
+        return DecayedScore(
+            event_uuid=event_uuid,
+            base_score=base_score,
+            current_score=model.current_score(base_score, age),
+            age=age,
+            expired=model.is_expired(age))
+
     def sweep(self, store: MispStore) -> Tuple[List[DecayedScore], List[str]]:
         """Evaluate every scored event; returns (live scores, expired uuids)."""
         live: List[DecayedScore] = []

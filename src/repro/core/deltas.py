@@ -1,0 +1,245 @@
+"""Change-feed consumption: persisted cursors and materialized rollups.
+
+PR 5 proved the delta pattern for sharing (per-entity audit-seq watermark +
+digest ledger → steady-state sync shares nothing).  This module generalizes
+that idiom so *any* derived structure — dashboard views, geo aggregation,
+intel-report summaries — can consume the store's change feed instead of
+re-scanning stored state every cycle:
+
+- :class:`DeltaCursor` — a named position into the audit-seq change feed,
+  optionally persisted in the store's ``rollup_state`` table (deliberately
+  separate from ``sync_state`` so federation fingerprints, which fold sync
+  watermarks, never see local view-maintenance progress).
+- :func:`collapse_changes` — fold raw feed rows into one action per event
+  (the last one wins), split into upserts and deletes.
+- :class:`StoreRollup` — base class for incrementally-maintained
+  materialized views: ``refresh()`` reads the feed once, batch-loads only
+  the changed events, and hands them to the subclass's ``apply_delta``.
+- :class:`RollupGroup` — several rollups over one store sharing a single
+  feed read and a single event fetch per cycle when their cursors align
+  (the common case after the first cycle).
+
+Cost model (docs/PERFORMANCE.md): a quiet cycle is one ``changes_since``
+query returning nothing — no event payload is fetched or deserialized and
+no rollup write happens.  Rollup state is persisted only at explicit
+``save()`` checkpoints, not per refresh, so hot cycles never pay the
+serialization either.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..misp.model import MispEvent
+from ..misp.store import MispStore, StoreChange
+
+
+@dataclass
+class DeltaBatch:
+    """One feed read collapsed to net effects, in deterministic order.
+
+    ``upserts`` and ``deleted`` each hold event uuids ordered by
+    ``(last_change_seq, uuid)`` — the same total order
+    ``events_changed_since`` uses — and are disjoint: an event created and
+    deleted inside the window appears only in ``deleted``.
+    """
+
+    last_seq: int = 0
+    upserts: List[str] = field(default_factory=list)
+    deleted: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.upserts or self.deleted)
+
+
+def collapse_changes(changes: Sequence[StoreChange]) -> DeltaBatch:
+    """Fold raw change-feed rows into net per-event effects.
+
+    Multiple audit rows for one event collapse to its last action in the
+    window; ``deleted`` wins over any earlier write, a re-create after a
+    delete wins back.
+    """
+    last: Dict[str, Tuple[int, str]] = {}
+    top = 0
+    for change in changes:
+        top = max(top, change.seq)
+        last[change.event_uuid] = (change.seq, change.action)
+    ordered = sorted(last.items(), key=lambda kv: (kv[1][0], kv[0]))
+    batch = DeltaBatch(last_seq=top)
+    for uuid, (_seq, action) in ordered:
+        (batch.deleted if action == "deleted" else batch.upserts).append(uuid)
+    return batch
+
+
+def load_delta_events(store: MispStore, batch: DeltaBatch
+                      ) -> Tuple[List[MispEvent], List[str]]:
+    """Batch-fetch the events behind a delta (chunked, one round trip set).
+
+    Returns ``(upserted_events, deleted_uuids)``.  An upsert uuid that no
+    longer resolves (deleted after the feed window closed) is reported as
+    deleted now — its own ``deleted`` feed row, processed later, is then a
+    no-op, so consumers must treat deletes as idempotent.
+    """
+    deleted = list(batch.deleted)
+    if not batch.upserts:
+        return [], deleted
+    fetched = store.get_events(batch.upserts)
+    events: List[MispEvent] = []
+    for uuid in batch.upserts:
+        event = fetched.get(uuid)
+        if event is None:
+            deleted.append(uuid)
+        else:
+            events.append(event)
+    return events, deleted
+
+
+class DeltaCursor:
+    """A named, optionally persisted position in the store's change feed.
+
+    The in-memory generalization of PR 5's ``sync_state`` watermark: reads
+    never advance the cursor implicitly (consume-then-advance keeps crash
+    semantics at-least-once), and ``save()`` persists position + an opaque
+    state blob to ``rollup_state`` only when something actually moved.
+    """
+
+    def __init__(self, store: MispStore, name: str,
+                 persistent: bool = False) -> None:
+        self.store = store
+        self.name = name
+        self.persistent = persistent
+        self.position = 0
+        self._dirty = False
+        self._saved_state = ""
+        if persistent:
+            row = store.get_rollup(name)
+            if row is not None:
+                self.position = row[0]
+                self._saved_state = row[1]
+
+    @property
+    def saved_state(self) -> str:
+        """The state blob persisted alongside the position ('' if none)."""
+        return self._saved_state
+
+    def read(self, until_seq: Optional[int] = None,
+             limit: Optional[int] = None) -> List[StoreChange]:
+        """Feed rows past the cursor; does NOT advance it."""
+        return self.store.changes_since(
+            self.position, until_seq=until_seq, limit=limit)
+
+    def advance(self, seq: int) -> None:
+        """Move the cursor forward (never backward) after consuming."""
+        if seq > self.position:
+            self.position = seq
+            self._dirty = True
+
+    def save(self, state: str = "") -> bool:
+        """Persist position + state if this cursor is persistent and moved."""
+        if not self.persistent:
+            return False
+        if not self._dirty and state == self._saved_state:
+            return False
+        self.store.set_rollup(self.name, self.position, state)
+        self._saved_state = state
+        self._dirty = False
+        return True
+
+
+class StoreRollup:
+    """Base class for a materialized view maintained from the change feed.
+
+    Subclasses implement :meth:`apply_delta` (and, when persistent,
+    :meth:`state_dict` / :meth:`restore_state` for the JSON checkpoint).
+    A persistent rollup constructed over a store with saved state resumes
+    from its checkpoint — no rescan — and its first ``refresh()`` after a
+    quiet reopen consumes zero deltas.
+    """
+
+    def __init__(self, store: MispStore, name: str,
+                 persistent: bool = False) -> None:
+        self.store = store
+        self.name = name
+        self.cursor = DeltaCursor(store, name, persistent=persistent)
+        if persistent and self.cursor.saved_state:
+            self.restore_state(json.loads(self.cursor.saved_state))
+
+    @property
+    def position(self) -> int:
+        return self.cursor.position
+
+    def refresh(self, until_seq: Optional[int] = None) -> int:
+        """Consume everything past the cursor; returns feed rows consumed."""
+        changes = self.cursor.read(until_seq=until_seq)
+        if not changes:
+            return 0
+        batch = collapse_changes(changes)
+        events, deleted = load_delta_events(self.store, batch)
+        self.ingest(batch, events, deleted)
+        return len(changes)
+
+    def ingest(self, batch: DeltaBatch, events: Sequence[MispEvent],
+               deleted: Sequence[str]) -> None:
+        """Apply one pre-loaded delta and advance (RollupGroup fast path)."""
+        self.apply_delta(events, deleted)
+        self.cursor.advance(batch.last_seq)
+
+    def save(self) -> bool:
+        """Checkpoint position + state (persistent rollups only)."""
+        state = json.dumps(self.state_dict(), sort_keys=True) \
+            if self.cursor.persistent else ""
+        return self.cursor.save(state)
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def apply_delta(self, events: Sequence[MispEvent],
+                    deleted: Sequence[str]) -> None:
+        """Fold changed events in / retire deleted uuids (idempotently)."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """JSON-serializable checkpoint of the materialized state."""
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild materialized state from :meth:`state_dict` output."""
+
+
+class RollupGroup:
+    """Several rollups over one store, refreshed with one feed read.
+
+    When every member's cursor sits at the same position (true from the
+    second cycle on), one ``changes_since`` query and one chunked event
+    fetch feed all of them; otherwise each member catches up individually
+    and the group re-aligns.
+    """
+
+    def __init__(self, store: MispStore) -> None:
+        self.store = store
+        self.members: List[StoreRollup] = []
+
+    def add(self, rollup: StoreRollup) -> StoreRollup:
+        self.members.append(rollup)
+        return rollup
+
+    def refresh(self) -> int:
+        """Bring every member current; returns feed rows consumed."""
+        if not self.members:
+            return 0
+        positions = {rollup.position for rollup in self.members}
+        if len(positions) > 1:
+            return max(rollup.refresh() for rollup in self.members)
+        changes = self.store.changes_since(positions.pop())
+        if not changes:
+            return 0
+        batch = collapse_changes(changes)
+        events, deleted = load_delta_events(self.store, batch)
+        for rollup in self.members:
+            rollup.ingest(batch, events, deleted)
+        return len(changes)
+
+    def save_all(self) -> int:
+        """Checkpoint every persistent member; returns how many wrote."""
+        return sum(1 for rollup in self.members if rollup.save())

@@ -83,6 +83,17 @@ class CycleReport:
     shares_sent: int = 0
     share_failures: int = 0
     scores: List[float] = field(default_factory=list)
+    #: Change-feed rows the rollup stage consumed this cycle (0 when the
+    #: store didn't change — the steady-state signature).
+    deltas_consumed: int = 0
+    #: Whether the rate-limited decay compaction ran this cycle, and how
+    #: many expired events it purged.
+    compacted: bool = False
+    events_purged: int = 0
+    #: Quiet cycle: nothing collected, enriched, reduced, alarmed, shared
+    #: or changed, and no compaction ran.  Idle cycles are the steady state
+    #: the incremental pipeline keeps near-free (docs/PERFORMANCE.md).
+    idle: bool = False
     #: Stage name -> wall seconds, flattened from the cycle's span trace
     #: (empty when the platform runs with telemetry disabled).
     timings: Dict[str, float] = field(default_factory=dict)
@@ -167,6 +178,16 @@ class PlatformConfig:
     #: Optional scripted fault injector threaded through transport, store,
     #: parse and broker seams (chaos testing; see docs/RESILIENCE.md).
     fault_injector: Optional[FaultInjector] = None
+    #: Run the decay-compaction full pass every N cycles (<= 0 disables the
+    #: compact stage entirely; see docs/PERFORMANCE.md).
+    compaction_every_cycles: int = 25
+    #: Additional rate limit: minimum platform-clock seconds between
+    #: compaction runs (virtual seconds under the simulated clock).
+    compaction_min_interval_seconds: float = 0.0
+    #: Whether compaction deletes expired events (False = re-score only).
+    compaction_purge: bool = True
+    #: Maintain the incremental dashboard/report rollups each cycle.
+    rollups_enabled: bool = True
 
 
 class ContextAwareOSINTPlatform:
@@ -188,8 +209,14 @@ class ContextAwareOSINTPlatform:
                  sensor_steps_per_cycle: int = 6,
                  provenance: Optional[ProvenanceRecorder] = None,
                  log: Optional[StructuredLog] = None,
-                 slo: Optional[SloEngine] = None) -> None:
+                 slo: Optional[SloEngine] = None,
+                 compaction_every_cycles: int = 25,
+                 compaction_min_interval_seconds: float = 0.0,
+                 compaction_purge: bool = True,
+                 rollups_enabled: bool = True) -> None:
+        from .compaction import CompactionStage
         from .decay import ScoreDecayEngine
+        from .deltas import RollupGroup
         from .sightings import SightingProcessor
 
         self.osint_collector = osint_collector
@@ -204,6 +231,38 @@ class ContextAwareOSINTPlatform:
         self.tracer = tracer or Tracer(metrics=self.metrics)
         self.sightings = SightingProcessor(misp, heuristics, clock=clock)
         self.decay = ScoreDecayEngine(clock=clock)
+        #: Rate-limited decay full pass (the ``compact`` cycle stage).
+        self.compaction = CompactionStage(
+            misp.store, decay=self.decay, clock=clock,
+            every_cycles=compaction_every_cycles,
+            min_interval_seconds=compaction_min_interval_seconds,
+            purge=compaction_purge, metrics=self.metrics)
+        #: Incrementally-maintained materialized views over the store's
+        #: change feed, brought current once per cycle (``rollup`` stage)
+        #: and checkpointed at :meth:`checkpoint`.
+        self.rollups = RollupGroup(misp.store)
+        self.graph_view = None
+        self.keyword_view = None
+        self.geo_view = None
+        self.report_builder = None
+        if rollups_enabled:
+            from ..dashboard.geo import GeoSummaryView
+            from ..dashboard.views import (
+                CorrelationGraphView,
+                KeywordSummaryView,
+            )
+            from .report import IntelReportBuilder
+            self.graph_view = self.rollups.add(
+                CorrelationGraphView(misp.store, persistent=True))
+            self.keyword_view = self.rollups.add(
+                KeywordSummaryView(misp.store, persistent=True))
+            self.geo_view = GeoSummaryView()
+            self.rollups.add(
+                self.geo_view.store_rollup(misp.store, persistent=True))
+            self.report_builder = IntelReportBuilder(
+                misp.store, clock=clock, decay=self.decay,
+                incremental=True, persistent=True)
+            self.rollups.add(self.report_builder.rollup)
         self.deadletters = deadletters
         self.breakers = breakers
         #: The sharing gateway (delta-sync fan-out to external entities);
@@ -227,6 +286,9 @@ class ContextAwareOSINTPlatform:
         self._m_degraded = self.metrics.counter(
             "caop_degraded_cycles_total",
             "Cycles that completed with at least one failed stage")
+        self._m_idle = self.metrics.counter(
+            "caop_cycle_idle_total",
+            "Quiet cycles: nothing collected, changed, shared or compacted")
 
     @classmethod
     def build_default(cls, config: Optional[PlatformConfig] = None,
@@ -395,6 +457,11 @@ class ContextAwareOSINTPlatform:
             provenance=provenance,
             log=log,
             slo=slo,
+            compaction_every_cycles=config.compaction_every_cycles,
+            compaction_min_interval_seconds=(
+                config.compaction_min_interval_seconds),
+            compaction_purge=config.compaction_purge,
+            rollups_enabled=config.rollups_enabled,
         )
 
     def run_cycle(self) -> CycleReport:
@@ -494,6 +561,41 @@ class ContextAwareOSINTPlatform:
                                              + share_report.breaker_skipped)
                 except ReproError as exc:
                     report.stage_errors["share"] = str(exc)
+
+            # 6. Compaction: the rate-limited decay full pass (usually a
+            #    skip).  Runs *before* the rollup stage so any purge lands
+            #    in the change feed the rollups consume this same cycle.
+            try:
+                with self.tracer.span("compact"):
+                    compaction = self.compaction.maybe_run(cycle_no)
+                report.compacted = compaction.ran
+                report.events_purged = compaction.purged
+            except ReproError as exc:
+                report.stage_errors["compact"] = str(exc)
+
+            # 7. Rollup maintenance: bring the materialized dashboard and
+            #    report views current off the change feed.  On a quiet cycle
+            #    this is a single empty changes_since query.
+            try:
+                with self.tracer.span("rollup"):
+                    report.deltas_consumed = self.rollups.refresh()
+                    if report.compacted:
+                        # Compaction cadence doubles as the checkpoint
+                        # cadence: persist rollup state while the store is
+                        # already paying a write burst.
+                        self.rollups.save_all()
+            except ReproError as exc:
+                report.stage_errors["rollup"] = str(exc)
+        report.idle = (not report.degraded
+                       and report.collection.ciocs_created == 0
+                       and report.eiocs_created == 0
+                       and report.riocs_created == 0
+                       and report.new_alarms == 0
+                       and report.shares_sent == 0
+                       and report.deltas_consumed == 0
+                       and not report.compacted)
+        if report.idle:
+            self._m_idle.inc()
         if cycle_span is not None:
             report.timings = cycle_span.flatten()
             self._m_cycle_seconds.observe(cycle_span.duration_seconds)
@@ -509,7 +611,9 @@ class ContextAwareOSINTPlatform:
             eiocs=report.eiocs_created,
             riocs=report.riocs_created,
             shares=report.shares_sent,
-            degraded=report.degraded)
+            degraded=report.degraded,
+            deltas=report.deltas_consumed,
+            idle=report.idle)
         # Share staleness streak: cycles in which the fan-out only failed.
         if self.gateway is not None and self.gateway.entities:
             if report.shares_sent > 0:
@@ -530,6 +634,8 @@ class ContextAwareOSINTPlatform:
                 "ciocs_created": float(report.collection.ciocs_created),
                 "eiocs_created": float(report.eiocs_created),
                 "shares_sent": float(report.shares_sent),
+                "deltas_consumed": float(report.deltas_consumed),
+                "idle": 1.0 if report.idle else 0.0,
             })
             self.slo.evaluate()
         health = self.health()
@@ -571,7 +677,7 @@ class ContextAwareOSINTPlatform:
         last = self.history[-1] if self.history else None
         prev = self.history[-2] if len(self.history) > 1 else None
         for stage in ("sense", "collect", "store", "enrich", "reduce",
-                      "push", "share"):
+                      "push", "share", "compact", "rollup"):
             if last is not None and stage in last.stage_errors:
                 repeated = prev is not None and stage in prev.stage_errors
                 components.append(ComponentHealth(
@@ -596,6 +702,16 @@ class ContextAwareOSINTPlatform:
                     status=status.severity,
                     detail=status.detail))
         return PlatformHealth(components=components)
+
+    def checkpoint(self) -> int:
+        """Persist every rollup's position + state to ``rollup_state``.
+
+        Call before shutting down a platform built over a file-backed
+        store: a reopened platform then resumes its rollups from the
+        checkpoint, and its first quiet cycle consumes zero deltas.
+        Returns how many rollups actually wrote.
+        """
+        return self.rollups.save_all()
 
     def replay_deadletters(self) -> ReplayReport:
         """Re-drive quarantined documents and events through the pipeline.

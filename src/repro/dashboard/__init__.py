@@ -1,6 +1,6 @@
 """Output module: dashboard state, renderers, views, sessions, server."""
 
-from .geo import GeoHit, GeoSummaryView, LOCATION_INDEX
+from .geo import GeoHit, GeoStoreRollup, GeoSummaryView, LOCATION_INDEX
 from .render import (
     render_health,
     render_html,
@@ -22,6 +22,7 @@ from .views import (
 
 __all__ = [
     "GeoHit",
+    "GeoStoreRollup",
     "GeoSummaryView",
     "LOCATION_INDEX",
     "Action",

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.deltas import StoreRollup
 from ..misp import MispEvent, MispStore
 from ..nlp import GazetteerExtractor
 
@@ -70,8 +71,84 @@ class GeoHit:
     event_uuid: str
 
 
+def locate_event(event: MispEvent, gazetteer: GazetteerExtractor,
+                 index: Mapping[str, Tuple[str, float, float]]
+                 ) -> List[GeoHit]:
+    """Extract and map the located mentions of one event's text."""
+    text = event.info + " " + " ".join(
+        attribute.value for attribute in event.attributes
+        if attribute.type == "text")
+    found = gazetteer.extract(text).get("location", [])
+    hits: List[GeoHit] = []
+    for location in found:
+        entry = index.get(location)
+        if entry is None:
+            continue
+        region, latitude, longitude = entry
+        hits.append(GeoHit(location=location, region=region,
+                           latitude=latitude, longitude=longitude,
+                           event_uuid=event.uuid))
+    return hits
+
+
+class GeoStoreRollup(StoreRollup):
+    """Per-store located-mention index maintained from the change feed.
+
+    Keeps each event's hits separately so updates replace and deletes
+    retire that event's mentions — the aggregate always matches what a
+    fresh scan of the store would find.
+    """
+
+    def __init__(self, store: MispStore, gazetteer: GazetteerExtractor,
+                 index: Mapping[str, Tuple[str, float, float]],
+                 name: str = "rollup:geo-summary",
+                 persistent: bool = False) -> None:
+        self._gazetteer = gazetteer
+        self._index = index
+        self._event_hits: Dict[str, List[GeoHit]] = {}
+        #: Hits contributed by the most recent delta (ingest_store return).
+        self.last_delta_hits = 0
+        super().__init__(store, name, persistent=persistent)
+
+    def apply_delta(self, events: Sequence[MispEvent],
+                    deleted: Sequence[str]) -> None:
+        self.last_delta_hits = 0
+        for uuid in deleted:
+            self._event_hits.pop(uuid, None)
+        for event in events:
+            hits = locate_event(event, self._gazetteer, self._index)
+            self.last_delta_hits += len(hits)
+            if hits:
+                self._event_hits[event.uuid] = hits
+            else:
+                self._event_hits.pop(event.uuid, None)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"events": {
+            uuid: [[h.location, h.region, h.latitude, h.longitude]
+                   for h in hits]
+            for uuid, hits in self._event_hits.items()}}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._event_hits = {
+            uuid: [GeoHit(location=row[0], region=row[1], latitude=row[2],
+                          longitude=row[3], event_uuid=uuid) for row in rows]
+            for uuid, rows in state.get("events", {}).items()}
+
+    @property
+    def hits(self) -> List[GeoHit]:
+        return [hit for hits in self._event_hits.values() for hit in hits]
+
+
 class GeoSummaryView:
-    """Aggregates located threat mentions by region."""
+    """Aggregates located threat mentions by region.
+
+    Manually-ingested events (:meth:`ingest_event` /
+    :meth:`ingest_attribution`) accumulate append-only, as before.
+    Store-backed aggregation is an incremental rollup per store: repeated
+    :meth:`ingest_store` calls consume only the change feed instead of
+    re-scanning (and no longer double-count what they already saw).
+    """
 
     def __init__(self, gazetteer: Optional[GazetteerExtractor] = None,
                  index: Mapping[str, Tuple[str, float, float]] = LOCATION_INDEX
@@ -79,32 +156,32 @@ class GeoSummaryView:
         self._gazetteer = gazetteer or GazetteerExtractor()
         self._index = dict(index)
         self._hits: List[GeoHit] = []
+        self._store_rollups: Dict[int, GeoStoreRollup] = {}
 
     def ingest_event(self, event: MispEvent) -> List[GeoHit]:
         """Extract locations from one event's text; returns new hits."""
-        text = event.info + " " + " ".join(
-            attribute.value for attribute in event.attributes
-            if attribute.type == "text")
-        found = self._gazetteer.extract(text).get("location", [])
-        new_hits: List[GeoHit] = []
-        for location in found:
-            entry = self._index.get(location)
-            if entry is None:
-                continue
-            region, latitude, longitude = entry
-            hit = GeoHit(location=location, region=region,
-                         latitude=latitude, longitude=longitude,
-                         event_uuid=event.uuid)
-            self._hits.append(hit)
-            new_hits.append(hit)
+        new_hits = locate_event(event, self._gazetteer, self._index)
+        self._hits.extend(new_hits)
         return new_hits
 
+    def store_rollup(self, store: MispStore,
+                     name: str = "rollup:geo-summary",
+                     persistent: bool = False) -> GeoStoreRollup:
+        """The (lazily created) incremental rollup tracking one store."""
+        key = id(store)
+        rollup = self._store_rollups.get(key)
+        if rollup is None:
+            rollup = GeoStoreRollup(store, self._gazetteer, self._index,
+                                    name=name, persistent=persistent)
+            self._store_rollups[key] = rollup
+        return rollup
+
     def ingest_store(self, store: MispStore) -> int:
-        """Scan a whole store; returns the number of located mentions."""
-        total = 0
-        for event in store.list_events():
-            total += len(self.ingest_event(event))
-        return total
+        """Fold a store's changes in; returns newly located mentions."""
+        rollup = self.store_rollup(store)
+        if rollup.refresh() == 0:
+            return 0
+        return rollup.last_delta_hits
 
     def ingest_attribution(self, event: MispEvent) -> List[GeoHit]:
         """Place an event by its galaxy clusters' ``country`` metadata.
@@ -140,16 +217,25 @@ class GeoSummaryView:
 
     @property
     def hits(self) -> List[GeoHit]:
-        """Every located mention recorded so far."""
-        return list(self._hits)
+        """Every located mention recorded so far (manual + store rollups)."""
+        combined = list(self._hits)
+        for rollup in self._store_rollups.values():
+            combined.extend(rollup.hits)
+        return combined
+
+    @staticmethod
+    def _ranked(counter: Counter) -> Dict[str, int]:
+        # Deterministic regardless of ingest order: by count, then name.
+        return {name: count for name, count in sorted(
+            counter.items(), key=lambda pair: (-pair[1], pair[0]))}
 
     def by_region(self) -> Dict[str, int]:
         """Mention counts grouped by world region."""
-        return dict(Counter(hit.region for hit in self._hits))
+        return self._ranked(Counter(hit.region for hit in self.hits))
 
     def by_location(self) -> Dict[str, int]:
         """Mention counts grouped by location name."""
-        return dict(Counter(hit.location for hit in self._hits))
+        return self._ranked(Counter(hit.location for hit in self.hits))
 
     def render(self, width: int = 30) -> str:
         """Render this view as printable text."""

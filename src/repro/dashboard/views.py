@@ -14,6 +14,13 @@ Three such models over the platform's live data:
 - :class:`EventJourneyView` — *provenance*: one IoC's recorded journey
   through the pipeline (fetch -> parse -> enrich -> score -> reduce ->
   share), read from the store's provenance table.
+
+The store-backed views are :class:`~repro.core.deltas.StoreRollup`
+materializations: they consume the store's change feed on read (or via the
+platform's rollup stage) instead of re-scanning every stored event, so a
+render after a quiet cycle costs one empty feed query.  Construct them with
+``persistent=True`` to checkpoint their state into the store's
+``rollup_state`` table and resume without rescans after a reopen.
 """
 
 from __future__ import annotations
@@ -21,15 +28,17 @@ from __future__ import annotations
 import datetime as _dt
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from ..clock import ensure_utc
+from ..core.deltas import StoreRollup
 from ..core.ioc import ReducedIoc
 from ..errors import ValidationError
 from ..infra import Alarm
 from ..misp import MispStore
+from ..misp.model import MispEvent
 from ..nlp import ThreatTagger
 
 _SPARK_GLYPHS = " .:-=+*#%@"
@@ -116,69 +125,176 @@ class TimelineView:
         return "\n".join(lines)
 
 
-class CorrelationGraphView:
-    """Relational view: the event-correlation graph inside the MISP store."""
+class CorrelationGraphView(StoreRollup):
+    """Relational view: the event-correlation graph inside the MISP store.
 
-    def __init__(self, store: MispStore) -> None:
-        self._store = store
+    Maintained incrementally: the graph is materialized once and then fed
+    deltas from the change feed.  Semantics match the historical full
+    rescan exactly, including its ghost-node behaviour — a deleted event
+    that still appears in a live event's correlation rows stays in the
+    graph as an attribute-less node, while a deleted event with no live
+    correlation partner vanishes.
+    """
+
+    def __init__(self, store: MispStore,
+                 name: str = "rollup:correlation-graph",
+                 persistent: bool = False) -> None:
+        self._graph = nx.Graph()
+        #: Events currently stored (nodes carrying an ``info`` attribute);
+        #: nodes outside this set are ghosts kept alive by live partners.
+        self._live: set = set()
+        super().__init__(store, name, persistent=persistent)
+
+    def apply_delta(self, events: Sequence[MispEvent],
+                    deleted: Sequence[str]) -> None:
+        for uuid in deleted:
+            self._retire(uuid)
+        events = list(events)
+        if not events:
+            return
+        for event in events:
+            self._live.add(event.uuid)
+            self._graph.add_node(event.uuid, info=event.info)
+        rows = self.store.correlations_for_events(
+            [event.uuid for event in events])
+        for event in events:
+            for correlation in rows[event.uuid]:
+                self._graph.add_edge(
+                    correlation["source_event"], correlation["target_event"],
+                    value=correlation["value"])
+
+    def _retire(self, uuid: str) -> None:
+        self._live.discard(uuid)
+        if uuid not in self._graph:
+            return
+        # Full-rescan equivalence: edges only exist while at least one
+        # endpoint is live (rescans walk correlations via live events).
+        self._graph.nodes[uuid].pop("info", None)
+        for neighbor in list(self._graph.neighbors(uuid)):
+            if neighbor not in self._live:
+                self._graph.remove_edge(uuid, neighbor)
+                if self._graph.degree[neighbor] == 0:
+                    self._graph.remove_node(neighbor)
+        if uuid in self._graph and self._graph.degree[uuid] == 0:
+            self._graph.remove_node(uuid)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "nodes": {uuid: (attrs.get("info") if uuid in self._live
+                             else None)
+                      for uuid, attrs in self._graph.nodes(data=True)},
+            "edges": sorted(
+                [sorted((a, b)) + [attrs["value"]]
+                 for a, b, attrs in self._graph.edges(data=True)]),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._graph = nx.Graph()
+        self._live = set()
+        for uuid, info in state.get("nodes", {}).items():
+            if info is None:
+                self._graph.add_node(uuid)
+            else:
+                self._graph.add_node(uuid, info=info)
+                self._live.add(uuid)
+        for a, b, value in state.get("edges", []):
+            self._graph.add_edge(a, b, value=value)
 
     def graph(self) -> nx.Graph:
         """Events as nodes, value-correlations as labelled edges."""
-        graph = nx.Graph()
-        for event in self._store.list_events():
-            graph.add_node(event.uuid, info=event.info)
-            for correlation in self._store.correlations_for_event(event.uuid):
-                graph.add_edge(
-                    correlation["source_event"], correlation["target_event"],
-                    value=correlation["value"])
-        return graph
+        self.refresh()
+        return self._graph.copy()
 
     def components(self) -> List[List[str]]:
         """Connected components (clusters of related intelligence)."""
-        graph = self.graph()
-        return [sorted(component)
-                for component in nx.connected_components(graph)]
+        self.refresh()
+        return sorted(sorted(component)
+                      for component in nx.connected_components(self._graph))
 
     def hubs(self, top: int = 5) -> List[Tuple[str, int]]:
         """The most-correlated events (highest degree)."""
-        graph = self.graph()
-        ranked = sorted(graph.degree, key=lambda pair: -pair[1])
+        self.refresh()
+        ranked = sorted(self._graph.degree,
+                        key=lambda pair: (-pair[1], pair[0]))
         return [(uuid, degree) for uuid, degree in ranked[:top] if degree > 0]
 
     def render(self, top: int = 5) -> str:
         """Render this view as printable text."""
-        graph = self.graph()
+        self.refresh()
         clusters = [c for c in self.components() if len(c) > 1]
         lines = [
             "Correlation graph",
-            f"  events:        {graph.number_of_nodes()}",
-            f"  correlations:  {graph.number_of_edges()}",
+            f"  events:        {self._graph.number_of_nodes()}",
+            f"  correlations:  {self._graph.number_of_edges()}",
             f"  clusters (>1): {len(clusters)}",
         ]
         for uuid, degree in self.hubs(top):
-            info = graph.nodes[uuid].get("info", "")[:50]
+            info = self._graph.nodes[uuid].get("info", "")[:50]
             lines.append(f"  hub {uuid[:8]} degree={degree}  {info}")
         return "\n".join(lines)
 
 
-class KeywordSummaryView:
-    """Textual view: threat-category keyword frequencies across the store."""
+class KeywordSummaryView(StoreRollup):
+    """Textual view: threat-category keyword frequencies across the store.
+
+    Maintained incrementally: per-event keyword contributions are kept so
+    updates and deletes retire an event's old counts before folding the
+    new ones in — totals always equal what a full rescan would produce.
+    """
 
     def __init__(self, store: MispStore,
-                 tagger: Optional[ThreatTagger] = None) -> None:
-        self._store = store
+                 tagger: Optional[ThreatTagger] = None,
+                 name: str = "rollup:keyword-summary",
+                 persistent: bool = False) -> None:
         self._tagger = tagger or ThreatTagger()
+        #: event uuid -> its category contribution (only non-empty ones).
+        self._contrib: Dict[str, Dict[str, int]] = {}
+        self._totals: Counter = Counter()
+        super().__init__(store, name, persistent=persistent)
 
-    def frequencies(self) -> Dict[str, int]:
-        """Threat-category keyword counts across the store."""
-        counter: Counter = Counter()
-        for event in self._store.list_events():
+    def apply_delta(self, events: Sequence[MispEvent],
+                    deleted: Sequence[str]) -> None:
+        for uuid in deleted:
+            self._retire(uuid)
+        for event in events:
+            self._retire(event.uuid)
             text = event.info + " " + " ".join(
                 attribute.value for attribute in event.attributes
                 if attribute.type == "text")
-            for category, keywords in self._tagger.tag(text).items():
-                counter[category] += len(keywords)
-        return dict(counter)
+            counts = {category: len(keywords)
+                      for category, keywords in self._tagger.tag(text).items()}
+            if counts:
+                self._contrib[event.uuid] = counts
+                for category, count in counts.items():
+                    self._totals[category] += count
+
+    def _retire(self, uuid: str) -> None:
+        old = self._contrib.pop(uuid, None)
+        if old:
+            for category, count in old.items():
+                self._totals[category] -= count
+                if self._totals[category] <= 0:
+                    del self._totals[category]
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"contrib": self._contrib}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._contrib = {uuid: dict(counts)
+                         for uuid, counts in state.get("contrib", {}).items()}
+        self._totals = Counter()
+        for counts in self._contrib.values():
+            self._totals.update(counts)
+
+    def frequencies(self) -> Dict[str, int]:
+        """Threat-category keyword counts across the store.
+
+        Sorted by descending count (then category) so the mapping is
+        deterministic regardless of the order deltas arrived in.
+        """
+        self.refresh()
+        return {category: count for category, count in sorted(
+            self._totals.items(), key=lambda pair: (-pair[1], pair[0]))}
 
     def render(self, width: int = 40) -> str:
         """Render this view as printable text."""

@@ -40,7 +40,7 @@ from .storage import (
     StorageBackend,
     shard_of,
 )
-from .store import MispStore
+from .store import MispStore, StoreChange
 from .warninglists import (
     Warninglist,
     WarninglistHit,
@@ -92,6 +92,7 @@ __all__ = [
     "SQLiteBackend",
     "ShardedSQLiteBackend",
     "StorageBackend",
+    "StoreChange",
     "shard_of",
     "Warninglist",
     "WarninglistHit",

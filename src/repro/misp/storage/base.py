@@ -173,8 +173,13 @@ class StorageBackend:
         raise NotImplementedError
 
     def list_event_blobs(self, limit: Optional[int] = None,
-                         published_only: bool = False) -> List[str]:
-        """Blobs ordered by ``timestamp DESC, uuid`` (fully deterministic)."""
+                         published_only: bool = False,
+                         since_ts: Optional[int] = None) -> List[str]:
+        """Blobs ordered by ``timestamp DESC, uuid`` (fully deterministic).
+
+        ``since_ts`` keeps only events whose integer epoch timestamp is
+        ``>= since_ts`` — a storage-side prefilter for time-windowed reads.
+        """
         raise NotImplementedError
 
     def event_count(self) -> int:
@@ -199,6 +204,37 @@ class StorageBackend:
     def events_changed_since(self, after_seq: int,
                              until_seq: Optional[int] = None
                              ) -> List[Tuple[str, int]]:
+        raise NotImplementedError
+
+    def changes_since(self, after_seq: int,
+                      until_seq: Optional[int] = None,
+                      limit: Optional[int] = None
+                      ) -> List[Tuple[int, str, str, int]]:
+        """Raw audit rows ``(seq, event_uuid, action, logged_at)`` after
+        ``after_seq``, ordered by seq ascending.
+
+        Unlike :meth:`events_changed_since` this keeps ``deleted`` actions,
+        so change-feed consumers can retire state for purged events.
+        """
+        raise NotImplementedError
+
+    # -- rollup cursors -------------------------------------------------------
+    #
+    # Named, persisted positions into the audit-seq change feed plus an
+    # opaque state blob — the durable half of ``core.deltas``.  Kept in a
+    # dedicated ``rollup_state`` table (NOT ``sync_state``) so federation
+    # fingerprints, which fold sync watermarks, are unaffected by how far
+    # local view maintenance has read.
+
+    def get_rollup(self, name: str) -> Optional[Tuple[int, str]]:
+        """``(position, state)`` for one named rollup, or None."""
+        raise NotImplementedError
+
+    def set_rollup(self, name: str, position: int, state: str = "",
+                   logged_at: int = 0) -> None:
+        raise NotImplementedError
+
+    def rollup_names(self) -> List[str]:
         raise NotImplementedError
 
     # -- provenance ---------------------------------------------------------

@@ -37,6 +37,8 @@ class InMemoryBackend(StorageBackend):
         self._provenance: List[Dict[str, Any]] = []
         self._sync_state: Dict[str, int] = {}
         self._sync_digests: Dict[Tuple[str, str], str] = {}
+        #: name -> (position, state) rollup cursors.
+        self._rollups: Dict[str, Tuple[int, str]] = {}
         self._counters = {"events": 0, "attributes": 0, "correlations": 0}
 
     def _op(self) -> None:
@@ -119,10 +121,12 @@ class InMemoryBackend(StorageBackend):
         return True
 
     def list_event_blobs(self, limit: Optional[int] = None,
-                         published_only: bool = False) -> List[str]:
+                         published_only: bool = False,
+                         since_ts: Optional[int] = None) -> List[str]:
         self._op()
         rows = [row for row in self._events.values()
-                if not published_only or row[7]]
+                if (not published_only or row[7])
+                and (since_ts is None or int(row[8]) >= int(since_ts))]
         rows.sort(key=lambda row: (-int(row[8]), row[0]))
         blobs = [row[9] for row in rows]
         return blobs[:int(limit)] if limit is not None else blobs
@@ -164,6 +168,32 @@ class InMemoryBackend(StorageBackend):
         changed = sorted(last_seq.items(),
                          key=lambda pair: (pair[1], pair[0]))
         return [(uuid, seq) for uuid, seq in changed]
+
+    def changes_since(self, after_seq: int,
+                      until_seq: Optional[int] = None,
+                      limit: Optional[int] = None
+                      ) -> List[Tuple[int, str, str, int]]:
+        self._op()
+        rows = [(seq, event_uuid, action, logged_at)
+                for seq, event_uuid, action, _detail, logged_at in self._audit
+                if seq > after_seq
+                and (until_seq is None or seq <= until_seq)]
+        return rows[:int(limit)] if limit is not None else rows
+
+    # -- rollup cursors -------------------------------------------------------
+
+    def get_rollup(self, name: str) -> Optional[Tuple[int, str]]:
+        self._op()
+        return self._rollups.get(name)
+
+    def set_rollup(self, name: str, position: int, state: str = "",
+                   logged_at: int = 0) -> None:
+        self._op()
+        self._rollups[name] = (int(position), state)
+
+    def rollup_names(self) -> List[str]:
+        self._op()
+        return sorted(self._rollups)
 
     # -- provenance ---------------------------------------------------------
 

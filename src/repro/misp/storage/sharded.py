@@ -339,14 +339,21 @@ class ShardedSQLiteBackend(CatalogOps, StorageBackend):
         return deleted
 
     def list_event_blobs(self, limit: Optional[int] = None,
-                         published_only: bool = False) -> List[str]:
+                         published_only: bool = False,
+                         since_ts: Optional[int] = None) -> List[str]:
         # Each shard pre-sorts (and pre-limits) its slice; the merge re-sorts
         # the union on the same fully-specified key, so the result is
         # identical to the single-file backend's.
         query = "SELECT blob, timestamp, uuid FROM events"
         params: List[Any] = []
+        clauses: List[str] = []
         if published_only:
-            query += " WHERE published = 1"
+            clauses.append("published = 1")
+        if since_ts is not None:
+            clauses.append("timestamp >= ?")
+            params.append(int(since_ts))
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY timestamp DESC, uuid"
         if limit is not None:
             query += " LIMIT ?"

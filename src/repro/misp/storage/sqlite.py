@@ -111,6 +111,12 @@ CREATE TABLE IF NOT EXISTS counters (
     name TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS rollup_state (
+    name TEXT PRIMARY KEY,
+    position INTEGER NOT NULL,
+    state TEXT NOT NULL DEFAULT '',
+    updated_at INTEGER NOT NULL
+);
 CREATE TABLE IF NOT EXISTS store_meta (
     key TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -296,8 +302,50 @@ class CatalogOps:
         changed.sort(key=lambda pair: (pair[1], pair[0]))
         return changed
 
+    def changes_since(self, after_seq: int,
+                      until_seq: Optional[int] = None,
+                      limit: Optional[int] = None
+                      ) -> List[Tuple[int, str, str, int]]:
+        query = ("SELECT seq, event_uuid, action, logged_at FROM audit_log"
+                 " WHERE seq > ?")
+        params: List[Any] = [int(after_seq)]
+        if until_seq is not None:
+            query += " AND seq <= ?"
+            params.append(int(until_seq))
+        query += " ORDER BY seq"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        rows = self._cat.execute(query, params).fetchall()
+        return [(int(r[0]), r[1], r[2], int(r[3])) for r in rows]
+
     def existing_events(self, uuids: Sequence[str]) -> Set[str]:
         raise NotImplementedError
+
+    # -- rollup cursors -------------------------------------------------------
+
+    def get_rollup(self, name: str) -> Optional[Tuple[int, str]]:
+        row = self._cat.execute(
+            "SELECT position, state FROM rollup_state WHERE name = ?",
+            (name,)).fetchone()
+        return (int(row[0]), row[1]) if row is not None else None
+
+    def set_rollup(self, name: str, position: int, state: str = "",
+                   logged_at: int = 0) -> None:
+        try:
+            self._cat.execute(
+                "INSERT OR REPLACE INTO rollup_state (name, position,"
+                " state, updated_at) VALUES (?,?,?,?)",
+                (name, int(position), state, int(logged_at)))
+        except BaseException:
+            self._cat.rollback()
+            raise
+        self._cat.commit()
+
+    def rollup_names(self) -> List[str]:
+        rows = self._cat.execute(
+            "SELECT name FROM rollup_state ORDER BY name").fetchall()
+        return [row[0] for row in rows]
 
     # -- provenance ---------------------------------------------------------
 
@@ -576,11 +624,18 @@ class SQLiteBackend(CatalogOps, StorageBackend):
         return deleted
 
     def list_event_blobs(self, limit: Optional[int] = None,
-                         published_only: bool = False) -> List[str]:
+                         published_only: bool = False,
+                         since_ts: Optional[int] = None) -> List[str]:
         query = "SELECT blob FROM events"
         params: List[Any] = []
+        clauses: List[str] = []
         if published_only:
-            query += " WHERE published = 1"
+            clauses.append("published = 1")
+        if since_ts is not None:
+            clauses.append("timestamp >= ?")
+            params.append(int(since_ts))
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY timestamp DESC, uuid"
         if limit is not None:
             query += " LIMIT ?"

@@ -38,7 +38,9 @@ successful sync (docs/SHARING.md).
 
 from __future__ import annotations
 
+import datetime as dt
 import json
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..clock import Clock
@@ -56,6 +58,23 @@ from .storage import (
 #: Batch-size histogram buckets: one cycle's cIoC count lands here.
 BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500)
+
+
+@dataclass(frozen=True)
+class StoreChange:
+    """One audit-log row viewed as a change-feed entry.
+
+    ``seq`` is the store's monotonic cursor; ``action`` is one of
+    ``created`` / ``updated`` / ``enriched`` / ``deleted``.  Unlike
+    :meth:`MispStore.events_changed_since`, the change feed keeps
+    ``deleted`` rows so incremental consumers can retire state for
+    purged events instead of silently never hearing about them.
+    """
+
+    seq: int
+    event_uuid: str
+    action: str
+    logged_at: int
 
 
 class MispStore:
@@ -95,6 +114,9 @@ class MispStore:
         #: The :class:`~repro.misp.storage.base.StorageBackend` doing the
         #: actual persistence.
         self.backend = backend
+        #: JSON blob → MispEvent decodes performed so far.  The idle-cost
+        #: bench asserts quiet cycles keep this flat (0 per quiet cycle).
+        self._payloads_deserialized = 0
         metrics = metrics or NULL_REGISTRY
         self._m_events = metrics.counter(
             "caop_misp_events_stored_total",
@@ -127,6 +149,20 @@ class MispStore:
     def sql_statements(self) -> int:
         """Python→storage round trips issued so far (read-only)."""
         return self.backend.sql_statements
+
+    @property
+    def payloads_deserialized(self) -> int:
+        """JSON payload → event decodes performed so far (read-only).
+
+        The second currency of the idle-cost budget alongside
+        ``sql_statements``: a steady-state cycle that touches no events
+        must not move this number.
+        """
+        return self._payloads_deserialized
+
+    def _decode(self, blob: str) -> MispEvent:
+        self._payloads_deserialized += 1
+        return MispEvent.from_dict(json.loads(blob))
 
     @property
     def shard_count(self) -> int:
@@ -272,7 +308,7 @@ class MispStore:
         blob = self.backend.get_event_blob(uuid)
         if blob is None:
             return None
-        return MispEvent.from_dict(json.loads(blob))
+        return self._decode(blob)
 
     def get_events(self, uuids: Sequence[str]) -> Dict[str, Optional[MispEvent]]:
         """Batch-fetch events with chunked ``IN (...)`` queries.
@@ -282,8 +318,7 @@ class MispStore:
         cost ``ceil(N / chunk)`` round trips instead of N.
         """
         blobs = self.backend.get_event_blobs(uuids)
-        return {uuid: MispEvent.from_dict(json.loads(blob))
-                if blob is not None else None
+        return {uuid: self._decode(blob) if blob is not None else None
                 for uuid, blob in blobs.items()}
 
     def events_with_tag(self, tag: str, uuids: Sequence[str]) -> Set[str]:
@@ -357,6 +392,41 @@ class MispStore:
         """
         return self.backend.events_changed_since(after_seq, until_seq)
 
+    def changes_since(self, after_seq: int,
+                      until_seq: Optional[int] = None,
+                      limit: Optional[int] = None) -> List[StoreChange]:
+        """The store's change feed: audit rows after ``after_seq``.
+
+        Returns :class:`StoreChange` entries ordered by ``seq`` ascending —
+        including ``deleted`` actions, which :meth:`events_changed_since`
+        filters out.  One cheap query (no ``IN`` lists, no payloads) that
+        costs nothing when nothing changed; incremental rollups poll it
+        with a persisted :class:`~repro.core.deltas.DeltaCursor`.
+        """
+        return [StoreChange(*row) for row in self.backend.changes_since(
+            after_seq, until_seq=until_seq, limit=limit)]
+
+    # -- rollup cursors -------------------------------------------------------
+
+    def get_rollup(self, name: str) -> Optional[Tuple[int, str]]:
+        """``(position, state)`` of one persisted rollup cursor, or None."""
+        return self.backend.get_rollup(name)
+
+    def set_rollup(self, name: str, position: int, state: str = "") -> None:
+        """Persist a rollup cursor (stamped on the store clock).
+
+        Lives in the ``rollup_state`` table, deliberately outside the sync
+        ledger: federation fingerprints fold ``sync_watermarks()``, and how
+        far local view maintenance has read must not perturb them.
+        """
+        logged_at = int(self._clock.now().timestamp()) \
+            if self._clock is not None else 0
+        self.backend.set_rollup(name, position, state, logged_at=logged_at)
+
+    def rollup_names(self) -> List[str]:
+        """Names of every persisted rollup cursor, sorted."""
+        return self.backend.rollup_names()
+
     def get_sync_watermark(self, entity: str) -> int:
         """The audit-seq watermark of one sync entity (0 when never synced)."""
         return self.backend.get_sync_watermark(entity)
@@ -408,11 +478,21 @@ class MispStore:
         return self.backend.attribute_count()
 
     def list_events(self, limit: Optional[int] = None,
-                    published_only: bool = False) -> List[MispEvent]:
-        """Stored events, newest first (``timestamp DESC, uuid``)."""
-        return [MispEvent.from_dict(json.loads(blob))
+                    published_only: bool = False,
+                    since: Optional[dt.datetime] = None) -> List[MispEvent]:
+        """Stored events, newest first (``timestamp DESC, uuid``).
+
+        ``since`` pushes a time-window lower bound into the storage query:
+        only events with ``timestamp >= since`` are fetched and decoded.
+        Stored timestamps are integer epoch seconds (the MISP JSON wire
+        format), so the integer prefilter is exact for integer-second
+        cutoffs and callers with sub-second cutoffs re-filter in python.
+        """
+        since_ts = int(since.timestamp()) if since is not None else None
+        return [self._decode(blob)
                 for blob in self.backend.list_event_blobs(
-                    limit=limit, published_only=published_only)]
+                    limit=limit, published_only=published_only,
+                    since_ts=since_ts)]
 
     # -- search -------------------------------------------------------------------
 
@@ -425,7 +505,7 @@ class MispStore:
                       attribute_type: Optional[str] = None,
                       value: Optional[str] = None) -> List[MispEvent]:
         """Filtered event search across the relational tables."""
-        return [MispEvent.from_dict(json.loads(blob))
+        return [self._decode(blob)
                 for blob in self.backend.search_event_blobs(
                     info_substring=info_substring, tag=tag,
                     attribute_type=attribute_type, value=value)]

@@ -178,7 +178,14 @@ class SloEngine:
 
     def observe_cycle(self, cycle: int, at: Any,
                       values: Mapping[str, float]) -> None:
-        """Snapshot one cycle's metric values into the time series."""
+        """Snapshot one cycle's metric values into the time series.
+
+        The platform feeds ``cycle_seconds``, ``degraded``, ``drop_ratio``,
+        ``share_stale_cycles``, the per-cycle production counts
+        (``ciocs_created``, ``eiocs_created``, ``shares_sent``) and the
+        steady-state signals ``deltas_consumed`` / ``idle`` (1.0 on quiet
+        cycles), so custom rules can state objectives over any of them.
+        """
         self.timeseries.append(cycle, at, values)
 
     @staticmethod
