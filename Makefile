@@ -1,4 +1,4 @@
-.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store bench-idle bench-federation chaos examples metrics-demo obs-demo lint-metrics verify clean
+.PHONY: install test coverage bench bench-timing bench-ingest bench-enrich bench-share bench-trace bench-store bench-idle bench-federation bench-fanout chaos examples metrics-demo obs-demo lint-metrics verify clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -7,7 +7,7 @@ test:
 	pytest tests/
 
 coverage:
-	pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=80
+	pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=82
 
 bench:
 	pytest benchmarks/
@@ -35,6 +35,9 @@ bench-idle:
 
 bench-federation:
 	PYTHONPATH=src pytest benchmarks/bench_x23_federation.py -s --benchmark-disable
+
+bench-fanout:
+	PYTHONPATH=src pytest benchmarks/bench_x20_fanout.py -s --benchmark-disable
 
 chaos:
 	PYTHONPATH=src pytest tests/test_resilience.py tests/test_chaos.py tests/test_federation_backbone.py benchmarks/bench_x15_chaos_recovery.py benchmarks/bench_x23_federation.py -s --benchmark-disable

@@ -1,0 +1,272 @@
+"""X20: snapshot+delta fan-out — renders O(rooms), cost amortized per client.
+
+Before PR 10 every dashboard push re-rendered and re-delivered its payload
+once per client, so a cycle's output cost was O(clients x payload).  The
+fan-out hub renders each ``(room, version, kind)`` payload exactly once and
+offers the *same* message object to every subscriber's bounded queue, so a
+cycle's render count is O(dirty rooms) no matter how many clients watch.
+
+This bench drives ``SUBSCRIBERS`` simulated subscribers (default 100k; CI
+scales down via ``CAOP_X20_SUBSCRIBERS``) across ``ROOMS`` rooms for
+``CYCLES`` write/flush rounds and guards:
+
+1. **O(rooms) rendering** — per-cycle render count equals the dirty-room
+   count and is byte-for-byte identical at a 10x smaller subscriber count.
+2. **Amortized cost** — per-client per-cycle hub cost is >= ``MIN_SPEEDUP``
+   (10x) cheaper than the naive per-client-render baseline.
+3. **Staleness** — p99 subscriber staleness (versions behind the room)
+   measured after every flush is 0: a flush leaves every connected
+   subscriber current.
+4. **Load-shedding** — a laggard cohort with tiny queues is shed into
+   snapshot resyncs, counted in the broker drop accounting, while fast
+   clients still converge byte-identically.
+"""
+
+import json
+import os
+import time
+from collections import Counter
+
+from repro.dashboard.fanout import FanoutClient, FanoutHub, canonical_json
+
+from conftest import print_table
+
+#: Simulated subscriber count; CI overrides with CAOP_X20_SUBSCRIBERS.
+SUBSCRIBERS = int(os.environ.get("CAOP_X20_SUBSCRIBERS", "100000"))
+#: Naive-baseline client count (per-client cost is constant, so a smaller
+#: cohort measures the same amortized cost without the quadratic bill).
+NAIVE_SUBSCRIBERS = int(os.environ.get("CAOP_X20_NAIVE", "2000"))
+CYCLES = int(os.environ.get("CAOP_X20_CYCLES", "20"))
+ROOMS = 5
+#: Distinct keys written per room per cycle, over a rolling keyspace so
+#: later cycles update existing keys (exercising coalescing + deletes).
+KEYS_PER_CYCLE = 25
+KEYSPACE = 200
+#: Protocol-driving clients that pump and verify every cycle.
+TRACKED = 100
+#: Required advantage over the naive per-client render baseline.
+MIN_SPEEDUP = 10.0
+
+ROOM_NAMES = [f"room-{index}" for index in range(ROOMS)]
+
+
+def rioc_like(cycle, key):
+    """A moderately rich rIoC-shaped value (what the riocs room carries)."""
+    return {
+        "eioc_uuid": f"uuid-{key}",
+        "threat_score": round(2.0 + (cycle % 30) / 10.0, 2),
+        "nodes": ["Node 1", "Node 3"],
+        "cve": f"CVE-2026-{1000 + cycle}",
+        "description": f"indicator {key} observed in cycle {cycle}",
+        "affected_application": "Apache Struts",
+        "matched_term": "struts",
+        "vulnerability_count": cycle % 7,
+    }
+
+
+def stage_writes(hub, cycle):
+    """One cycle's writes: updates over a rolling keyspace plus rewrites."""
+    for room in ROOM_NAMES:
+        base = (cycle * 7) % KEYSPACE
+        for offset in range(KEYS_PER_CYCLE):
+            key = f"k{(base + offset) % KEYSPACE}"
+            hub.publish(room, key, rioc_like(cycle, key))
+        # Same-key rewrites inside the cycle: coalesced to last-write.
+        hub.publish(room, f"k{base % KEYSPACE}", rioc_like(cycle, "rewrite"))
+        if cycle % 5 == 0:
+            hub.delete(room, f"k{(base + KEYS_PER_CYCLE) % KEYSPACE}")
+
+
+def run_fanout(subscribers):
+    """Drive the hub: raw subscribers for scale, tracked clients for truth."""
+    hub = FanoutHub()
+    raw = [hub.subscribe(ROOM_NAMES[index % ROOMS])
+           for index in range(max(0, subscribers - TRACKED))]
+    tracked = [FanoutClient(hub, ROOM_NAMES[index % ROOMS])
+               for index in range(min(TRACKED, subscribers))]
+    renders_per_cycle = []
+    staleness = Counter()
+    coalesced = 0
+    hub_seconds = 0.0
+    for cycle in range(1, CYCLES + 1):
+        started = time.perf_counter()
+        stage_writes(hub, cycle)
+        report = hub.flush()
+        hub_seconds += time.perf_counter() - started
+        renders_per_cycle.append(report.renders)
+        coalesced += report.coalesced
+        # Hub-side staleness after the flush: versions each subscriber's
+        # queue is behind its room (0 = the flush left it current).
+        versions = {name: hub.room(name).version for name in ROOM_NAMES}
+        for subscriber in raw:
+            staleness[versions[subscriber.room] - subscriber.version] += 1
+        for client in tracked:
+            client.pump()
+    expected = {name: canonical_json(hub.room(name).state())
+                for name in ROOM_NAMES}
+    converged = sum(1 for client in tracked
+                    if client.state_text() == expected[client.room])
+    return {
+        "hub": hub,
+        "subscribers": subscribers,
+        "hub_seconds": hub_seconds,
+        "renders_per_cycle": renders_per_cycle,
+        "coalesced": coalesced,
+        "staleness": staleness,
+        "tracked": len(tracked),
+        "converged": converged,
+        "per_client_us": hub_seconds / (subscribers * CYCLES) * 1e6,
+    }
+
+
+def run_naive(subscribers):
+    """The pre-PR-10 shape: render + deliver the update once per client."""
+    inboxes = [[] for _ in range(subscribers)]
+    rooms = [ROOM_NAMES[index % ROOMS] for index in range(subscribers)]
+    started = time.perf_counter()
+    for cycle in range(1, CYCLES + 1):
+        updates = {}
+        for room in ROOM_NAMES:
+            base = (cycle * 7) % KEYSPACE
+            updates[room] = {
+                f"k{(base + offset) % KEYSPACE}": rioc_like(
+                    cycle, f"k{(base + offset) % KEYSPACE}")
+                for offset in range(KEYS_PER_CYCLE)
+            }
+        for inbox, room in zip(inboxes, rooms):
+            # One serialization per client per cycle — the O(clients) bill.
+            inbox.append(json.dumps(updates[room], sort_keys=True,
+                                    separators=(",", ":")))
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "subscribers": subscribers,
+        "per_client_us": elapsed / (subscribers * CYCLES) * 1e6,
+    }
+
+
+def run_shedding():
+    """Laggards with tiny queues under write pressure: shed, then resync."""
+    hub = FanoutHub()
+    fast = [FanoutClient(hub, "riocs") for _ in range(50)]
+    laggards = [FanoutClient(hub, "riocs", max_pending=4) for _ in range(50)]
+    for cycle in range(1, 13):
+        for offset in range(10):
+            hub.publish("riocs", f"k{(cycle + offset) % 40}",
+                        rioc_like(cycle, offset))
+        hub.flush()
+        for client in fast:
+            client.pump()
+        # Laggards never pump: their 4-deep queues overflow and shed.
+    dropped = hub.broker.stats.dropped
+    resyncs = sum(c.subscriber.resyncs for c in laggards)
+    # Everyone drains; one more flush serves any still-pending resyncs.
+    for client in fast + laggards:
+        client.pump()
+    hub.flush()
+    for client in fast + laggards:
+        client.pump()
+    expected = canonical_json(hub.room("riocs").state())
+    return {
+        "dropped": dropped,
+        "resyncs": resyncs,
+        "fast_converged": sum(1 for c in fast
+                              if c.state_text() == expected),
+        "laggards_converged": sum(1 for c in laggards
+                                  if c.state_text() == expected),
+    }
+
+
+def percentile(counter, quantile):
+    """The q-quantile of a Counter of integer samples."""
+    total = sum(counter.values())
+    if total == 0:
+        return 0
+    rank = quantile * (total - 1)
+    seen = 0
+    for value in sorted(counter):
+        seen += counter[value]
+        if seen > rank:
+            return value
+    return max(counter)
+
+
+_RESULTS = {}
+
+
+def results():
+    if not _RESULTS:
+        _RESULTS["fanout"] = run_fanout(SUBSCRIBERS)
+        _RESULTS["small"] = run_fanout(max(TRACKED, SUBSCRIBERS // 10))
+        _RESULTS["naive"] = run_naive(min(NAIVE_SUBSCRIBERS, SUBSCRIBERS))
+        _RESULTS["shedding"] = run_shedding()
+    return _RESULTS
+
+
+def test_renders_per_cycle_is_o_rooms():
+    big = results()["fanout"]
+    small = results()["small"]
+    # Never more renders than rooms, and the per-cycle render sequence is
+    # identical at a 10x smaller subscriber count: O(rooms), not O(clients).
+    assert max(big["renders_per_cycle"]) <= ROOMS
+    assert big["renders_per_cycle"] == small["renders_per_cycle"]
+    assert sum(big["renders_per_cycle"]) > 0
+
+
+def test_amortized_cost_beats_naive_baseline():
+    fanout = results()["fanout"]
+    naive = results()["naive"]
+    speedup = naive["per_client_us"] / fanout["per_client_us"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"fan-out per-client cost {fanout['per_client_us']:.3f}us is only "
+        f"{speedup:.1f}x better than naive {naive['per_client_us']:.3f}us "
+        f"(need >= {MIN_SPEEDUP}x)")
+
+
+def test_flush_leaves_every_subscriber_current():
+    fanout = results()["fanout"]
+    assert percentile(fanout["staleness"], 0.99) == 0
+    assert max(fanout["staleness"]) == 0
+
+
+def test_tracked_clients_converge_byte_identically():
+    fanout = results()["fanout"]
+    assert fanout["converged"] == fanout["tracked"]
+    assert fanout["coalesced"] > 0, "the workload never exercised coalescing"
+
+
+def test_laggards_are_shed_and_resynced():
+    shed = results()["shedding"]
+    assert shed["dropped"] > 0, "laggards were never shed"
+    assert shed["resyncs"] > 0, "no laggard was resynced from snapshot"
+    assert shed["fast_converged"] == 50
+    assert shed["laggards_converged"] == 50
+
+
+def test_report_table():
+    fanout = results()["fanout"]
+    naive = results()["naive"]
+    shed = results()["shedding"]
+    speedup = naive["per_client_us"] / fanout["per_client_us"]
+    rows = [
+        f"{'subscribers':<30} {fanout['subscribers']:>12,}",
+        f"{'cycles':<30} {CYCLES:>12}",
+        f"{'rooms':<30} {ROOMS:>12}",
+        f"{'renders / cycle (max)':<30}"
+        f" {max(fanout['renders_per_cycle']):>12}  (rooms={ROOMS})",
+        f"{'coalesced writes':<30} {fanout['coalesced']:>12,}",
+        f"{'hub seconds':<30} {fanout['hub_seconds']:>12.2f}",
+        f"{'per-client cost (fan-out)':<30}"
+        f" {fanout['per_client_us']:>10.3f}us",
+        f"{'per-client cost (naive)':<30}"
+        f" {naive['per_client_us']:>10.3f}us  ({naive['subscribers']:,}"
+        " clients)",
+        f"{'speedup':<30} {speedup:>11.1f}x  (need >= {MIN_SPEEDUP:.0f}x)",
+        f"{'p99 staleness (versions)':<30}"
+        f" {percentile(fanout['staleness'], 0.99):>12}",
+        f"{'messages shed (laggards)':<30} {shed['dropped']:>12}",
+        f"{'snapshot resyncs':<30} {shed['resyncs']:>12}",
+    ]
+    print_table("X20: snapshot+delta fan-out at scale",
+                "metric                                  value", rows)
+    assert speedup >= MIN_SPEEDUP

@@ -17,7 +17,7 @@ from __future__ import annotations
 import fnmatch
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from ..obs import MetricsRegistry, NULL_REGISTRY
 
@@ -74,6 +74,10 @@ class Subscription:
         self._max_pending = max_pending
         self.dropped = 0
         self._closed = False
+        #: Set by :meth:`shed`: the consumer fell too far behind and was
+        #: load-shed; deliveries are rejected until :meth:`resume` (the
+        #: consumer resynchronizes from a snapshot first).
+        self.resync_pending = False
 
     @property
     def closed(self) -> bool:
@@ -84,19 +88,54 @@ class Subscription:
         """Glob-style topic match (``osint.*`` matches ``osint.cioc``)."""
         return fnmatch.fnmatchcase(topic, self.pattern)
 
-    def deliver(self, message: Message) -> Optional[Message]:
-        """Enqueue a message; returns the message evicted to make room, if any.
+    def offer(self, message: Message) -> Tuple[bool, Optional[Message]]:
+        """Try to enqueue a message; returns ``(accepted, evicted)``.
 
-        On a closed subscription nothing is enqueued and None is returned.
+        This is the accounting-safe primitive: ``accepted`` is False when
+        the subscription is closed or shed (:attr:`resync_pending`), in
+        which case *nothing* was enqueued and the caller must not count the
+        message as delivered — counting a rejected message both delivered
+        and dropped would double-count it into the delivered+dropped
+        denominator :attr:`BrokerStats.drop_ratio` divides by.
         """
-        if self._closed:
-            return None
+        if self._closed or self.resync_pending:
+            return False, None
         evicted: Optional[Message] = None
         if len(self._queue) >= self._max_pending:
             evicted = self._queue.popleft()
             self.dropped += 1
         self._queue.append(message)
+        return True, evicted
+
+    def deliver(self, message: Message) -> Optional[Message]:
+        """Enqueue a message; returns the message evicted to make room, if any.
+
+        On a closed or shed subscription nothing is enqueued and None is
+        returned — use :meth:`offer` when the caller needs to distinguish
+        "enqueued without eviction" from "rejected".
+        """
+        _accepted, evicted = self.offer(message)
         return evicted
+
+    def shed(self) -> int:
+        """Load-shed this consumer: drop the backlog, demand a resync.
+
+        Every queued message is discarded and counted into
+        :attr:`dropped` exactly once, and the subscription rejects further
+        deliveries until :meth:`resume`.  Idempotent: a second ``shed``
+        finds an empty queue and counts nothing, so a shed subscription can
+        never double-count its backlog.  Returns how many messages were
+        dropped by this call.
+        """
+        backlog = len(self._queue)
+        self._queue.clear()
+        self.dropped += backlog
+        self.resync_pending = True
+        return backlog
+
+    def resume(self) -> None:
+        """Accept deliveries again (the consumer has resynchronized)."""
+        self.resync_pending = False
 
     def pending(self) -> int:
         """Number of messages waiting to be consumed."""
@@ -173,9 +212,18 @@ class MessageBroker:
         for subscription in self._subscriptions:
             if subscription.closed or not subscription.matches(topic):
                 continue
-            evicted = subscription.deliver(message)
-            self.stats.delivered += 1
-            self._m_delivered.inc()
+            accepted, evicted = subscription.offer(message)
+            if accepted:
+                self.stats.delivered += 1
+                self._m_delivered.inc()
+            else:
+                # A shed subscription rejects the message outright: it is
+                # lost to backpressure (dropped), never delivered — one
+                # count, not both (see Subscription.offer).
+                self.stats.dropped += 1
+                self.stats.dropped_topics[message.topic] = (
+                    self.stats.dropped_topics.get(message.topic, 0) + 1)
+                self._m_dropped.inc(topic=message.topic)
             if evicted is not None:
                 self.stats.dropped += 1
                 self.stats.dropped_topics[evicted.topic] = (

@@ -72,15 +72,27 @@ class SocketIOServer:
         """Remove a client from a named room."""
         client.rooms.discard(room)
 
+    def clients_in(self, room: Optional[str] = None) -> List[SocketIOClient]:
+        """The connected clients in ``room`` (all clients when None)."""
+        return [
+            client for client in self._clients.values()
+            if room is None or room in client.rooms
+        ]
+
+    def rooms(self) -> Dict[str, int]:
+        """Every room with at least one member, mapped to its member count."""
+        counts: Dict[str, int] = {}
+        for client in self._clients.values():
+            for room in client.rooms:
+                counts[room] = counts.get(room, 0) + 1
+        return counts
+
     def emit(self, event: str, data: Any, room: Optional[str] = None) -> int:
         """Emit an event to every client (or only those in ``room``).
 
         Returns the number of clients that received the event.
         """
-        recipients = [
-            client for client in self._clients.values()
-            if room is None or room in client.rooms
-        ]
+        recipients = self.clients_in(room)
         for client in recipients:
             client._dispatch(event, data)
         self.emitted += 1

@@ -7,6 +7,8 @@ Subcommands::
     caop deadletter run cycles under injected faults and inspect/replay the
                     dead-letter quarantine
     caop rce-demo   the paper's §IV use case (Table V + Figures 3/4)
+    caop fanout     snapshot+delta fan-out demo (many subscribers, one
+                    render per room, laggards shed into snapshot resyncs)
     caop show       render views over a persisted MISP store
     caop trace      print an IoC's (cross-org) lineage tree from store(s)
     caop slo        run cycles and print SLO burn-rate status
@@ -44,6 +46,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store_path=args.store,
         store_shards=args.store_shards,
         compaction_every_cycles=args.compact_every,
+        fanout_subscribers=args.subscribers,
     )
     if args.feeds:
         platform = ContextAwareOSINTPlatform.build_from_feed_config(
@@ -74,6 +77,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     degraded_cycles = sum(1 for r in platform.history if r.degraded)
     print(f"platform health: {health.overall()} "
           f"({degraded_cycles} degraded cycle(s))")
+    if args.subscribers:
+        deltas = sum(r.fanout_deltas for r in platform.history)
+        current = sum(1 for c in platform.fanout_clients
+                      if c.version == platform.dashboard.fanout.room(
+                          "riocs").version)
+        print(f"fan-out: {args.subscribers} subscribers, {deltas} room "
+              f"deltas, {current} clients current")
     print()
     print(render_topology(platform.dashboard.state))
     if args.store:
@@ -82,6 +92,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
         platform.checkpoint()
         print(f"\nMISP store persisted to {args.store}")
     return 0
+
+
+def _cmd_fanout(args: argparse.Namespace) -> int:
+    """Snapshot+delta fan-out demo: many subscribers, one render per room."""
+    from .core import ContextAwareOSINTPlatform, PlatformConfig
+    from .dashboard import FanoutClient, canonical_json, render_fanout
+
+    config = PlatformConfig(seed=args.seed, feed_entries=args.entries)
+    platform = ContextAwareOSINTPlatform.build_default(config)
+    hub = platform.dashboard.fanout
+    clients: List[FanoutClient] = []
+    laggards: List[FanoutClient] = []
+    for index in range(args.subscribers):
+        lagging = bool(args.laggard_every) \
+            and (index + 1) % args.laggard_every == 0
+        client = FanoutClient(hub, "riocs",
+                              max_pending=2 if lagging else None)
+        (laggards if lagging else clients).append(client)
+    print(f"subscribers: {len(clients)} draining, {len(laggards)} lagging")
+    for cycle in range(1, args.cycles + 1):
+        report = platform.run_cycle()
+        for client in clients:
+            client.pump()
+        print(f"cycle {cycle}: {report.riocs_created} rIoCs -> "
+              f"{report.fanout_deltas} room deltas, "
+              f"shed={report.fanout_shed} msgs, "
+              f"resyncs={report.fanout_resyncs}")
+    # Let the laggards finally drain; gaps degrade them to snapshot
+    # resyncs which the extra flush delivers.
+    for client in laggards:
+        client.pump()
+    flush = hub.flush()
+    for client in clients + laggards:
+        client.pump()
+    print()
+    print(render_fanout(hub, flush))
+    expected = canonical_json(hub.room("riocs").state())
+    converged = sum(1 for c in clients + laggards
+                    if c.state_text() == expected)
+    print(f"converged: {converged}/{args.subscribers} subscribers "
+          f"byte-identical to snapshot(v{hub.room('riocs').version})")
+    return 0 if converged == args.subscribers else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -509,7 +561,23 @@ def build_parser() -> argparse.ArgumentParser:
                           " (default 1 = single file)")
     run.add_argument("--feeds", default=None,
                      help="JSON feed-configuration file (see 'caop init-feeds')")
+    run.add_argument("--subscribers", type=int, default=0,
+                     help="attach N snapshot+delta fan-out subscribers to "
+                          "the rIoC room and pump them each cycle")
     run.set_defaults(func=_cmd_run)
+
+    fanout = subparsers.add_parser(
+        "fanout", help="snapshot+delta fan-out protocol demo")
+    fanout.add_argument("--cycles", type=int, default=3)
+    fanout.add_argument("--seed", type=int, default=7)
+    fanout.add_argument("--entries", type=int, default=60,
+                        help="entries per synthetic feed")
+    fanout.add_argument("--subscribers", type=int, default=1000,
+                        help="fan-out subscribers on the rIoC room")
+    fanout.add_argument("--laggard-every", type=int, default=0,
+                        help="make every Nth subscriber a non-draining "
+                             "laggard (0 = none) to exercise load-shedding")
+    fanout.set_defaults(func=_cmd_fanout)
 
     metrics = subparsers.add_parser(
         "metrics",

@@ -90,6 +90,12 @@ class CycleReport:
     #: many expired events it purged.
     compacted: bool = False
     events_purged: int = 0
+    #: Snapshot+delta fan-out activity this cycle: room versions flushed,
+    #: messages shed off lagging subscribers, snapshot resyncs delivered
+    #: (docs/FANOUT.md).
+    fanout_deltas: int = 0
+    fanout_shed: int = 0
+    fanout_resyncs: int = 0
     #: Quiet cycle: nothing collected, enriched, reduced, alarmed, shared
     #: or changed, and no compaction ran.  Idle cycles are the steady state
     #: the incremental pipeline keeps near-free (docs/PERFORMANCE.md).
@@ -188,6 +194,13 @@ class PlatformConfig:
     compaction_purge: bool = True
     #: Maintain the incremental dashboard/report rollups each cycle.
     rollups_enabled: bool = True
+    #: Snapshot+delta fan-out knobs: replayable delta history per room and
+    #: the per-subscriber queue bound (the load-shedding high-water mark).
+    fanout_history: int = 64
+    fanout_max_pending: int = 64
+    #: Simulated fan-out subscribers attached to the rIoC room at build
+    #: time (``caop run --subscribers``); pumped once per cycle.
+    fanout_subscribers: int = 0
 
 
 class ContextAwareOSINTPlatform:
@@ -213,7 +226,8 @@ class ContextAwareOSINTPlatform:
                  compaction_every_cycles: int = 25,
                  compaction_min_interval_seconds: float = 0.0,
                  compaction_purge: bool = True,
-                 rollups_enabled: bool = True) -> None:
+                 rollups_enabled: bool = True,
+                 fanout_subscribers: int = 0) -> None:
         from .compaction import CompactionStage
         from .decay import ScoreDecayEngine
         from .deltas import RollupGroup
@@ -263,6 +277,12 @@ class ContextAwareOSINTPlatform:
                 misp.store, clock=clock, decay=self.decay,
                 incremental=True, persistent=True)
             self.rollups.add(self.report_builder.rollup)
+        #: Simulated protocol-driving subscribers on the rIoC fan-out room
+        #: (``caop run --subscribers``), pumped once per fanout stage.
+        self.fanout_clients: List = []
+        if fanout_subscribers:
+            self.fanout_clients = dashboard.attach_subscribers(
+                fanout_subscribers)
         self.deadletters = deadletters
         self.breakers = breakers
         #: The sharing gateway (delta-sync fan-out to external entities);
@@ -417,7 +437,12 @@ class ContextAwareOSINTPlatform:
             workers=config.enrich_workers,
             tracer=tracer, provenance=provenance, log=log)
         rioc_generator = RIocGenerator(inventory, clock=clock, metrics=metrics)
-        dashboard = DashboardServer(inventory, metrics=metrics)
+        dashboard = DashboardServer(
+            inventory, metrics=metrics,
+            fanout_history=config.fanout_history,
+            fanout_max_pending=config.fanout_max_pending)
+        if config.fault_injector is not None:
+            dashboard.sio.broker.fault_injector = config.fault_injector
         from ..sharing import SharingGateway
         gateway = SharingGateway(
             misp,
@@ -462,6 +487,7 @@ class ContextAwareOSINTPlatform:
                 config.compaction_min_interval_seconds),
             compaction_purge=config.compaction_purge,
             rollups_enabled=config.rollups_enabled,
+            fanout_subscribers=config.fanout_subscribers,
         )
 
     def run_cycle(self) -> CycleReport:
@@ -586,6 +612,26 @@ class ContextAwareOSINTPlatform:
                         self.rollups.save_all()
             except ReproError as exc:
                 report.stage_errors["rollup"] = str(exc)
+
+            # 8. Fan-out: flush the snapshot+delta rooms the dashboard
+            #    materializes for massive subscriber counts (one delta
+            #    render per dirty room, however many subscribers).  View-
+            #    room syncing is gated on actual activity so a quiet cycle
+            #    adds no SQL, and flushing clean rooms renders nothing.
+            try:
+                with self.tracer.span("fanout"):
+                    if (report.deltas_consumed > 0 or report.new_alarms
+                            or report.riocs_created):
+                        self.dashboard.sync_view_rooms(
+                            self.graph_view, self.keyword_view)
+                    flush = self.dashboard.flush_fanout()
+                    report.fanout_deltas = flush.deltas
+                    report.fanout_shed = flush.shed_messages
+                    report.fanout_resyncs = flush.resyncs
+                    for client in self.fanout_clients:
+                        client.pump()
+            except ReproError as exc:
+                report.stage_errors["fanout"] = str(exc)
         report.idle = (not report.degraded
                        and report.collection.ciocs_created == 0
                        and report.eiocs_created == 0
@@ -593,6 +639,7 @@ class ContextAwareOSINTPlatform:
                        and report.new_alarms == 0
                        and report.shares_sent == 0
                        and report.deltas_consumed == 0
+                       and report.fanout_deltas == 0
                        and not report.compacted)
         if report.idle:
             self._m_idle.inc()
@@ -613,6 +660,7 @@ class ContextAwareOSINTPlatform:
             shares=report.shares_sent,
             degraded=report.degraded,
             deltas=report.deltas_consumed,
+            fanout=report.fanout_deltas,
             idle=report.idle)
         # Share staleness streak: cycles in which the fan-out only failed.
         if self.gateway is not None and self.gateway.entities:
@@ -677,7 +725,7 @@ class ContextAwareOSINTPlatform:
         last = self.history[-1] if self.history else None
         prev = self.history[-2] if len(self.history) > 1 else None
         for stage in ("sense", "collect", "store", "enrich", "reduce",
-                      "push", "share", "compact", "rollup"):
+                      "push", "share", "compact", "rollup", "fanout"):
             if last is not None and stage in last.stage_errors:
                 repeated = prev is not None and stage in prev.stage_errors
                 components.append(ComponentHealth(

@@ -1,0 +1,581 @@
+"""Snapshot+delta fan-out: versioned room state for massive client counts.
+
+The paper's output module pushes rIoCs and alarms to dashboard clients over
+socket.io-style rooms (§IV-A).  A naive push re-renders and re-delivers the
+payload once per client, which collapses at large subscriber counts; this
+module gives the dashboard the shape DISINFOX-style CTI services use — one
+materialized state per room, served to any number of heterogeneous
+consumers through a *snapshot+delta subscription protocol*:
+
+- every :class:`Room` holds a key→value state map and a **monotone version
+  counter**; writes between flushes are **coalesced last-write-per-key**, so
+  a key rewritten 50 times in one cycle costs one delta entry;
+- a client joins with the last version it has seen and receives either
+  nothing (already current), the missing deltas replayed from the room's
+  bounded history, or a fresh **snapshot** — the protocol invariant (driven
+  by ``tests/test_fanout_properties.py``) is that ``snapshot(v0) +
+  deltas(v0..vN)`` reconstructs **byte-identically** to ``snapshot(vN)``;
+- each flushed ``(room, version, kind)`` payload is rendered through a
+  :class:`~repro.sharing.sync.RenderCache` exactly once and the *same*
+  :class:`~repro.bus.Message` object is offered to every subscriber, so a
+  cycle's render count is O(rooms), not O(clients);
+- a **slow consumer** whose bounded queue overflows is load-shed through
+  :meth:`~repro.bus.Subscription.shed` — its backlog is counted into the
+  broker's drop accounting and it is degraded to "resync from snapshot" on
+  the same flush, instead of growing an unbounded queue.
+
+Wire payloads are canonical JSON (sorted keys, compact separators) with an
+explicit ``schema`` field so golden files stay stable; see docs/FANOUT.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..bus import Message, MessageBroker, Subscription
+from ..errors import ReproError, ValidationError
+from ..obs import MetricsRegistry, NULL_REGISTRY
+from ..sharing.sync import RenderCache, RenderedPayload
+
+#: Wire-schema version stamped into every snapshot and delta payload.
+SCHEMA_VERSION = 1
+
+#: Payload kinds (the ``kind`` field of every wire payload).
+KIND_SNAPSHOT = "snapshot"
+KIND_DELTA = "delta"
+
+#: Topic prefix for fan-out messages (``fanout.<room>``), which is also the
+#: key drop accounting lands on in ``BrokerStats.dropped_topics``.
+TOPIC_PREFIX = "fanout."
+
+#: Default bounded delta history per room (versions replayable on join).
+DEFAULT_HISTORY = 64
+
+#: Default per-subscriber queue bound (the zeroMQ-style high-water mark);
+#: overflowing it sheds the subscriber into a snapshot resync.
+DEFAULT_MAX_PENDING = 64
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical wire form: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One flushed room version: the coalesced writes that produced it."""
+
+    version: int
+    #: ``(key, value)`` pairs in key order — last write per key wins.
+    upserts: Tuple[Tuple[str, Any], ...]
+    deletes: Tuple[str, ...]
+    #: Writes absorbed by coalescing before this flush (same-key rewrites).
+    coalesced: int
+
+
+class Room:
+    """One versioned key→value state map with coalesced pending writes.
+
+    The room is the unit of rendering: whatever feeds it (rIoC pushes,
+    alarm pushes, materialized-view syncs), subscribers all see the same
+    version sequence and the same canonical payloads.
+    """
+
+    def __init__(self, name: str, history: int = DEFAULT_HISTORY) -> None:
+        if history < 0:
+            raise ValidationError("history must be non-negative")
+        self.name = name
+        self.version = 0
+        self._state: Dict[str, Any] = {}
+        self._pending_upserts: Dict[str, Any] = {}
+        self._pending_deletes: set = set()
+        self._coalesced = 0
+        self._history: List[DeltaRecord] = []
+        self._history_limit = history
+
+    # -- writes (buffered until flush) -----------------------------------------
+
+    def upsert(self, key: str, value: Any) -> None:
+        """Stage a key write; same-key writes before a flush coalesce."""
+        if key in self._pending_upserts or key in self._pending_deletes:
+            self._coalesced += 1
+        self._pending_deletes.discard(key)
+        self._pending_upserts[key] = value
+
+    def delete(self, key: str) -> None:
+        """Stage a key removal (coalesces away a pending write to it)."""
+        if key in self._pending_upserts:
+            self._coalesced += 1
+            del self._pending_upserts[key]
+        if key in self._state:
+            self._pending_deletes.add(key)
+
+    def sync_map(self, mapping: Dict[str, Any], prune: bool = True) -> int:
+        """Diff a full mapping against the room and stage the difference.
+
+        Only changed keys become delta entries, so syncing an unchanged
+        materialized view stages nothing.  With ``prune`` keys absent from
+        ``mapping`` are deleted.  Returns how many keys were staged.
+        """
+        staged = 0
+        view = dict(self._state)
+        view.update(self._pending_upserts)
+        for key in self._pending_deletes:
+            view.pop(key, None)
+        for key, value in mapping.items():
+            if key not in view or view[key] != value:
+                self.upsert(key, value)
+                staged += 1
+        if prune:
+            for key in view:
+                if key not in mapping:
+                    self.delete(key)
+                    staged += 1
+        return staged
+
+    @property
+    def dirty(self) -> bool:
+        """Whether a flush would produce a new version."""
+        return bool(self._pending_upserts or self._pending_deletes)
+
+    def flush(self) -> Optional[DeltaRecord]:
+        """Apply pending writes as one new version; None when clean."""
+        if not self.dirty:
+            return None
+        self.version += 1
+        upserts = tuple(sorted(self._pending_upserts.items()))
+        deletes = tuple(sorted(self._pending_deletes))
+        for key, value in upserts:
+            self._state[key] = value
+        for key in deletes:
+            self._state.pop(key, None)
+        record = DeltaRecord(version=self.version, upserts=upserts,
+                             deletes=deletes, coalesced=self._coalesced)
+        self._history.append(record)
+        if len(self._history) > self._history_limit:
+            del self._history[:len(self._history) - self._history_limit]
+        self._pending_upserts = {}
+        self._pending_deletes = set()
+        self._coalesced = 0
+        return record
+
+    # -- reads ------------------------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """The materialized state at the current version (a copy)."""
+        return dict(self._state)
+
+    def deltas_since(self, version: int) -> Optional[List[DeltaRecord]]:
+        """Flushed deltas after ``version``; None when history can't cover.
+
+        Returns ``[]`` for an already-current consumer.  None means the
+        requested range fell off the bounded history (or the version is
+        from another life of the room) and the consumer needs a snapshot.
+        """
+        if version == self.version:
+            return []
+        if version > self.version or version < 0:
+            return None
+        records = [r for r in self._history if r.version > version]
+        if not records or records[0].version != version + 1:
+            return None
+        return records
+
+    # -- wire payloads -----------------------------------------------------------
+
+    def snapshot_payload(self) -> Dict[str, Any]:
+        """The versioned snapshot wire payload at the current version."""
+        return {
+            "kind": KIND_SNAPSHOT,
+            "schema": SCHEMA_VERSION,
+            "room": self.name,
+            "version": self.version,
+            "state": dict(self._state),
+        }
+
+    def delta_payload(self, record: DeltaRecord) -> Dict[str, Any]:
+        """The delta wire payload for one flushed version."""
+        return {
+            "kind": KIND_DELTA,
+            "schema": SCHEMA_VERSION,
+            "room": self.name,
+            "version": record.version,
+            "since": record.version - 1,
+            "upserts": dict(record.upserts),
+            "deletes": list(record.deletes),
+        }
+
+
+@dataclass
+class FanoutSubscriber:
+    """One subscriber's hub-side handle: its queue plus protocol position."""
+
+    room: str
+    sid: str
+    subscription: Subscription
+    #: Last version enqueued to this subscriber (what it will have seen
+    #: once it drains its queue).
+    version: int = 0
+    resyncs: int = 0
+
+
+@dataclass
+class FlushReport:
+    """What one :meth:`FanoutHub.flush` accomplished."""
+
+    rooms: int = 0
+    deltas: int = 0
+    delivered: int = 0
+    snapshots: int = 0
+    coalesced: int = 0
+    shed_messages: int = 0
+    shed_subscribers: int = 0
+    resyncs: int = 0
+    faulted: int = 0
+    renders: int = 0
+    render_hits: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (CLI/report surface)."""
+        return {
+            "rooms": self.rooms,
+            "deltas": self.deltas,
+            "delivered": self.delivered,
+            "snapshots": self.snapshots,
+            "coalesced": self.coalesced,
+            "shed_messages": self.shed_messages,
+            "shed_subscribers": self.shed_subscribers,
+            "resyncs": self.resyncs,
+            "faulted": self.faulted,
+            "renders": self.renders,
+            "render_hits": self.render_hits,
+        }
+
+
+class FanoutHub:
+    """Room registry + subscription protocol + flush-time delivery.
+
+    Delivery cost model: ``flush`` renders each dirty room's delta once,
+    wraps it in one shared :class:`Message`, and *offers* that object to
+    every subscriber's bounded queue — per-subscriber cost is one deque
+    append, and render cost is O(dirty rooms).  Drop accounting rides the
+    owning broker's :class:`~repro.bus.BrokerStats` so the fan-out's losses
+    appear in the same ledger as every other bus consumer's.
+    """
+
+    def __init__(self, broker: Optional[MessageBroker] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 history: int = DEFAULT_HISTORY,
+                 max_pending: int = DEFAULT_MAX_PENDING) -> None:
+        self.broker = broker or MessageBroker()
+        self._history = history
+        self._max_pending = max_pending
+        self._rooms: Dict[str, Room] = {}
+        self._subscribers: Dict[str, Dict[str, FanoutSubscriber]] = {}
+        self._next_sid = 0
+        self._sequence = 0
+        metrics = metrics or NULL_REGISTRY
+        self._cache = RenderCache(
+            metrics,
+            metric_name="caop_fanout_renders_total",
+            metric_help="Fan-out payload render-cache lookups, labelled hit/miss")
+        self._g_rooms = metrics.gauge(
+            "caop_fanout_rooms",
+            "Rooms currently materialized by the fan-out hub")
+        self._g_subscribers = metrics.gauge(
+            "caop_fanout_subscribers",
+            "Connected fan-out subscribers, by room")
+        self._m_deltas = metrics.counter(
+            "caop_fanout_deltas_total",
+            "Delta versions flushed to fan-out rooms, by room")
+        self._m_snapshots = metrics.counter(
+            "caop_fanout_snapshots_total",
+            "Snapshot payloads delivered to fan-out subscribers, by room")
+        self._m_coalesced = metrics.counter(
+            "caop_fanout_coalesced_total",
+            "Writes absorbed by last-write-per-key delta coalescing, by room")
+        self._m_resyncs = metrics.counter(
+            "caop_fanout_resyncs_total",
+            "Shed subscribers resynchronized from a fresh snapshot, by room")
+        self._m_shed = metrics.counter(
+            "caop_fanout_shed_total",
+            "Messages dropped by load-shedding lagging subscribers, by room")
+
+    # -- rooms -------------------------------------------------------------------
+
+    def room(self, name: str) -> Room:
+        """Get or create the named room."""
+        existing = self._rooms.get(name)
+        if existing is None:
+            existing = self._rooms[name] = Room(name, history=self._history)
+            self._subscribers.setdefault(name, {})
+            self._g_rooms.set(len(self._rooms))
+        return existing
+
+    def room_names(self) -> List[str]:
+        """Every materialized room name, sorted."""
+        return sorted(self._rooms)
+
+    def publish(self, room: str, key: str, value: Any) -> None:
+        """Stage one key write into a room (delivered on the next flush)."""
+        self.room(room).upsert(key, value)
+
+    def delete(self, room: str, key: str) -> None:
+        """Stage one key removal from a room."""
+        self.room(room).delete(key)
+
+    def sync_map(self, room: str, mapping: Dict[str, Any],
+                 prune: bool = True) -> int:
+        """Diff a full mapping into a room (see :meth:`Room.sync_map`)."""
+        return self.room(room).sync_map(mapping, prune=prune)
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(self, room_name: str, last_seen: int = 0,
+                  max_pending: Optional[int] = None) -> FanoutSubscriber:
+        """Join a room at ``last_seen`` and receive the catch-up payloads.
+
+        The catch-up is enqueued immediately: nothing when already current,
+        the missing deltas when the room's bounded history covers the gap,
+        a fresh snapshot otherwise.
+        """
+        room = self.room(room_name)
+        self._next_sid += 1
+        subscriber = FanoutSubscriber(
+            room=room_name,
+            sid=f"fo-{self._next_sid}",
+            subscription=Subscription(
+                TOPIC_PREFIX + room_name,
+                max_pending=max_pending or self._max_pending),
+            version=last_seen,
+        )
+        self._subscribers.setdefault(room_name, {})[subscriber.sid] = subscriber
+        records = room.deltas_since(last_seen)
+        if records is None:
+            payload = self._render(room_name, KIND_SNAPSHOT, room.version,
+                                   room.snapshot_payload)
+            self._offer(subscriber, payload.text)
+            subscriber.version = room.version
+            self._m_snapshots.inc(room=room_name)
+        else:
+            for record in records:
+                payload = self._render(
+                    room_name, KIND_DELTA, record.version,
+                    lambda record=record: room.delta_payload(record))
+                self._offer(subscriber, payload.text)
+                subscriber.version = record.version
+        self._g_subscribers.set(
+            len(self._subscribers[room_name]), room=room_name)
+        return subscriber
+
+    def unsubscribe(self, subscriber: FanoutSubscriber) -> None:
+        """Disconnect a subscriber and release its queue."""
+        subscriber.subscription.close()
+        members = self._subscribers.get(subscriber.room, {})
+        members.pop(subscriber.sid, None)
+        self._g_subscribers.set(len(members), room=subscriber.room)
+
+    def subscriber_count(self, room: Optional[str] = None) -> int:
+        """Connected subscribers in ``room`` (all rooms when None)."""
+        if room is not None:
+            return len(self._subscribers.get(room, {}))
+        return sum(len(members) for members in self._subscribers.values())
+
+    def request_resync(self, subscriber: FanoutSubscriber) -> int:
+        """Degrade a subscriber to snapshot-resync (client saw a gap).
+
+        Its backlog is dropped into the broker's accounting and the next
+        flush delivers a fresh snapshot.  Returns the backlog size shed.
+        """
+        return self._shed(subscriber)
+
+    # -- flush-time delivery -----------------------------------------------------
+
+    def flush(self) -> FlushReport:
+        """Flush every dirty room and resync every shed subscriber.
+
+        Rendering is O(dirty rooms): one delta render per flushed room and
+        one snapshot render per room with resyncing subscribers, whatever
+        the subscriber count.  After ``flush`` returns, every connected
+        subscriber's queue ends at the room's current version.
+        """
+        self._cache.reset()
+        hits_before, misses_before = self._cache.hits, self._cache.misses
+        report = FlushReport(rooms=len(self._rooms))
+        fault = self.broker.fault_injector
+        for room_name in sorted(self._rooms):
+            room = self._rooms[room_name]
+            members = self._subscribers.get(room_name, {})
+            record = room.flush()
+            if record is not None:
+                report.deltas += 1
+                report.coalesced += record.coalesced
+                self._m_deltas.inc(room=room_name)
+                if record.coalesced:
+                    self._m_coalesced.inc(record.coalesced, room=room_name)
+                payload = self._render(
+                    room_name, KIND_DELTA, record.version,
+                    lambda: room.delta_payload(record))
+                message = self._message(room_name, payload.text)
+                for sid in sorted(members):
+                    subscriber = members[sid]
+                    if fault is not None:
+                        try:
+                            fault.check("broker",
+                                        f"{TOPIC_PREFIX}{room_name}.{sid}")
+                        except ReproError:
+                            report.faulted += 1
+                            report.shed_subscribers += 1
+                            report.shed_messages += self._shed(subscriber)
+                            continue
+                    accepted, evicted = subscriber.subscription.offer(message)
+                    if accepted:
+                        self.broker.stats.delivered += 1
+                        subscriber.version = record.version
+                        report.delivered += 1
+                    else:
+                        # Already shed: the message is lost to backpressure.
+                        self._count_drop(room_name)
+                        report.shed_messages += 1
+                    if evicted is not None:
+                        # Queue overflow: the consumer is past its HWM —
+                        # count the eviction, then shed the rest of its
+                        # backlog and demand a snapshot resync.
+                        self._count_drop(room_name)
+                        report.shed_subscribers += 1
+                        report.shed_messages += 1 + self._shed(subscriber)
+            # Resync pass: every shed subscriber gets a fresh snapshot at
+            # the room's (just flushed) current version, rendered once.
+            for sid in sorted(members):
+                subscriber = members[sid]
+                if not subscriber.subscription.resync_pending:
+                    continue
+                if fault is not None:
+                    try:
+                        fault.check("broker",
+                                    f"{TOPIC_PREFIX}{room_name}.{sid}")
+                    except ReproError:
+                        report.faulted += 1
+                        continue  # stays shed; retried next flush
+                payload = self._render(room_name, KIND_SNAPSHOT, room.version,
+                                       room.snapshot_payload)
+                subscriber.subscription.resume()
+                self._offer(subscriber, payload.text)
+                subscriber.version = room.version
+                subscriber.resyncs += 1
+                report.resyncs += 1
+                report.snapshots += 1
+                self._m_resyncs.inc(room=room_name)
+                self._m_snapshots.inc(room=room_name)
+            self._g_subscribers.set(len(members), room=room_name)
+        report.renders = self._cache.misses - misses_before
+        report.render_hits = self._cache.hits - hits_before
+        self._g_rooms.set(len(self._rooms))
+        return report
+
+    # -- internals ---------------------------------------------------------------
+
+    def _render(self, room_name: str, kind: str, version: int,
+                builder: Callable[[], Dict[str, Any]]) -> RenderedPayload:
+        """Render one (room, version, kind) payload through the cache."""
+        return self._cache.get_or_build(
+            (f"{room_name}@{version}", kind),
+            lambda: RenderedPayload(format=kind,
+                                    text=canonical_json(builder())))
+
+    def _message(self, room_name: str, text: str) -> Message:
+        self._sequence += 1
+        return Message(topic=TOPIC_PREFIX + room_name, payload=text,
+                       sequence=self._sequence)
+
+    def _offer(self, subscriber: FanoutSubscriber, text: str) -> bool:
+        """Offer one payload to one subscriber, with broker accounting."""
+        message = self._message(subscriber.room, text)
+        accepted, evicted = subscriber.subscription.offer(message)
+        if accepted:
+            self.broker.stats.delivered += 1
+        else:
+            self._count_drop(subscriber.room)
+        if evicted is not None:
+            self._count_drop(subscriber.room)
+            self._shed(subscriber)
+        return accepted
+
+    def _count_drop(self, room_name: str) -> None:
+        topic = TOPIC_PREFIX + room_name
+        self.broker.stats.dropped += 1
+        self.broker.stats.dropped_topics[topic] = (
+            self.broker.stats.dropped_topics.get(topic, 0) + 1)
+
+    def _shed(self, subscriber: FanoutSubscriber) -> int:
+        """Shed a lagging subscriber's backlog into the drop accounting."""
+        backlog = subscriber.subscription.shed()
+        if backlog:
+            topic = TOPIC_PREFIX + subscriber.room
+            self.broker.stats.dropped += backlog
+            self.broker.stats.dropped_topics[topic] = (
+                self.broker.stats.dropped_topics.get(topic, 0) + backlog)
+        self._m_shed.inc(backlog, room=subscriber.room)
+        return backlog
+
+
+class FanoutClient:
+    """Client-side protocol driver: drain, apply, detect gaps.
+
+    Used by tests, the bench and the ``caop fanout`` demo.  ``pump`` drains
+    the subscriber queue and applies each payload to a local state copy; a
+    delta whose ``since`` doesn't match the client's version is a **gap**
+    (history fell off or messages were lost) and triggers
+    :meth:`FanoutHub.request_resync` — the next flush re-bases the client
+    on a fresh snapshot.
+    """
+
+    def __init__(self, hub: FanoutHub, room: str, last_seen: int = 0,
+                 max_pending: Optional[int] = None) -> None:
+        self._hub = hub
+        self.room = room
+        self.version = last_seen
+        self.state: Dict[str, Any] = {}
+        self.versions_seen: List[int] = []
+        self.gaps = 0
+        self.snapshots = 0
+        self.deltas = 0
+        self.subscriber = hub.subscribe(room, last_seen=last_seen,
+                                        max_pending=max_pending)
+
+    def pump(self) -> int:
+        """Drain and apply every queued payload; returns how many applied."""
+        applied = 0
+        for message in self.subscriber.subscription.drain():
+            data = json.loads(message.payload)
+            if data["kind"] == KIND_SNAPSHOT:
+                self.state = dict(data["state"])
+                self.version = data["version"]
+                self.snapshots += 1
+            else:
+                if data["since"] != self.version:
+                    # Gap: we can't apply this delta; demand a snapshot
+                    # resync (which also clears the rest of the queue).
+                    self.gaps += 1
+                    self._hub.request_resync(self.subscriber)
+                    return applied
+                for key, value in data["upserts"].items():
+                    self.state[key] = value
+                for key in data["deletes"]:
+                    self.state.pop(key, None)
+                self.version = data["version"]
+                self.deltas += 1
+            if not self.versions_seen or self.versions_seen[-1] < self.version:
+                self.versions_seen.append(self.version)
+            applied += 1
+        return applied
+
+    def state_text(self) -> str:
+        """The client's materialized state in canonical wire form."""
+        return canonical_json(self.state)
+
+    def disconnect(self) -> None:
+        """Leave the room and release the queue."""
+        self._hub.unsubscribe(self.subscriber)

@@ -154,3 +154,23 @@ def render_html(state: DashboardState, title: str = "CAOP Dashboard") -> str:
         "</style></head><body>"
         f"<h1>{title}</h1>{''.join(rows)}</body></html>"
     )
+
+
+def render_fanout(hub, report) -> str:
+    """ASCII summary of one fan-out flush (the ``caop fanout`` demo view)."""
+    lines: List[str] = ["Fan-out flush", "=" * 52]
+    for name in hub.room_names():
+        room = hub.room(name)
+        lines.append(
+            f"  room {name:<10} v{room.version:<6}"
+            f" keys={len(room.state()):<6}"
+            f" subscribers={hub.subscriber_count(name)}")
+    lines.append("-" * 52)
+    lines.append(
+        f"  deltas={report.deltas} delivered={report.delivered}"
+        f" coalesced={report.coalesced} renders={report.renders}"
+        f" render_hits={report.render_hits}")
+    lines.append(
+        f"  shed={report.shed_messages} resyncs={report.resyncs}"
+        f" snapshots={report.snapshots}")
+    return "\n".join(lines)

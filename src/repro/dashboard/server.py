@@ -14,11 +14,19 @@ from ..clock import parse_timestamp
 from ..core.ioc import ReducedIoc
 from ..infra import Alarm, Inventory
 from ..obs import MetricsRegistry, NULL_REGISTRY
+from .fanout import FanoutClient, FanoutHub, FlushReport
 from .state import DashboardState
 
 EVENT_RIOC = "rioc"
 EVENT_ALARM = "alarm"
 ROOM_ANALYSTS = "analysts"
+
+#: Fan-out rooms the server materializes (snapshot+delta protocol).
+ROOM_RIOCS = "riocs"
+ROOM_ALARMS = "alarms"
+ROOM_BADGES = "badges"
+ROOM_KEYWORDS = "keywords"
+ROOM_GRAPH = "graph"
 
 
 class DashboardServer:
@@ -26,10 +34,18 @@ class DashboardServer:
 
     def __init__(self, inventory: Inventory,
                  broker: Optional[MessageBroker] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 fanout_history: int = 64,
+                 fanout_max_pending: int = 64) -> None:
         self.state = DashboardState(inventory)
         self.sio = SocketIOServer(broker=broker)
         self.metrics = metrics or NULL_REGISTRY
+        #: Snapshot+delta hub serving the massive-subscriber rooms; rides
+        #: the same broker as the socket.io mirror so its drop accounting
+        #: lands in the shared BrokerStats ledger.
+        self.fanout = FanoutHub(broker=self.sio.broker, metrics=metrics,
+                                history=fanout_history,
+                                max_pending=fanout_max_pending)
         #: Latest :class:`~repro.resilience.PlatformHealth` snapshot the
         #: platform pushed (None until the first cycle completes).
         self.health: Optional[Any] = None
@@ -48,6 +64,9 @@ class DashboardServer:
         """Emit an rIoC to every connected analyst client."""
         delivered = self.sio.emit(EVENT_RIOC, rioc.to_dict(), room=ROOM_ANALYSTS)
         self._m_pushes.inc(delivered, event=EVENT_RIOC)
+        # Stage the same rIoC into the fan-out room: subscribers receive it
+        # as one coalesced delta on the next flush, not one emit per client.
+        self.fanout.publish(ROOM_RIOCS, rioc.eioc_uuid, rioc.to_dict())
         return delivered
 
     def push_alarm(self, alarm: Alarm) -> int:
@@ -65,6 +84,9 @@ class DashboardServer:
         }
         delivered = self.sio.emit(EVENT_ALARM, payload, room=ROOM_ANALYSTS)
         self._m_pushes.inc(delivered, event=EVENT_ALARM)
+        # Last alarm per node, coalesced: a node alarming 50 times between
+        # flushes costs one delta entry.
+        self.fanout.publish(ROOM_ALARMS, alarm.node, payload)
         return delivered
 
     def connect_client(self) -> SocketIOClient:
@@ -76,6 +98,36 @@ class DashboardServer:
     def update_health(self, health: Any) -> None:
         """Record the platform's latest component-health snapshot."""
         self.health = health
+
+    # -- snapshot+delta fan-out ---------------------------------------------------
+
+    def sync_view_rooms(self, graph_view: Optional[Any] = None,
+                        keyword_view: Optional[Any] = None) -> int:
+        """Diff the materialized views and badges into their fan-out rooms.
+
+        Each room is synced against a full mapping with pruning, so only
+        keys that actually changed since the last sync become delta
+        entries — an unchanged view stages nothing.  Returns the number of
+        staged keys across all rooms.
+        """
+        staged = self.fanout.sync_map(ROOM_BADGES, self.state.badge_map())
+        if keyword_view is not None:
+            staged += self.fanout.sync_map(
+                ROOM_KEYWORDS,
+                {category: count for category, count
+                 in keyword_view.frequencies().items()})
+        if graph_view is not None:
+            staged += self.fanout.sync_map(ROOM_GRAPH, graph_view.summary())
+        return staged
+
+    def flush_fanout(self) -> FlushReport:
+        """Flush every dirty fan-out room (one delta render per room)."""
+        return self.fanout.flush()
+
+    def attach_subscribers(self, count: int,
+                           room: str = ROOM_RIOCS) -> list:
+        """Attach ``count`` protocol-driving clients to a fan-out room."""
+        return [FanoutClient(self.fanout, room) for _ in range(count)]
 
     # -- telemetry view -----------------------------------------------------------
 

@@ -100,6 +100,17 @@ class DashboardState:
         """Badges for every inventory node."""
         return [self.badge(name) for name in self._inventory.node_names]
 
+    def badge_map(self) -> Dict[str, Dict[str, object]]:
+        """Badges keyed by node, JSON-ready (the fan-out ``badges`` room)."""
+        return {
+            b.node: {
+                "alarms": b.alarm_count,
+                "severity": b.alarm_severity,
+                "riocs": b.rioc_count,
+            }
+            for b in self.badges()
+        }
+
     def alarms_for(self, node: str) -> List[Alarm]:
         """Alarms recorded against one node."""
         return list(self._alarms.get(node, []))

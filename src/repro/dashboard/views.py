@@ -218,6 +218,16 @@ class CorrelationGraphView(StoreRollup):
                         key=lambda pair: (-pair[1], pair[0]))
         return [(uuid, degree) for uuid, degree in ranked[:top] if degree > 0]
 
+    def summary(self) -> Dict[str, int]:
+        """Headline graph stats, JSON-ready (the fan-out ``graph`` room)."""
+        self.refresh()
+        clusters = [c for c in self.components() if len(c) > 1]
+        return {
+            "events": self._graph.number_of_nodes(),
+            "correlations": self._graph.number_of_edges(),
+            "clusters": len(clusters),
+        }
+
     def render(self, top: int = 5) -> str:
         """Render this view as printable text."""
         self.refresh()

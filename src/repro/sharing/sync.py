@@ -77,39 +77,54 @@ class RenderedPayload:
 
 
 class RenderCache:
-    """Per-cycle render cache keyed on ``(event content digest, format)``.
+    """Payload render cache keyed on ``(content identity, format)``.
 
     ``get_or_render`` is called serially (pre-fan-out) by the gateway, so a
     payload needed by N entities is serialized exactly once per cycle; the
-    hit/miss counters land on ``caop_share_renders_total``.
+    hit/miss counters land on ``caop_share_renders_total``.  Other fan-out
+    paths (the dashboard's snapshot+delta hub) reuse the same cache shape
+    through :meth:`get_or_build` under their own metric name.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 metric_name: str = "caop_share_renders_total",
+                 metric_help: str = "Render-cache lookups by the sharing "
+                                    "fan-out, labelled hit/miss") -> None:
         self._cache: Dict[Tuple[str, str], RenderedPayload] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         metrics = metrics or NULL_REGISTRY
-        self._m_renders = metrics.counter(
-            "caop_share_renders_total",
-            "Render-cache lookups by the sharing fan-out, labelled hit/miss")
+        self._m_renders = metrics.counter(metric_name, metric_help)
 
-    def get_or_render(self, event: MispEvent, digest: str,
-                      render_format: str) -> RenderedPayload:
-        """The cached payload for (digest, format), rendering on first use."""
-        key = (digest, render_format)
+    def get_or_build(self, key: Tuple[str, str],
+                     builder: Callable[[], RenderedPayload]
+                     ) -> RenderedPayload:
+        """The cached payload for ``key``, calling ``builder`` on first use."""
         with self._lock:
             payload = self._cache.get(key)
             if payload is not None:
                 self.hits += 1
                 self._m_renders.inc(result="hit")
                 return payload
-        payload = self._render(event, render_format)
+        payload = builder()
         with self._lock:
             self._cache[key] = payload
             self.misses += 1
         self._m_renders.inc(result="miss")
         return payload
+
+    def get_or_render(self, event: MispEvent, digest: str,
+                      render_format: str) -> RenderedPayload:
+        """The cached payload for (digest, format), rendering on first use."""
+        return self.get_or_build(
+            (digest, render_format),
+            lambda: self._render(event, render_format))
+
+    def reset(self) -> None:
+        """Drop every cached payload (the hit/miss counters are kept)."""
+        with self._lock:
+            self._cache.clear()
 
     @staticmethod
     def _render(event: MispEvent, render_format: str) -> RenderedPayload:

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bus import MessageBroker, SocketIOServer, ZmqPublisher, ZmqSubscriber
+from repro.bus import (
+    Message,
+    MessageBroker,
+    SocketIOServer,
+    Subscription,
+    ZmqPublisher,
+    ZmqSubscriber,
+)
 
 
 class TestBroker:
@@ -114,6 +121,55 @@ class TestBroker:
         broker = MessageBroker()
         with pytest.raises(ValueError):
             broker.subscribe("t", max_pending=0)
+
+    def test_shed_subscription_rejects_without_double_count(self):
+        # Regression (PR 10): a rejected delivery to a shed subscription
+        # must count as dropped only — never delivered — or the
+        # delivered+dropped denominator drop_ratio divides by counts the
+        # same message twice.
+        broker = MessageBroker()
+        sub = broker.subscribe("t")
+        broker.publish("t", 1)
+        assert (broker.stats.delivered, broker.stats.dropped) == (1, 0)
+        assert sub.shed() == 1
+        assert sub.resync_pending
+        broker.publish("t", 2)  # rejected outright
+        assert broker.stats.delivered == 1
+        # One drop for the rejected publish; the shed backlog lands on the
+        # subscription's own ledger (the fan-out hub forwards it).
+        assert broker.stats.dropped == 1
+        assert sub.dropped == 1
+        assert broker.stats.dropped_topics == {"t": 1}
+        assert broker.stats.drop_ratio == pytest.approx(1 / 2)
+        sub.resume()
+        broker.publish("t", 3)
+        assert broker.stats.delivered == 2
+        assert [m.payload for m in sub.drain()] == [3]
+
+    def test_shed_is_idempotent(self):
+        sub = Subscription("t")
+        sub.deliver(Message(topic="t", payload=1, sequence=1))
+        sub.deliver(Message(topic="t", payload=2, sequence=2))
+        assert sub.shed() == 2
+        assert sub.dropped == 2
+        # A second shed finds an empty queue: the backlog can never be
+        # double-counted.
+        assert sub.shed() == 0
+        assert sub.dropped == 2
+
+    def test_offer_distinguishes_rejection_from_clean_enqueue(self):
+        sub = Subscription("t", max_pending=1)
+        accepted, evicted = sub.offer(Message(topic="t", payload=1, sequence=1))
+        assert accepted and evicted is None
+        accepted, evicted = sub.offer(Message(topic="t", payload=2, sequence=2))
+        assert accepted and evicted is not None
+        assert evicted.payload == 1
+        sub.close()
+        accepted, evicted = sub.offer(Message(topic="t", payload=3, sequence=3))
+        assert not accepted and evicted is None
+        # deliver() cannot tell these apart — that is exactly why publish
+        # uses offer(); the compat wrapper stays for pollers.
+        assert sub.deliver(Message(topic="t", payload=4, sequence=4)) is None
 
 
 class TestZmq:
